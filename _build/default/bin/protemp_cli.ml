@@ -1,0 +1,303 @@
+(* Command-line interface to the Pro-Temp library.
+
+   protemp solve     — one Eq. 3 design point
+   protemp frontier  — max supportable frequency from a temperature
+   protemp table     — Phase-1 sweep, written as CSV
+   protemp validate  — audit a table against the thermal simulator
+   protemp simulate  — run a trace under a controller *)
+
+open Cmdliner
+
+let machine = lazy (Sim.Machine.niagara ())
+
+let spec_of ~uniform ~gradient ~stride =
+  let base =
+    {
+      Protemp.Spec.default with
+      Protemp.Spec.constraint_stride = stride;
+      variant =
+        (if uniform then Protemp.Spec.Uniform else Protemp.Spec.Variable);
+    }
+  in
+  match gradient with
+  | None -> base
+  | Some weight -> Protemp.Spec.with_gradient ~weight base
+
+(* ----- shared options ----- *)
+
+let uniform =
+  Arg.(value & flag & info [ "uniform" ] ~doc:"Uniform frequency variant.")
+
+let gradient =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "gradient" ] ~docv:"WEIGHT"
+        ~doc:"Enable the Eq. 4-5 gradient term with this weight.")
+
+let stride =
+  Arg.(
+    value & opt int 1
+    & info [ "stride" ] ~docv:"N"
+        ~doc:"Enforce the thermal cap every N-th step (1 = the paper).")
+
+let tstart =
+  Arg.(
+    required
+    & opt (some float) None
+    & info [ "tstart" ] ~docv:"CELSIUS" ~doc:"Starting temperature.")
+
+let print_frequencies f =
+  Array.iteri
+    (fun i hz -> Printf.printf "P%d %.1f MHz\n" (i + 1) (hz /. 1e6))
+    f
+
+(* ----- solve ----- *)
+
+let solve_cmd =
+  let ftarget =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "ftarget" ] ~docv:"MHZ" ~doc:"Required average frequency.")
+  in
+  let run uniform gradient stride tstart ftarget =
+    let spec = spec_of ~uniform ~gradient ~stride in
+    let built =
+      Protemp.Model.build ~machine:(Lazy.force machine) ~spec ~tstart
+        ~ftarget:(ftarget *. 1e6)
+    in
+    match Protemp.Model.solve built with
+    | Protemp.Model.Infeasible ->
+        print_endline "infeasible";
+        1
+    | Protemp.Model.Feasible s ->
+        print_frequencies s.Protemp.Model.frequencies;
+        Printf.printf "total power %.2f W, duality gap %.1e\n"
+          s.Protemp.Model.total_power s.Protemp.Model.raw.Convex.Solve.gap;
+        (match s.Protemp.Model.gradient_spread with
+        | Some g -> Printf.printf "certified window spread %.2f C\n" g
+        | None -> ());
+        0
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve one Eq. 3/5 design point.")
+    Term.(const run $ uniform $ gradient $ stride $ tstart $ ftarget)
+
+(* ----- frontier ----- *)
+
+let frontier_cmd =
+  let run uniform gradient stride tstart =
+    let spec = spec_of ~uniform ~gradient ~stride in
+    match
+      Protemp.Offline.frontier_point ~machine:(Lazy.force machine) ~spec
+        ~tstart ()
+    with
+    | Protemp.Model.Infeasible ->
+        print_endline "no operation possible from this temperature";
+        1
+    | Protemp.Model.Feasible s ->
+        print_frequencies s.Protemp.Model.frequencies;
+        Printf.printf "max average frequency %.1f MHz\n"
+          (Linalg.Vec.mean s.Protemp.Model.frequencies /. 1e6);
+        0
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Maximum supportable frequency from a starting temperature.")
+    Term.(const run $ uniform $ gradient $ stride $ tstart)
+
+(* ----- table ----- *)
+
+let out_file =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output CSV file.")
+
+let table_cmd =
+  let tstarts =
+    Arg.(
+      value
+      & opt (list float) (Array.to_list Protemp.Offline.default_tstarts)
+      & info [ "tstarts" ] ~docv:"T1,T2,..." ~doc:"Row temperatures.")
+  in
+  let ftargets =
+    Arg.(
+      value
+      & opt (list float)
+          (List.map (fun f -> f /. 1e6)
+             (Array.to_list Protemp.Offline.default_ftargets))
+      & info [ "ftargets" ] ~docv:"MHZ1,MHZ2,..." ~doc:"Column targets (MHz).")
+  in
+  let run uniform gradient stride tstarts ftargets out =
+    let spec = spec_of ~uniform ~gradient ~stride in
+    let table =
+      Protemp.Offline.sweep ~machine:(Lazy.force machine) ~spec
+        ~tstarts:(Array.of_list tstarts)
+        ~ftargets:(Array.of_list (List.map (fun f -> f *. 1e6) ftargets))
+        ~on_progress:(fun p ->
+          Printf.eprintf "(%.0f C, %.0f MHz): %s\n%!" p.Protemp.Offline.tstart
+            (p.Protemp.Offline.ftarget /. 1e6)
+            (match p.Protemp.Offline.outcome with
+            | `Feasible -> "ok"
+            | `Infeasible -> "infeasible"
+            | `Pruned -> "pruned"))
+        ()
+    in
+    let oc = open_out out in
+    output_string oc (Protemp.Table.to_csv table);
+    close_out oc;
+    Format.printf "%a@." Protemp.Table.pp table;
+    Printf.printf "written to %s\n" out;
+    0
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Run the Phase-1 sweep and store the table.")
+    Term.(
+      const run $ uniform $ gradient $ stride $ tstarts $ ftargets $ out_file)
+
+(* ----- validate ----- *)
+
+let table_file =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "table" ] ~docv:"FILE" ~doc:"Table CSV produced by 'table'.")
+
+let load_table file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Protemp.Table.of_csv s
+
+let validate_cmd =
+  let run stride table_file =
+    let spec = spec_of ~uniform:false ~gradient:None ~stride in
+    let table = load_table table_file in
+    let audit =
+      Protemp.Guarantee.audit_table ~machine:(Lazy.force machine) ~spec table
+    in
+    Printf.printf "%d feasible cells re-simulated\n"
+      audit.Protemp.Guarantee.cells_checked;
+    Printf.printf "tightest margin below tmax: %.4f C%s\n"
+      audit.Protemp.Guarantee.worst_margin
+      (match audit.Protemp.Guarantee.worst_cell with
+      | Some (t, f) -> Printf.sprintf " at (%.0f C, %.0f MHz)" t (f /. 1e6)
+      | None -> "");
+    if audit.Protemp.Guarantee.worst_margin >= -1e-9 then begin
+      print_endline "table honours the guarantee";
+      0
+    end
+    else begin
+      print_endline "TABLE VIOLATES THE GUARANTEE";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Audit a table against the thermal simulator.")
+    Term.(const run $ stride $ table_file)
+
+(* ----- simulate ----- *)
+
+let simulate_cmd =
+  let controller =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("no-tc", `No_tc); ("basic-dfs", `Basic); ("pro-temp", `Pro);
+               ("online", `Online) ])
+          `Pro
+      & info [ "controller" ] ~docv:"NAME"
+          ~doc:"no-tc, basic-dfs, pro-temp or online (MPC re-solve).")
+  in
+  let ladder =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ladder" ] ~docv:"LEVELS"
+          ~doc:"Quantize the table onto a discrete DVFS ladder.")
+  in
+  let migration =
+    Arg.(value & flag & info [ "migration" ] ~doc:"Enable task migration.")
+  in
+  let table_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "table" ] ~docv:"FILE" ~doc:"Table CSV (pro-temp only).")
+  in
+  let mix =
+    Arg.(
+      value & opt string "mix"
+      & info [ "mix" ] ~docv:"NAME" ~doc:"web, multimedia, compute or mix.")
+  in
+  let tasks =
+    Arg.(value & opt int 20000 & info [ "tasks" ] ~docv:"N" ~doc:"Trace size.")
+  in
+  let seed =
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"N" ~doc:"Trace seed.")
+  in
+  let coolest =
+    Arg.(
+      value & flag
+      & info [ "coolest-first" ]
+          ~doc:"Use the efficient (coolest-first) task assignment.")
+  in
+  let run controller table_file mix tasks seed coolest ladder migration =
+    let machine = Lazy.force machine in
+    let load_quantized f =
+      let t = load_table f in
+      match ladder with
+      | None -> t
+      | Some levels ->
+          Protemp.Ladder.quantize_table
+            (Protemp.Ladder.uniform ~fmax:machine.Sim.Machine.fmax ~levels)
+            t
+    in
+    let ctrl =
+      match controller with
+      | `No_tc -> Protemp.No_tc.create ~fmax:machine.Sim.Machine.fmax
+      | `Basic -> Protemp.Basic_dfs.create ~fmax:machine.Sim.Machine.fmax ()
+      | `Online ->
+          let spec =
+            { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 }
+          in
+          let fallback = Option.map load_quantized table_file in
+          Protemp.Online.create ?fallback ~machine ~spec ()
+      | `Pro -> (
+          match table_file with
+          | None -> failwith "pro-temp needs --table"
+          | Some f -> Protemp.Controller.create ~table:(load_quantized f))
+    in
+    let mix =
+      try Workload.Mix.by_name mix
+      with Not_found -> failwith ("unknown mix " ^ mix)
+    in
+    let trace =
+      Workload.Trace.generate ~seed:(Int64.of_int seed) ~n_tasks:tasks mix
+    in
+    let assignment =
+      if coolest then Sim.Policy.coolest_first else Sim.Policy.first_idle
+    in
+    let config = { Sim.Engine.default_config with Sim.Engine.migration } in
+    let r = Sim.Engine.run ~config machine ctrl assignment trace in
+    Format.printf "%a@." Sim.Stats.pp r.Sim.Engine.stats;
+    Printf.printf "unfinished %d, migrations %d, wall %.2f s\n"
+      r.Sim.Engine.unfinished r.Sim.Engine.migrations r.Sim.Engine.wall_clock;
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a trace under a controller.")
+    Term.(
+      const run $ controller $ table_file $ mix $ tasks $ seed $ coolest
+      $ ladder $ migration)
+
+let () =
+  let doc = "Pro-Temp: convex-optimization thermal control of multi-cores" in
+  let info = Cmd.info "protemp" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+                     [ solve_cmd; frontier_cmd; table_cmd; validate_cmd;
+                       simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/datacenter_mix.ml: Format List Printf Protemp Sim Workload

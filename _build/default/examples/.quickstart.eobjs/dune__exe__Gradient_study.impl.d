@@ -1,0 +1,1 @@
+examples/gradient_study.ml: Array Linalg Mat Printf Protemp Sim String Thermal Vec Workload

@@ -1,0 +1,1 @@
+examples/gradient_study.mli:

@@ -1,0 +1,1 @@
+examples/niagara_campaign.ml: Array Format Printf Protemp Sim Unix Workload

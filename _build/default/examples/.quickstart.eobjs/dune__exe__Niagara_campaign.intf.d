@@ -1,0 +1,1 @@
+examples/niagara_campaign.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Convex List Printf Protemp Sim

@@ -1,0 +1,1 @@
+examples/thermal_explorer.ml: Array Float Linalg Mat Printf Random Stdlib String Thermal Vec

@@ -1,0 +1,1 @@
+lib/convex/barrier.ml: Array Linalg Mat Newton Quad Vec

@@ -1,0 +1,1 @@
+lib/convex/barrier.mli: Linalg Newton Quad Vec

@@ -1,0 +1,1 @@
+lib/convex/expr.ml: Array Barrier Format Linalg List Mat Quad Vec

@@ -1,0 +1,1 @@
+lib/convex/expr.mli: Barrier Linalg Mat Quad Vec

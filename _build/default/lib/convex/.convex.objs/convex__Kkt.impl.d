@@ -1,0 +1,1 @@
+lib/convex/kkt.ml: Array Barrier Float Format Linalg Quad Vec

@@ -1,0 +1,1 @@
+lib/convex/kkt.mli: Barrier Format Linalg Vec

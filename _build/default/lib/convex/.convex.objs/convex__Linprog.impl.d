@@ -1,0 +1,1 @@
+lib/convex/linprog.ml: Array Barrier Linalg Mat Quad Solve Vec

@@ -1,0 +1,1 @@
+lib/convex/linprog.mli: Barrier Linalg Mat Vec

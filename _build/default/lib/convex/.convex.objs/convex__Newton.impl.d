@@ -1,0 +1,1 @@
+lib/convex/newton.ml: Chol Linalg Mat Vec

@@ -1,0 +1,1 @@
+lib/convex/newton.mli: Linalg Mat Vec

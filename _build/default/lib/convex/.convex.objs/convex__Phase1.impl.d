@@ -1,0 +1,1 @@
+lib/convex/phase1.ml: Array Barrier Float Linalg Mat Quad Vec

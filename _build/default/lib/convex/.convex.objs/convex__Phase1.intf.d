@@ -1,0 +1,1 @@
+lib/convex/phase1.mli: Barrier Linalg Quad Vec

@@ -1,0 +1,1 @@
+lib/convex/quad.ml: Array Chol Format Linalg Mat Vec

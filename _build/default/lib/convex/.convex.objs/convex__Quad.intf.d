@@ -1,0 +1,1 @@
+lib/convex/quad.mli: Format Linalg Mat Vec

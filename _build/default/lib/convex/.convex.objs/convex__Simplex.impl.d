@@ -1,0 +1,1 @@
+lib/convex/simplex.ml: Array Float Hashtbl Linalg List Mat Option Seq Vec

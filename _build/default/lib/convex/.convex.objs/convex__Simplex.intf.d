@@ -1,0 +1,1 @@
+lib/convex/simplex.mli: Linalg Mat Vec

@@ -1,0 +1,1 @@
+lib/convex/solve.ml: Barrier Float Format Kkt Linalg Phase1 Quad Vec

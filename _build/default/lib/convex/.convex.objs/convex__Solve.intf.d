@@ -1,0 +1,1 @@
+lib/convex/solve.mli: Barrier Format Kkt Linalg Vec

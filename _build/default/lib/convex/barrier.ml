@@ -1,0 +1,139 @@
+open Linalg
+
+type problem = { objective : Quad.t; constraints : Quad.t array }
+
+type options = {
+  mu : float;
+  gap_tol : float;
+  t0 : float;
+  max_outer : int;
+  newton : Newton.options;
+}
+
+(* A short-step schedule (mu = 2) by default: problems with thousands
+   of near-parallel constraints hugging a curved wall (exactly the
+   Pro-Temp thermal models) realize the pessimistic long-step bound
+   O(m (mu - 1 - log mu)) on Newton work per centering, so small
+   increments are far cheaper overall; on small problems the extra
+   outer iterations cost microseconds. *)
+let default_options =
+  { mu = 2.0; gap_tol = 1e-7; t0 = 1.0; max_outer = 120;
+    newton = { Newton.default_options with tol = 1e-9; max_iter = 500 } }
+
+type result = {
+  x : Vec.t;
+  objective_value : float;
+  dual : Vec.t;
+  gap : float;
+  outer_iterations : int;
+  newton_iterations : int;
+  stopped_early : bool;
+}
+
+let check_problem p =
+  let n = Quad.dim p.objective in
+  Array.iter
+    (fun c ->
+      if Quad.dim c <> n then
+        invalid_arg "Barrier: constraint dimension mismatch")
+    p.constraints;
+  n
+
+let barrier_value p t x =
+  let rec go j acc =
+    if j >= Array.length p.constraints then Some acc
+    else
+      let g = Quad.eval p.constraints.(j) x in
+      if g >= 0.0 then None else go (j + 1) (acc -. log (-.g))
+  in
+  go 0 (t *. Quad.eval p.objective x)
+
+let is_strictly_feasible p x =
+  Array.for_all (fun c -> Quad.eval c x < 0.0) p.constraints
+
+(* Gradient and Hessian of the centering function
+   phi_t(x) = t f0 - sum log(-f_j):
+     grad = t grad_f0 + sum grad_f_j / (-f_j)
+     hess = t P0 + sum [ grad_f_j grad_f_j^T / f_j^2 + P_j / (-f_j) ].
+   Must only be called at strictly feasible points. *)
+let grad_hess p t x =
+  let g = Vec.scale t (Quad.grad p.objective x) in
+  let h = Mat.scale t (Quad.hess p.objective) in
+  (* Rank-one terms accumulate into the upper triangle only; affine
+     constraints contribute their coefficient vector directly (no
+     gradient allocation). *)
+  Array.iter
+    (fun c ->
+      let fj = Quad.eval c x in
+      let inv = -1.0 /. fj in
+      if Quad.is_affine c then begin
+        let q = Quad.unsafe_linear_part c in
+        Vec.axpy_into ~dst:g inv q;
+        Mat.add_outer_upper_into h (inv *. inv) q
+      end
+      else begin
+        let gj = Quad.grad c x in
+        Vec.axpy_into ~dst:g inv gj;
+        Mat.add_outer_upper_into h (inv *. inv) gj;
+        Mat.add_into ~dst:h (Mat.scale inv (Quad.hess c))
+      end)
+    p.constraints;
+  Mat.mirror_upper h;
+  (g, h)
+
+let solve ?(options = default_options) ?stop_early p x0 =
+  let n = check_problem p in
+  if Vec.dim x0 <> n then invalid_arg "Barrier.solve: x0 dimension mismatch";
+  if not (is_strictly_feasible p x0) then
+    invalid_arg "Barrier.solve: x0 not strictly feasible";
+  let m = Array.length p.constraints in
+  let duals t x =
+    Array.map (fun c -> 1.0 /. (t *. -.Quad.eval c x)) p.constraints
+  in
+  let finish ~t ~x ~outer ~inner ~stopped_early =
+    {
+      x;
+      objective_value = Quad.eval p.objective x;
+      dual = duals t x;
+      gap = float_of_int m /. t;
+      outer_iterations = outer;
+      newton_iterations = inner;
+      stopped_early;
+    }
+  in
+  if m = 0 then
+    (* Unconstrained: a single Newton run on f0. *)
+    let oracle =
+      {
+        Newton.value = (fun x -> Some (Quad.eval p.objective x));
+        grad_hess =
+          (fun x -> (Quad.grad p.objective x, Quad.hess p.objective));
+      }
+    in
+    let r = Newton.minimize ~options:options.newton oracle x0 in
+    finish ~t:infinity ~x:r.Newton.x ~outer:1 ~inner:r.Newton.iterations
+      ~stopped_early:false
+  else begin
+    let rec outer_loop t x outer inner =
+      let oracle =
+        {
+          Newton.value = (fun y -> barrier_value p t y);
+          grad_hess = (fun y -> grad_hess p t y);
+        }
+      in
+      let r = Newton.minimize ~options:options.newton oracle x in
+      let x = r.Newton.x in
+      let inner = inner + r.Newton.iterations in
+      let gap = float_of_int m /. t in
+      let early =
+        match stop_early with Some f -> f x | None -> false
+      in
+      if early then finish ~t ~x ~outer ~inner ~stopped_early:true
+      else if gap <= options.gap_tol then
+        finish ~t ~x ~outer ~inner ~stopped_early:false
+      else if outer >= options.max_outer then
+        finish ~t ~x ~outer ~inner ~stopped_early:false
+      else outer_loop (t *. options.mu) x (outer + 1) inner
+    in
+    outer_loop options.t0 (Vec.copy x0) 1 0
+  end

@@ -1,0 +1,56 @@
+(** Log-barrier interior-point method.
+
+    Solves [minimize f0(x) subject to f_j(x) <= 0, j = 1..m] where
+    [f0] and every [f_j] are convex quadratics ({!Quad.t}), by
+    path-following: repeatedly center [t*f0(x) - sum_j log(-f_j(x))]
+    with damped Newton ({!Newton}) and increase [t] by [mu] until the
+    guaranteed duality gap [m/t] is below tolerance.  This is the
+    algorithm class CVX applied to the paper's models (Boyd &
+    Vandenberghe, ch. 11). *)
+
+open Linalg
+
+type problem = { objective : Quad.t; constraints : Quad.t array }
+(** All functions must share the same dimension. *)
+
+type options = {
+  mu : float;
+      (** Barrier growth factor.  The default is a short-step 2.0:
+          long steps (10-50) realize their pessimistic per-centering
+          Newton bound on problems with many near-parallel constraints
+          along a curved wall, which is precisely the structure of the
+          thermal models this library exists for. *)
+  gap_tol : float;  (** Target duality gap [m/t] (default 1e-7). *)
+  t0 : float;  (** Initial barrier parameter (default 1.0). *)
+  max_outer : int;  (** Outer (centering) iteration cap (default 120). *)
+  newton : Newton.options;
+}
+
+val default_options : options
+
+type result = {
+  x : Vec.t;  (** Final (approximately optimal) primal point. *)
+  objective_value : float;
+  dual : Vec.t;
+      (** Approximate dual multipliers [lambda_j = 1/(t * -f_j(x))]. *)
+  gap : float;  (** Guaranteed duality-gap bound [m/t]. *)
+  outer_iterations : int;
+  newton_iterations : int;  (** Total inner Newton steps. *)
+  stopped_early : bool;  (** [true] if [stop_early] fired. *)
+}
+
+val barrier_value : problem -> float -> Vec.t -> float option
+(** [barrier_value p t x] is [t*f0(x) - sum log(-f_j(x))], or [None]
+    when [x] is not strictly feasible.  Exposed for testing. *)
+
+val is_strictly_feasible : problem -> Vec.t -> bool
+
+val solve :
+  ?options:options ->
+  ?stop_early:(Vec.t -> bool) ->
+  problem ->
+  Vec.t ->
+  result
+(** [solve p x0] requires strictly feasible [x0]
+    ([Invalid_argument] otherwise).  [stop_early] is checked after each
+    centering step; used by phase-I feasibility searches. *)

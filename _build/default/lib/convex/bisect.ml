@@ -1,0 +1,28 @@
+type result = {
+  best_feasible : float option;
+  first_infeasible : float option;
+  probes : int;
+}
+
+let max_feasible ?(tol = 1e-6) ~lo ~hi feasible =
+  if lo > hi then invalid_arg "Bisect.max_feasible: lo > hi";
+  let probes = ref 0 in
+  let probe x =
+    incr probes;
+    feasible x
+  in
+  if not (probe lo) then
+    { best_feasible = None; first_infeasible = Some lo; probes = !probes }
+  else if probe hi then
+    { best_feasible = Some hi; first_infeasible = None; probes = !probes }
+  else begin
+    let tol = tol *. Float.max 1.0 (hi -. lo) in
+    let rec go good bad =
+      if bad -. good <= tol then (good, bad)
+      else
+        let mid = 0.5 *. (good +. bad) in
+        if probe mid then go mid bad else go good mid
+    in
+    let good, bad = go lo hi in
+    { best_feasible = Some good; first_infeasible = Some bad; probes = !probes }
+  end

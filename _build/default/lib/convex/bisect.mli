@@ -1,0 +1,23 @@
+(** Scalar bisection on a monotone feasibility predicate.
+
+    The Pro-Temp offline phase needs, for each starting temperature,
+    the largest target frequency that is still feasible (the Fig. 9
+    frontier); feasibility is monotone in the target, so bisection
+    finds it with a logarithmic number of solver calls. *)
+
+type result = {
+  best_feasible : float option;
+      (** Largest value found with [feasible] true, [None] when even
+          [lo] is infeasible. *)
+  first_infeasible : float option;
+      (** Smallest value found with [feasible] false, [None] when even
+          [hi] is feasible. *)
+  probes : int;  (** Number of predicate evaluations. *)
+}
+
+val max_feasible :
+  ?tol:float -> lo:float -> hi:float -> (float -> bool) -> result
+(** [max_feasible ~lo ~hi feasible] assumes [feasible] is
+    monotonically decreasing in its argument (true below some
+    threshold, false above) and locates the threshold within [tol]
+    (default [1e-6] of the interval width).  Requires [lo <= hi]. *)

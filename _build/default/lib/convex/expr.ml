@@ -1,0 +1,91 @@
+open Linalg
+
+exception Non_dcp of string
+
+type curvature = Affine | Convex | Concave
+
+type t = { quad : Quad.t; curv : curvature }
+
+let reject fmt = Format.kasprintf (fun s -> raise (Non_dcp s)) fmt
+
+let var n i = { quad = Quad.linear_coord n i 1.0; curv = Affine }
+let const n c = { quad = Quad.constant n c; curv = Affine }
+let affine_of q r = { quad = Quad.affine q r; curv = Affine }
+let sum_vars n = { quad = Quad.affine (Vec.create n 1.0) 0.0; curv = Affine }
+
+let add_curv a b =
+  match (a, b) with
+  | Affine, c | c, Affine -> c
+  | Convex, Convex -> Convex
+  | Concave, Concave -> Concave
+  | Convex, Concave | Concave, Convex ->
+      reject "sum of convex and concave expressions has unknown curvature"
+
+let add e1 e2 =
+  { quad = Quad.add e1.quad e2.quad; curv = add_curv e1.curv e2.curv }
+
+let flip = function Affine -> Affine | Convex -> Concave | Concave -> Convex
+
+let neg e = { quad = Quad.scale (-1.0) e.quad; curv = flip e.curv }
+let sub e1 e2 = add e1 (neg e2)
+
+let scale c e =
+  let curv = if c >= 0.0 then e.curv else flip e.curv in
+  { quad = Quad.scale c e.quad; curv }
+
+let square e =
+  match e.curv with
+  | Affine when Quad.is_affine e.quad ->
+      {
+        quad =
+          Quad.square_of_affine (Quad.linear_part e.quad)
+            (Quad.constant_part e.quad);
+        curv = Convex;
+      }
+  | Affine | Convex | Concave -> reject "square of a non-affine expression"
+
+let sum_squares = function
+  | [] -> invalid_arg "Expr.sum_squares: empty list"
+  | e :: rest -> List.fold_left (fun acc x -> add acc (square x)) (square e) rest
+
+let quad_form p =
+  let n = Mat.rows p in
+  let q = Quad.quadratic p (Vec.zeros n) 0.0 in
+  if not (Quad.hess_is_psd q) then reject "quad_form: matrix is not PSD";
+  { quad = q; curv = Convex }
+
+let curvature e = e.curv
+let dim e = Quad.dim e.quad
+let to_quad e = e.quad
+let eval e x = Quad.eval e.quad x
+
+type constr = Quad.t
+
+let leq lhs rhs =
+  (match lhs.curv with
+  | Affine | Convex -> ()
+  | Concave -> reject "leq: left-hand side must be convex or affine");
+  (match rhs.curv with
+  | Affine | Concave -> ()
+  | Convex -> reject "leq: right-hand side must be concave or affine");
+  Quad.sub lhs.quad rhs.quad
+
+let geq lhs rhs = leq rhs lhs
+
+let box n i ~lo ~hi =
+  if lo > hi then invalid_arg "Expr.box: lo > hi";
+  [ leq (const n lo) (var n i); leq (var n i) (const n hi) ]
+
+let constr_quad c = c
+
+let minimize obj constrs =
+  (match obj.curv with
+  | Affine | Convex -> ()
+  | Concave -> reject "minimize: objective must be convex or affine");
+  { Barrier.objective = obj.quad; constraints = Array.of_list constrs }
+
+let maximize obj constrs =
+  (match obj.curv with
+  | Affine | Concave -> ()
+  | Convex -> reject "maximize: objective must be concave or affine");
+  minimize (neg obj) constrs

@@ -1,0 +1,91 @@
+(** Disciplined-convex expressions: a small CVX-style modeling layer.
+
+    Expressions are built from variables, constants and the
+    composition rules of disciplined convex programming; every
+    expression carries its curvature ([Affine], [Convex], [Concave]),
+    and compositions that do not preserve a usable curvature are
+    rejected with {!Non_dcp} at construction time.  Every accepted
+    expression is representable as a quadratic function, so compiling
+    a model to a {!Barrier.problem} is direct.
+
+    Example — the paper's Eq. 3 power objective with a frequency
+    floor:
+    {[
+      let f  = Expr.var n i in                 (* frequency of core i *)
+      let p  = Expr.scale c (Expr.square f) in (* p = c f^2           *)
+      let c1 = Expr.geq (Expr.sum_vars n) (Expr.const n target) in
+      ...
+    ]} *)
+
+open Linalg
+
+exception Non_dcp of string
+(** Raised when a composition violates the DCP rules (e.g. the square
+    of a non-affine expression, or [convex <= convex]). *)
+
+type curvature = Affine | Convex | Concave
+
+type t
+
+(** {1 Atoms} *)
+
+val var : int -> int -> t
+(** [var n i] is the variable [x_i] in an [n]-dimensional model. *)
+
+val const : int -> float -> t
+(** [const n c] is the constant [c]. *)
+
+val affine_of : Vec.t -> float -> t
+(** [affine_of q r] is [q^T x + r]. *)
+
+val sum_vars : int -> t
+(** [sum_vars n] is [x_0 + ... + x_{n-1}]. *)
+
+(** {1 Composition} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+val scale : float -> t -> t
+(** Multiplication by a constant; a negative factor flips curvature. *)
+
+val square : t -> t
+(** Square of an {e affine} expression (DCP: convex). *)
+
+val sum_squares : t list -> t
+(** Sum of squares of affine expressions. *)
+
+val quad_form : Mat.t -> t
+(** [quad_form p] is [1/2 x^T P x]; requires [P] PSD (checked). *)
+
+(** {1 Queries} *)
+
+val curvature : t -> curvature
+val dim : t -> int
+val to_quad : t -> Quad.t
+val eval : t -> Vec.t -> float
+
+(** {1 Constraints and problems} *)
+
+type constr
+
+val leq : t -> t -> constr
+(** [leq lhs rhs]: requires [lhs] convex-or-affine and [rhs]
+    concave-or-affine. *)
+
+val geq : t -> t -> constr
+(** [geq lhs rhs] is [leq rhs lhs]. *)
+
+val box : int -> int -> lo:float -> hi:float -> constr list
+(** [box n i ~lo ~hi] is the two constraints [lo <= x_i <= hi]. *)
+
+val constr_quad : constr -> Quad.t
+(** The compiled form [g(x) <= 0]. *)
+
+val minimize : t -> constr list -> Barrier.problem
+(** Compile a model.  The objective must be convex-or-affine. *)
+
+val maximize : t -> constr list -> Barrier.problem
+(** [maximize e cs] is [minimize (neg e) cs]; [e] must be
+    concave-or-affine. *)

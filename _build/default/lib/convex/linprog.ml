@@ -1,0 +1,19 @@
+open Linalg
+
+type status =
+  | Optimal of { x : Vec.t; objective_value : float; dual : Vec.t }
+  | Infeasible of float
+
+let solve ?options ~c ~a ~b () =
+  let n = Vec.dim c in
+  if Mat.cols a <> n then invalid_arg "Linprog.solve: A/c mismatch";
+  if Mat.rows a <> Vec.dim b then invalid_arg "Linprog.solve: A/b mismatch";
+  let constraints =
+    Array.init (Mat.rows a) (fun i -> Quad.affine (Mat.row a i) (-.b.(i)))
+  in
+  let problem = { Barrier.objective = Quad.affine c 0.0; constraints } in
+  match Solve.solve ?options problem with
+  | Solve.Optimal s ->
+      Optimal { x = s.Solve.x; objective_value = s.Solve.objective_value;
+                dual = s.Solve.dual }
+  | Solve.Infeasible worst -> Infeasible worst

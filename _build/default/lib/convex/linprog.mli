@@ -1,0 +1,17 @@
+(** Linear programming as a special case of the barrier solver.
+
+    [minimize c^T x subject to A x <= b].  Exists both as a
+    convenience and as a cross-check: LPs have easily verified optima,
+    so they make good solver tests. *)
+
+open Linalg
+
+type status =
+  | Optimal of { x : Vec.t; objective_value : float; dual : Vec.t }
+  | Infeasible of float
+
+val solve :
+  ?options:Barrier.options -> c:Vec.t -> a:Mat.t -> b:Vec.t -> unit -> status
+(** The feasible region should be bounded (include explicit box rows
+    in [a] if necessary); an unbounded LP will exhaust the iteration
+    budget and return the last iterate. *)

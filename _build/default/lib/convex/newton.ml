@@ -1,0 +1,70 @@
+open Linalg
+
+type oracle = {
+  value : Vec.t -> float option;
+  grad_hess : Vec.t -> Vec.t * Mat.t;
+}
+
+type options = { tol : float; max_iter : int; alpha : float; beta : float }
+
+let default_options = { tol = 1e-10; max_iter = 100; alpha = 0.25; beta = 0.5 }
+
+type outcome = Converged | Iteration_limit | Line_search_failed
+
+type result = {
+  x : Vec.t;
+  value : float;
+  decrement : float;
+  iterations : int;
+  outcome : outcome;
+}
+
+let minimize ?(options = default_options) (oracle : oracle) x0 =
+  let f0 =
+    match oracle.value x0 with
+    | Some v -> v
+    | None -> invalid_arg "Newton.minimize: start point outside domain"
+  in
+  let x = Vec.copy x0 in
+  let fx = ref f0 in
+  let rec iterate k =
+    if k >= options.max_iter then
+      { x; value = !fx; decrement = infinity; iterations = k;
+        outcome = Iteration_limit }
+    else begin
+      let g, h = oracle.grad_hess x in
+      (* Newton direction: H d = -g, via jittered Cholesky so that a
+         numerically semidefinite Hessian still yields a descent
+         direction. *)
+      let d =
+        let fact, _jitter = Chol.factorize_jittered h in
+        Vec.neg (Chol.solve_factorized fact g)
+      in
+      let decrement = -0.5 *. Vec.dot g d in
+      if decrement <= options.tol then
+        { x; value = !fx; decrement; iterations = k; outcome = Converged }
+      else begin
+        (* Backtracking: shrink until inside the domain and the Armijo
+           condition holds. *)
+        let gd = Vec.dot g d in
+        let rec search step tries =
+          if tries > 60 then None
+          else
+            let candidate = Vec.axpy step d x in
+            match oracle.value candidate with
+            | Some v when v <= !fx +. (options.alpha *. step *. gd) ->
+                Some (candidate, v)
+            | Some _ | None -> search (step *. options.beta) (tries + 1)
+        in
+        match search 1.0 0 with
+        | None ->
+            { x; value = !fx; decrement; iterations = k;
+              outcome = Line_search_failed }
+        | Some (x', v') ->
+            Vec.blit ~src:x' ~dst:x;
+            fx := v';
+            iterate (k + 1)
+      end
+    end
+  in
+  iterate 0

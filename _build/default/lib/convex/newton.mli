@@ -1,0 +1,46 @@
+(** Damped Newton's method with backtracking line search.
+
+    Minimizes a smooth, strictly convex function given by an oracle.
+    The oracle's value function returns [None] outside the domain
+    (e.g. where a log-barrier argument would be non-positive), and the
+    line search never leaves the domain.  Termination is by the Newton
+    decrement [lambda^2 / 2 <= tol], the standard criterion for
+    self-concordant functions (Boyd & Vandenberghe, ch. 9). *)
+
+open Linalg
+
+type oracle = {
+  value : Vec.t -> float option;
+      (** Function value, [None] outside the domain. *)
+  grad_hess : Vec.t -> Vec.t * Mat.t;
+      (** Gradient and Hessian at a domain point. *)
+}
+
+type options = {
+  tol : float;  (** Newton-decrement threshold ([lambda^2/2]). *)
+  max_iter : int;
+  alpha : float;  (** Armijo fraction, in (0, 1/2). *)
+  beta : float;  (** Backtracking factor, in (0, 1). *)
+}
+
+val default_options : options
+(** [tol = 1e-10], [max_iter = 100], [alpha = 0.25], [beta = 0.5]. *)
+
+type outcome =
+  | Converged
+  | Iteration_limit
+  | Line_search_failed
+      (** The step could not make progress; the current iterate is
+          returned as the best available point. *)
+
+type result = {
+  x : Vec.t;
+  value : float;
+  decrement : float;  (** Last Newton decrement [lambda^2 / 2]. *)
+  iterations : int;
+  outcome : outcome;
+}
+
+val minimize : ?options:options -> oracle -> Vec.t -> result
+(** [minimize oracle x0] runs damped Newton from [x0], which must lie
+    in the domain ([Invalid_argument] otherwise). *)

@@ -1,0 +1,82 @@
+open Linalg
+
+type verdict = Strictly_feasible of Vec.t | Infeasible of float
+
+let find ?options ?(margin = 1e-8) constraints x0 =
+  let n = Vec.dim x0 in
+  Array.iter
+    (fun c ->
+      if Quad.dim c <> n then invalid_arg "Phase1.find: dimension mismatch")
+    constraints;
+  if Array.for_all (fun c -> Quad.eval c x0 < -.margin) constraints then
+    Strictly_feasible (Vec.copy x0)
+  else begin
+    let n' = n + 1 in
+    (* Lift every f_j to (x, s) space and subtract s. *)
+    let minus_s = Quad.linear_coord n' n (-1.0) in
+    let lifted =
+      Array.map (fun c -> Quad.add (Quad.extend c n') minus_s) constraints
+    in
+    (* Keep the auxiliary problem bounded below: s >= -1, i.e.
+       -s - 1 <= 0. *)
+    let s_lower = Quad.add_constant (Quad.linear_coord n' n (-1.0)) (-1.0) in
+    (* The pure objective [s] leaves the auxiliary centering unbounded
+       below in [x] (margins, hence [-log] terms, can grow forever in
+       any unconstrained direction).  A tiny proximal term anchors the
+       iterates near [x0]; it perturbs the reported optimum by
+       O(1e-6 ||x - x0||^2), which the [worst < 0] check at the end
+       absorbs. *)
+    let proximal =
+      let eps = 1e-6 in
+      let p =
+        Mat.init n' n' (fun i j ->
+            if i = j && i < n then 2.0 *. eps else 0.0)
+      in
+      let q = Vec.zeros n' in
+      for i = 0 to n - 1 do
+        q.(i) <- -2.0 *. eps *. x0.(i)
+      done;
+      Quad.quadratic p q (eps *. Vec.dot x0 x0)
+    in
+    let problem =
+      {
+        Barrier.objective = Quad.add (Quad.linear_coord n' n 1.0) proximal;
+        constraints = Array.append lifted [| s_lower |];
+      }
+    in
+    let s0 =
+      let worst =
+        Array.fold_left
+          (fun acc c -> Float.max acc (Quad.eval c x0))
+          neg_infinity constraints
+      in
+      worst +. 1.0
+    in
+    let start = Vec.concat x0 [| s0 |] in
+    let stop_early y = y.(n) < -.margin in
+    (* With the default t0 = 1 the first centering balances m barrier
+       terms against a unit objective and sends s to O(m) before
+       coming back; start t0 at m / (distance to the s >= -1 floor) so
+       the first center stays near s0. *)
+    let options =
+      let base =
+        match options with Some o -> o | None -> Barrier.default_options
+      in
+      Some
+        {
+          base with
+          Barrier.t0 =
+            Float.max base.Barrier.t0
+              (float_of_int (Array.length problem.Barrier.constraints)
+              /. (s0 +. 1.0));
+        }
+    in
+    let r = Barrier.solve ?options ~stop_early problem start in
+    let x = Vec.slice r.Barrier.x 0 n in
+    let worst =
+      Array.fold_left
+        (fun acc c -> Float.max acc (Quad.eval c x))
+        neg_infinity constraints
+    in
+    if worst < 0.0 then Strictly_feasible x else Infeasible worst
+  end

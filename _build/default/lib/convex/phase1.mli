@@ -1,0 +1,27 @@
+(** Phase-I feasibility: find a strictly feasible point for a set of
+    convex quadratic inequality constraints, or certify infeasibility.
+
+    Solves the standard auxiliary problem
+    [minimize s subject to f_j(x) <= s, s >= -1] over [(x, s)]
+    starting from any [x0] (taking [s0 = max_j f_j(x0) + 1]), stopping
+    early as soon as [s] is comfortably negative. *)
+
+open Linalg
+
+type verdict =
+  | Strictly_feasible of Vec.t
+      (** A point with [f_j(x) < 0] for every constraint. *)
+  | Infeasible of float
+      (** The best achievable [max_j f_j(x)] found; non-negative
+          (up to tolerance) proves there is no strictly feasible
+          point. *)
+
+val find :
+  ?options:Barrier.options ->
+  ?margin:float ->
+  Quad.t array ->
+  Vec.t ->
+  verdict
+(** [find constraints x0] runs phase I from [x0].  [margin]
+    (default [1e-8]) is how negative [s] must get before we stop early
+    and declare strict feasibility. *)

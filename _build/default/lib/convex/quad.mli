@@ -1,0 +1,70 @@
+(** Quadratic functions in standard form.
+
+    A value represents [f(x) = 1/2 x^T P x + q^T x + r] over [R^n],
+    with [P] symmetric (possibly absent, meaning the function is
+    affine).  This is the standard form every disciplined-convex
+    expression of {!Expr} compiles to, and the form the barrier solver
+    consumes. *)
+
+open Linalg
+
+type t
+
+(** {1 Construction} *)
+
+val affine : Vec.t -> float -> t
+(** [affine q r] is [q^T x + r]. *)
+
+val constant : int -> float -> t
+(** [constant n r] is the constant function [r] on [R^n]. *)
+
+val linear_coord : int -> int -> float -> t
+(** [linear_coord n i c] is [c * x_i]. *)
+
+val quadratic : Mat.t -> Vec.t -> float -> t
+(** [quadratic p q r] is [1/2 x^T P x + q^T x + r].  [P] is
+    symmetrized defensively. *)
+
+val square_of_affine : Vec.t -> float -> t
+(** [square_of_affine q r] is [(q^T x + r)^2]. *)
+
+(** {1 Algebra} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val add_constant : t -> float -> t
+
+val extend : t -> int -> t
+(** [extend f n'] embeds [f] into [R^n'] (with [n' >= dim f]); the new
+    trailing coordinates do not appear in the function.  Affine
+    functions stay affine. *)
+
+(** {1 Queries} *)
+
+val dim : t -> int
+
+val is_affine : t -> bool
+
+val eval : t -> Vec.t -> float
+
+val grad : t -> Vec.t -> Vec.t
+
+val hess : t -> Mat.t
+(** The (constant) Hessian [P]; the zero matrix for affine functions. *)
+
+val hess_is_psd : ?tol:float -> t -> bool
+(** Check positive semidefiniteness of [P] by attempting a jittered
+    Cholesky factorization of [P + tol*I]. *)
+
+val linear_part : t -> Vec.t
+(** The coefficient vector [q]. *)
+
+val unsafe_linear_part : t -> Vec.t
+(** The internal coefficient vector, without copying — for hot
+    read-only paths (the barrier's gradient accumulation).  Callers
+    must not mutate it. *)
+
+val constant_part : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** A dense primal simplex solver for linear programs.
+
+    [minimize c^T x subject to A x <= b, x >= 0], solved with the
+    standard tableau method and Bland's anti-cycling rule.  This is a
+    second, algorithmically independent LP solver: the test suite
+    cross-checks the log-barrier interior-point path ({!Linprog})
+    against it on random instances, which is the strongest correctness
+    evidence two from-scratch solvers can give each other. *)
+
+open Linalg
+
+type status =
+  | Optimal of { x : Vec.t; objective_value : float }
+  | Unbounded
+  | Infeasible
+
+val solve : c:Vec.t -> a:Mat.t -> b:Vec.t -> status
+(** Raises [Invalid_argument] on shape mismatches.  Handles negative
+    entries in [b] with a two-phase (auxiliary LP) start. *)

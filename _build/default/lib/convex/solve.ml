@@ -1,0 +1,65 @@
+open Linalg
+
+type solution = {
+  x : Vec.t;
+  objective_value : float;
+  dual : Vec.t;
+  gap : float;
+  kkt : Kkt.residuals;
+  outer_iterations : int;
+  newton_iterations : int;
+}
+
+type status = Optimal of solution | Infeasible of float
+
+let solve ?(options = Barrier.default_options) ?start (p : Barrier.problem) =
+  let n = Quad.dim p.Barrier.objective in
+  let x0 = match start with Some x -> Vec.copy x | None -> Vec.zeros n in
+  (* Phase I only needs the sign of the auxiliary optimum, so a much
+     looser duality gap suffices; borderline cells are conservatively
+     reported infeasible. *)
+  let phase1_options =
+    { options with Barrier.gap_tol = Float.max options.Barrier.gap_tol 1e-3 }
+  in
+  let feasible_start =
+    if Barrier.is_strictly_feasible p x0 then `Found x0
+    else
+      match Phase1.find ~options:phase1_options p.Barrier.constraints x0 with
+      | Phase1.Strictly_feasible x -> `Found x
+      | Phase1.Infeasible worst
+        when Vec.norm_inf x0 = 0.0 || worst > 1e-2 ->
+          (* A decisive violation, or nothing different to retry
+             from. *)
+          `Infeasible worst
+      | Phase1.Infeasible _ -> (
+          (* A borderline phase-I run from a start far from the
+             analytic center can stall; retry once from the origin
+             before giving up. *)
+          match
+            Phase1.find ~options:phase1_options p.Barrier.constraints
+              (Vec.zeros n)
+          with
+          | Phase1.Strictly_feasible x -> `Found x
+          | Phase1.Infeasible worst -> `Infeasible worst)
+  in
+  match feasible_start with
+  | `Infeasible worst -> Infeasible worst
+  | `Found x0 ->
+      let r = Barrier.solve ~options p x0 in
+      Optimal
+        {
+          x = r.Barrier.x;
+          objective_value = r.Barrier.objective_value;
+          dual = r.Barrier.dual;
+          gap = r.Barrier.gap;
+          kkt = Kkt.residuals p r.Barrier.x r.Barrier.dual;
+          outer_iterations = r.Barrier.outer_iterations;
+          newton_iterations = r.Barrier.newton_iterations;
+        }
+
+let pp_status ppf = function
+  | Optimal s ->
+      Format.fprintf ppf "optimal: obj=%.6g gap=%.2e (%a)" s.objective_value
+        s.gap Kkt.pp s.kkt
+  | Infeasible worst ->
+      Format.fprintf ppf "infeasible (best max g = %.3e)" worst

@@ -1,0 +1,32 @@
+(** Two-phase convex solver: the top-level entry point.
+
+    Runs phase-I feasibility ({!Phase1}) when the supplied starting
+    point is not already strictly feasible, then the log-barrier method
+    ({!Barrier}), and reports the outcome with a KKT certificate.  This
+    is the function the Pro-Temp offline phase calls for every
+    [(tstart, ftarget)] design point. *)
+
+open Linalg
+
+type solution = {
+  x : Vec.t;
+  objective_value : float;
+  dual : Vec.t;
+  gap : float;  (** Guaranteed duality-gap bound. *)
+  kkt : Kkt.residuals;
+  outer_iterations : int;
+  newton_iterations : int;
+}
+
+type status =
+  | Optimal of solution
+  | Infeasible of float
+      (** Phase I could not find a strictly feasible point; payload is
+          the best achieved [max_j f_j]. *)
+
+val solve :
+  ?options:Barrier.options -> ?start:Vec.t -> Barrier.problem -> status
+(** [solve p] solves [p].  [start] is a hint (defaults to the origin);
+    it need not be feasible. *)
+
+val pp_status : Format.formatter -> status -> unit

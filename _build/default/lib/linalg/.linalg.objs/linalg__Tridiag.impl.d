@@ -1,0 +1,1 @@
+lib/linalg/tridiag.ml: Array Stdlib Vec

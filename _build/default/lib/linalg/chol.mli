@@ -1,0 +1,37 @@
+(** Cholesky factorization of symmetric positive-definite matrices.
+
+    Used by the interior-point solver for Newton systems (whose KKT
+    Hessians are SPD on the barrier's domain) and by the thermal
+    steady-state solver.  A jittered variant handles Hessians that are
+    only positive semidefinite up to rounding. *)
+
+exception Not_positive_definite of int
+(** Raised when a diagonal pivot is non-positive; the payload is the
+    offending index. *)
+
+type t
+(** A factorization [A = L * L^T] with [L] lower-triangular. *)
+
+val factorize : Mat.t -> t
+(** Factorize a symmetric positive-definite matrix.  Only the lower
+    triangle of the input is read.  Raises {!Not_positive_definite}
+    if a pivot fails. *)
+
+val factorize_jittered :
+  ?initial:float -> ?growth:float -> ?max_tries:int -> Mat.t -> t * float
+(** [factorize_jittered a] tries [factorize a]; on failure it retries
+    with [a + jitter*I], growing [jitter] geometrically from [initial]
+    (default [1e-10] scaled by the diagonal magnitude) by [growth]
+    (default [10.0]) up to [max_tries] (default [20]) times.  Returns
+    the factorization and the jitter that succeeded ([0.0] if none was
+    needed).  Raises {!Not_positive_definite} if all attempts fail. *)
+
+val solve_factorized : t -> Vec.t -> Vec.t
+
+val solve : Mat.t -> Vec.t -> Vec.t
+
+val lower : t -> Mat.t
+(** The lower-triangular factor [L]. *)
+
+val log_det : t -> float
+(** [log det A], computed stably from the factor diagonal. *)

@@ -1,0 +1,28 @@
+(** LU factorization with partial pivoting, and the direct solvers
+    built on it. *)
+
+exception Singular of int
+(** Raised when a (near-)zero pivot is met; the payload is the
+    elimination column. *)
+
+type t
+(** A factorization [P*A = L*U] of a square matrix [A]. *)
+
+val factorize : ?pivot_tol:float -> Mat.t -> t
+(** Factorize a square matrix.  Raises {!Singular} if a pivot has
+    absolute value below [pivot_tol] (default [1e-13] scaled by the
+    matrix infinity norm). *)
+
+val solve_factorized : t -> Vec.t -> Vec.t
+(** Solve [A x = b] reusing a factorization. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** One-shot [A x = b]. *)
+
+val solve_many : Mat.t -> Vec.t list -> Vec.t list
+(** Solve against several right-hand sides with one factorization. *)
+
+val inverse : Mat.t -> Mat.t
+
+val det : Mat.t -> float
+(** Determinant via the factorization; [0.0] for singular input. *)

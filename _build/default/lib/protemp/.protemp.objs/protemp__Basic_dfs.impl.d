@@ -1,0 +1,1 @@
+lib/protemp/basic_dfs.ml: Float Linalg Printf Queue Sim Vec

@@ -1,0 +1,1 @@
+lib/protemp/basic_dfs.mli: Sim

@@ -1,0 +1,1 @@
+lib/protemp/controller.ml: Linalg Sim Table Vec

@@ -1,0 +1,1 @@
+lib/protemp/controller.mli: Sim Table

@@ -1,0 +1,1 @@
+lib/protemp/guarantee.ml: Array Float Linalg Sim Spec Table Thermal Vec

@@ -1,0 +1,1 @@
+lib/protemp/guarantee.mli: Linalg Sim Spec Table Vec

@@ -1,0 +1,1 @@
+lib/protemp/ladder.ml: Array Float Linalg List Table Vec

@@ -1,0 +1,1 @@
+lib/protemp/ladder.mli: Linalg Table Vec

@@ -1,0 +1,1 @@
+lib/protemp/model.ml: Array Convex Float Linalg List Mat Option Quad Sim Spec Thermal Vec

@@ -1,0 +1,1 @@
+lib/protemp/model.mli: Convex Linalg Sim Spec Vec

@@ -1,0 +1,1 @@
+lib/protemp/no_tc.ml: Sim

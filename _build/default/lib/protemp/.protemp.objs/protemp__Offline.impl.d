@@ -1,0 +1,1 @@
+lib/protemp/offline.ml: Array Linalg Model Table Unix

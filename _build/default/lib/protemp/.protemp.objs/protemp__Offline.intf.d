@@ -1,0 +1,1 @@
+lib/protemp/offline.mli: Convex Model Sim Spec Table

@@ -1,0 +1,1 @@
+lib/protemp/online.ml: Array Float Hashtbl Linalg Model Option Printf Sim Table Thermal Vec

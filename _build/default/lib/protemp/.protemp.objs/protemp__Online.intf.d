@@ -1,0 +1,1 @@
+lib/protemp/online.mli: Convex Sim Spec Table

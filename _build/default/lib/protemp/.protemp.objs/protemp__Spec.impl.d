@@ -1,0 +1,1 @@
+lib/protemp/spec.ml:

@@ -1,0 +1,1 @@
+lib/protemp/table.ml: Array Buffer Format Linalg List Printf Stdlib String Vec

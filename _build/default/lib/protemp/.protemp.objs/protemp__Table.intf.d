@@ -1,0 +1,1 @@
+lib/protemp/table.mli: Format Linalg Vec

@@ -1,0 +1,29 @@
+open Linalg
+
+let create ?(threshold = 90.0) ?(lag_periods = 1) ~fmax () =
+  if lag_periods < 0 then invalid_arg "Basic_dfs.create: negative lag";
+  (* The reactive loop acts on the reading it sampled [lag_periods]
+     management intervals ago — the sensing/actuation delay the paper
+     blames for Fig. 1's overshoot ("the cores operate for a long
+     period above the maximum allowable temperature, before the
+     frequency scaling takes place").  [history] is a FIFO of past
+     readings. *)
+  let history = Queue.create () in
+  {
+    Sim.Policy.controller_name =
+      Printf.sprintf "basic-dfs@%.0fC(lag %d)" threshold lag_periods;
+    decide =
+      (fun obs ->
+        let current = Vec.copy obs.Sim.Policy.core_temperatures in
+        Queue.push current history;
+        let effective =
+          if Queue.length history > lag_periods then Queue.pop history
+          else Queue.peek history
+        in
+        let wanted =
+          Float.min fmax (Float.max 0.0 obs.Sim.Policy.required_frequency)
+        in
+        Vec.map
+          (fun temp -> if temp >= threshold then 0.0 else wanted)
+          effective);
+  }

@@ -1,0 +1,21 @@
+(** The paper's Basic-DFS baseline (reactive thermal management).
+
+    Frequencies are matched to the application performance level; when
+    a core has been seen at or above the threshold temperature it is
+    shut down "for the time-period until the next DFS is applied".
+
+    Reactive control reacts late by construction — the paper: "the
+    cores operate for a long period above the maximum allowable
+    temperature, before the frequency scaling takes place" (its Fig. 1
+    shows excursions to ~125 degrees against a 90-degree trigger).
+    [lag_periods] models that sensing/actuation delay: decisions use
+    the reading sampled that many management intervals earlier.
+    [lag_periods = 0] is an idealized instant-reacting governor (still
+    unable to prevent within-window overshoot). *)
+
+val create :
+  ?threshold:float -> ?lag_periods:int -> fmax:float -> unit ->
+  Sim.Policy.controller
+(** [threshold] defaults to the paper's 90 degrees; [lag_periods]
+    defaults to 1.  Note the returned controller is stateful (it keeps
+    the reading history), so create a fresh one per simulation run. *)

@@ -1,0 +1,21 @@
+open Linalg
+
+let name = "pro-temp"
+
+let create ~table =
+  {
+    Sim.Policy.controller_name = name;
+    decide =
+      (fun obs ->
+        let n = Vec.dim obs.Sim.Policy.core_temperatures in
+        match
+          Table.lookup table
+            ~temperature:obs.Sim.Policy.max_core_temperature
+            ~required:obs.Sim.Policy.required_frequency
+        with
+        | Some frequencies ->
+            if Vec.dim frequencies <> n then
+              invalid_arg "Protemp.Controller: table core count mismatch";
+            frequencies
+        | None -> Vec.zeros n);
+  }

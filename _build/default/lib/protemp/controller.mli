@@ -1,0 +1,14 @@
+(** Phase 2 (run time): the Pro-Temp DFS controller.
+
+    Each DFS period it reads the maximum core temperature and the
+    required average frequency from the engine's observation, and
+    answers the precomputed frequency vector from the table.  When no
+    table entry supports the situation (hotter than every row, or no
+    feasible column) it stops the cores for one window — the
+    conservative action the guarantee needs. *)
+
+val create : table:Table.t -> Sim.Policy.controller
+(** The controller is stateless; one table can drive many runs. *)
+
+val name : string
+(** "pro-temp". *)

@@ -1,0 +1,52 @@
+open Linalg
+
+type t = { levels : float array (* ascending, positive *) }
+
+let make = function
+  | [] -> invalid_arg "Ladder.make: empty ladder"
+  | levels ->
+      List.iter
+        (fun f ->
+          if f <= 0.0 then invalid_arg "Ladder.make: non-positive level")
+        levels;
+      { levels = Array.of_list (List.sort_uniq Float.compare levels) }
+
+let uniform ~fmax ~levels =
+  if levels < 1 then invalid_arg "Ladder.uniform: need at least one level";
+  if fmax <= 0.0 then invalid_arg "Ladder.uniform: non-positive fmax";
+  make
+    (List.init levels (fun i ->
+         fmax *. float_of_int (i + 1) /. float_of_int levels))
+
+let levels t = Array.copy t.levels
+
+let floor t f =
+  (* Largest level <= f, by binary search. *)
+  let n = Array.length t.levels in
+  if n = 0 || f < t.levels.(0) then 0.0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.levels.(mid) <= f then lo := mid else hi := mid - 1
+    done;
+    t.levels.(!lo)
+  end
+
+let quantize_down t v = Vec.map (floor t) v
+
+let quantize_table t table =
+  let tstarts = Table.tstarts table in
+  let ftargets = Table.ftargets table in
+  let cells =
+    Array.mapi
+      (fun i _ ->
+        Array.mapi
+          (fun j _ ->
+            match Table.cell table i j with
+            | Table.Infeasible -> Table.Infeasible
+            | Table.Frequencies f -> Table.Frequencies (quantize_down t f))
+          ftargets)
+      tstarts
+  in
+  Table.make ~tstarts ~ftargets cells

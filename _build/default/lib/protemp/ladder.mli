@@ -1,0 +1,36 @@
+(** Discrete DVFS operating points.
+
+    Real platforms expose a ladder of frequency levels rather than a
+    continuum (the paper's Fig. 4 table stores values like 80 and
+    120 MHz).  Quantizing a Pro-Temp table {e downward} onto a ladder
+    preserves the thermal guarantee — lower frequencies mean lower
+    power, and temperatures are monotone in power — at the cost of up
+    to one ladder step of delivered throughput below the column's
+    nominal target. *)
+
+open Linalg
+
+type t
+
+val make : float list -> t
+(** Build a ladder from the available frequencies (Hz).  Duplicates
+    are merged; raises [Invalid_argument] on an empty list or
+    non-positive levels.  A stopped core (0 Hz) is always available
+    and need not be listed. *)
+
+val uniform : fmax:float -> levels:int -> t
+(** [levels] evenly spaced points [fmax/levels, ..., fmax]. *)
+
+val levels : t -> float array
+(** Ascending. *)
+
+val floor : t -> float -> float
+(** The largest level at or below the given frequency; [0.0] (core
+    off) when even the lowest level is above it. *)
+
+val quantize_down : t -> Vec.t -> Vec.t
+(** Per-core {!floor}. *)
+
+val quantize_table : t -> Table.t -> Table.t
+(** Round every feasible cell's frequencies down onto the ladder.
+    The result drives {!Controller.create} unchanged. *)

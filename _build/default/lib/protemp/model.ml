@@ -1,0 +1,411 @@
+open Linalg
+open Convex
+
+type layout = {
+  dim : int;
+  n_cores : int;
+  f_offset : int;
+  n_f : int;
+  p_offset : int;
+  n_p : int;
+  bounds_offset : int option;
+}
+
+type built = {
+  problem : Convex.Barrier.problem;
+  layout : layout;
+  spec : Spec.t;
+  initial_temperatures : Vec.t;
+  ftarget : float;
+  steps : int;
+  machine : Sim.Machine.t;
+}
+
+let make_layout (spec : Spec.t) ~n_cores =
+  let n_f = match spec.Spec.variant with Spec.Uniform -> 1 | Spec.Variable -> n_cores in
+  let n_p = n_f in
+  let base = 2 * n_f in
+  let with_grad = spec.Spec.gradient <> None in
+  {
+    dim = (if with_grad then base + 2 else base);
+    n_cores;
+    f_offset = 0;
+    n_f;
+    p_offset = n_f;
+    n_p;
+    bounds_offset = (if with_grad then Some base else None);
+  }
+
+(* Affine coefficient of normalized core power j on the temperature of
+   node [node] at step [k] is  S_k[node, core_j] * b[core_j] * pmax,
+   where S_k = sum_{l<k} A^l.  We accumulate S_k step by step and emit
+   constraints at the stride points. *)
+
+let stride_steps ~steps ~stride =
+  let rec go k acc =
+    if k > steps then acc else go (k + stride) (k :: acc)
+  in
+  let ks = go stride [] in
+  (* Always constrain the end of the window. *)
+  if List.mem steps ks then ks else steps :: ks
+
+(* [purpose] selects the objective and whether the throughput floor is
+   imposed:
+   - [`Power ftarget]: the paper's Eq. 3/5 — minimize power subject to
+     the average-frequency floor;
+   - [`Frontier]: maximize the total frequency subject to the same
+     thermal envelope (no floor) — used both to compute the
+     feasibility frontier (Fig. 9) and as a structural phase I: any
+     iterate whose total frequency exceeds the floor is strictly
+     feasible for the power problem. *)
+let build_internal ~machine ~(spec : Spec.t) ~t0 ~purpose =
+  Spec.validate spec;
+  let fmax = machine.Sim.Machine.fmax in
+  let pmax = machine.Sim.Machine.core_pmax in
+  let ftarget = match purpose with `Power f -> f | `Frontier -> 0.0 in
+  if ftarget < 0.0 || ftarget > fmax then
+    invalid_arg "Model.build: ftarget outside [0, fmax]";
+  let thermal = machine.Sim.Machine.thermal in
+  let dt = thermal.Thermal.Rc_model.dt in
+  let steps = int_of_float (Float.round (spec.Spec.dfs_period /. dt)) in
+  if steps < 1 then invalid_arg "Model.build: window below one thermal step";
+  let n_nodes = machine.Sim.Machine.n_nodes in
+  let n_cores = machine.Sim.Machine.n_cores in
+  let core_nodes = machine.Sim.Machine.core_nodes in
+  let layout = make_layout spec ~n_cores in
+  let dim = layout.dim in
+  let ftarget_hat = ftarget /. fmax in
+  let constraints = ref [] in
+  let add c = constraints := c :: !constraints in
+  (* Power law and box constraints. *)
+  for j = 0 to layout.n_f - 1 do
+    let f_var = Quad.linear_coord dim (layout.f_offset + j) 1.0 in
+    let p_var = Quad.linear_coord dim (layout.p_offset + j) 1.0 in
+    (* f^2 - p <= 0 *)
+    add
+      (Quad.add
+         (Quad.square_of_affine (Quad.linear_part f_var) 0.0)
+         (Quad.scale (-1.0) p_var));
+    (* 0 <= f <= 1.002 and 0 <= p <= 1.005: the upper boxes are
+       relaxed a fraction of a percent so that a demand of exactly
+       fmax keeps a strict interior for the barrier; extraction clamps
+       back to fmax, which only lowers power, so the thermal guarantee
+       (computed at the relaxed powers) still holds. *)
+    add (Quad.scale (-1.0) f_var);
+    add (Quad.add_constant f_var (-1.002));
+    (* 0 <= p <= 1.005 *)
+    add (Quad.scale (-1.0) p_var);
+    add (Quad.add_constant p_var (-1.005))
+  done;
+  (* Throughput: sum over cores of f >= n_cores * ftarget_hat.  In the
+     uniform variant the single f counts n_cores times. *)
+  let total_f_coeffs =
+    let q = Vec.zeros dim in
+    (match spec.Spec.variant with
+    | Spec.Variable ->
+        for j = 0 to layout.n_f - 1 do
+          q.(layout.f_offset + j) <- -1.0
+        done
+    | Spec.Uniform -> q.(layout.f_offset) <- -.float_of_int n_cores);
+    q
+  in
+  (match purpose with
+  | `Power _ ->
+      add
+        (Quad.affine total_f_coeffs (float_of_int n_cores *. ftarget_hat))
+  | `Frontier -> ());
+  (* Base trajectory: the window with zero core power (fixed non-core
+     power only), from the uniform start temperature. *)
+  if Vec.dim t0 <> n_nodes then
+    invalid_arg "Model.build: initial temperature profile length mismatch";
+  let base_traj =
+    let traj =
+      Thermal.Transient.simulate thermal ~t0 ~steps ~power:(fun _ ->
+          machine.Sim.Machine.fixed_power)
+    in
+    traj.Thermal.Transient.temperatures
+  in
+  (* Thermal constraints: accumulate S_k and A^k. *)
+  let ks = stride_steps ~steps ~stride:spec.Spec.constraint_stride in
+  let ks = List.sort_uniq compare ks in
+  let tmax = spec.Spec.tmax in
+  let b = thermal.Thermal.Rc_model.injection in
+  let grad_rows = ref [] in
+  let s_k = ref (Mat.zeros n_nodes n_nodes) in
+  let a_pow = ref (Mat.identity n_nodes) in
+  let next_ks = ref ks in
+  for k = 1 to steps do
+    (* S_k = S_{k-1} + A^{k-1} *)
+    Mat.add_into ~dst:!s_k !a_pow;
+    a_pow := Mat.matmul thermal.Thermal.Rc_model.step !a_pow;
+    match !next_ks with
+    | k' :: rest when k' = k ->
+        next_ks := rest;
+        for node = 0 to n_nodes - 1 do
+          (* Coefficients of normalized core powers on this node. *)
+          let q = Vec.zeros dim in
+          (match spec.Spec.variant with
+          | Spec.Variable ->
+              Array.iteri
+                (fun j cn ->
+                  q.(layout.p_offset + j) <-
+                    Mat.get !s_k node cn *. b.(cn) *. pmax)
+                core_nodes
+          | Spec.Uniform ->
+              let acc = ref 0.0 in
+              Array.iter
+                (fun cn -> acc := !acc +. (Mat.get !s_k node cn *. b.(cn)))
+                core_nodes;
+              q.(layout.p_offset) <- !acc *. pmax);
+          let base = Mat.get base_traj k node in
+          (* base + q.p <= tmax, stated in units of tmax so every
+             constraint family has O(1) coefficients (the barrier's
+             Newton systems are ill-conditioned otherwise). *)
+          add
+            (Quad.affine
+               (Vec.scale (1.0 /. tmax) q)
+               ((base -. tmax) /. tmax));
+          (* Gradient bookkeeping (core nodes only). *)
+          if
+            layout.bounds_offset <> None
+            && Array.exists (fun cn -> cn = node) core_nodes
+          then grad_rows := (q, base) :: !grad_rows
+        done
+    | _ :: _ | [] -> ()
+  done;
+  (* Gradient variant: t_{k,i}/tmax in [l, u] for all core rows, plus
+     bounds keeping phase I bounded and the optional hard cap. *)
+  (match (layout.bounds_offset, spec.Spec.gradient) with
+  | Some off, Some g ->
+      let u = off and l = off + 1 in
+      List.iter
+        (fun (q, base) ->
+          (* q.p/tmax + base/tmax - u <= 0 *)
+          let qu = Vec.scale (1.0 /. tmax) q in
+          qu.(u) <- -1.0;
+          add (Quad.affine qu (base /. tmax));
+          (* l - q.p/tmax - base/tmax <= 0 *)
+          let ql = Vec.scale (-1.0 /. tmax) q in
+          ql.(l) <- 1.0;
+          add (Quad.affine ql (-.base /. tmax)))
+        !grad_rows;
+      (* 0 <= l, u <= 2, l <= u *)
+      add (Quad.linear_coord dim l (-1.0));
+      add (Quad.add_constant (Quad.linear_coord dim u 1.0) (-2.0));
+      let l_le_u = Vec.zeros dim in
+      l_le_u.(l) <- 1.0;
+      l_le_u.(u) <- -1.0;
+      add (Quad.affine l_le_u 0.0);
+      (match g.Spec.cap with
+      | Some cap ->
+          let spread = Vec.zeros dim in
+          spread.(u) <- 1.0;
+          spread.(l) <- -1.0;
+          add (Quad.affine spread (-.cap /. tmax))
+      | None -> ())
+  | None, None -> ()
+  | Some _, None | None, Some _ -> assert false);
+  (* Objective: total normalized power plus the weighted spread
+     (Eq. 3/5), or minus the total frequency for the frontier
+     problem. *)
+  let objective =
+    match purpose with
+    | `Frontier -> Quad.affine total_f_coeffs 0.0
+    | `Power _ ->
+        let q = Vec.zeros dim in
+        for j = 0 to layout.n_p - 1 do
+          q.(layout.p_offset + j) <-
+            (match spec.Spec.variant with
+            | Spec.Variable -> 1.0
+            | Spec.Uniform -> float_of_int n_cores)
+        done;
+        (match (layout.bounds_offset, spec.Spec.gradient) with
+        | Some off, Some g ->
+            q.(off) <- g.Spec.weight;
+            q.(off + 1) <- -.g.Spec.weight
+        | None, _ | _, None -> ());
+        Quad.affine q 0.0
+  in
+  {
+    problem =
+      {
+        Convex.Barrier.objective;
+        constraints = Array.of_list (List.rev !constraints);
+      };
+    layout;
+    spec;
+    initial_temperatures = Vec.copy t0;
+    ftarget;
+    steps;
+    machine;
+  }
+
+let uniform_t0 machine tstart =
+  Vec.create machine.Sim.Machine.n_nodes tstart
+
+let build ~machine ~spec ~tstart ~ftarget =
+  build_internal ~machine ~spec ~t0:(uniform_t0 machine tstart)
+    ~purpose:(`Power ftarget)
+
+let build_frontier ~machine ~spec ~tstart =
+  build_internal ~machine ~spec ~t0:(uniform_t0 machine tstart)
+    ~purpose:`Frontier
+
+let build_with_profile ~machine ~spec ~t0 ~ftarget =
+  build_internal ~machine ~spec ~t0 ~purpose:(`Power ftarget)
+
+let build_frontier_with_profile ~machine ~spec ~t0 =
+  build_internal ~machine ~spec ~t0 ~purpose:`Frontier
+
+let with_gradient_bounds layout x =
+  (match layout.bounds_offset with
+  | Some off ->
+      x.(off) <- 1.5;
+      x.(off + 1) <- 0.01
+  | None -> ());
+  x
+
+let start_hint built =
+  let layout = built.layout in
+  let fmax = built.machine.Sim.Machine.fmax in
+  let fhat = Float.min 1.0015 (built.ftarget /. fmax +. 0.001) in
+  let x = Vec.zeros layout.dim in
+  for j = 0 to layout.n_f - 1 do
+    x.(layout.f_offset + j) <- fhat;
+    x.(layout.p_offset + j) <- Float.min 1.0045 ((fhat *. fhat) +. 0.001)
+  done;
+  with_gradient_bounds layout x
+
+let trivial_start built =
+  let layout = built.layout in
+  let x = Vec.zeros layout.dim in
+  for j = 0 to layout.n_f - 1 do
+    x.(layout.f_offset + j) <- 1e-3;
+    x.(layout.p_offset + j) <- 1e-3
+  done;
+  with_gradient_bounds layout x
+
+type solution = {
+  frequencies : Vec.t;
+  core_powers : Vec.t;
+  total_power : float;
+  gradient_spread : float option;
+  raw : Convex.Solve.solution;
+}
+
+type outcome = Feasible of solution | Infeasible
+
+let expand built per_var =
+  (* Uniform solutions carry one value for all cores. *)
+  match built.spec.Spec.variant with
+  | Spec.Variable -> Vec.copy per_var
+  | Spec.Uniform -> Vec.create built.layout.n_cores per_var.(0)
+
+let solution_of_x built (raw : Convex.Solve.solution) =
+  let layout = built.layout in
+  let x = raw.Convex.Solve.x in
+  let fmax = built.machine.Sim.Machine.fmax in
+  let pmax = built.machine.Sim.Machine.core_pmax in
+  let clamp1 v = Vec.map (fun a -> Float.min 1.0 (Float.max 0.0 a)) v in
+  let fhat = clamp1 (Vec.slice x layout.f_offset layout.n_f) in
+  let phat = clamp1 (Vec.slice x layout.p_offset layout.n_p) in
+  let frequencies = Vec.scale fmax (expand built fhat) in
+  let core_powers = Vec.scale pmax (expand built phat) in
+  let gradient_spread =
+    Option.map
+      (fun off -> (x.(off) -. x.(off + 1)) *. built.spec.Spec.tmax)
+      layout.bounds_offset
+  in
+  {
+    frequencies;
+    core_powers;
+    total_power = Vec.sum core_powers;
+    gradient_spread;
+    raw;
+  }
+
+let total_fhat built x =
+  let layout = built.layout in
+  let acc = ref 0.0 in
+  for j = 0 to layout.n_f - 1 do
+    acc := !acc +. x.(layout.f_offset + j)
+  done;
+  match built.spec.Spec.variant with
+  | Spec.Variable -> !acc
+  | Spec.Uniform -> float_of_int layout.n_cores *. !acc
+
+let solve_frontier ?options built =
+  let start = trivial_start built in
+  if not (Convex.Barrier.is_strictly_feasible built.problem start) then
+    (* Even (near-)zero frequencies overheat: the start temperature is
+       already out of the envelope. *)
+    Infeasible
+  else
+    let r = Convex.Barrier.solve ?options built.problem start in
+    let raw =
+      {
+        Convex.Solve.x = r.Convex.Barrier.x;
+        objective_value = r.Convex.Barrier.objective_value;
+        dual = r.Convex.Barrier.dual;
+        gap = r.Convex.Barrier.gap;
+        kkt =
+          Convex.Kkt.residuals built.problem r.Convex.Barrier.x
+            r.Convex.Barrier.dual;
+        outer_iterations = r.Convex.Barrier.outer_iterations;
+        newton_iterations = r.Convex.Barrier.newton_iterations;
+      }
+    in
+    Feasible (solution_of_x built raw)
+
+(* Structural phase I: instead of the generic auxiliary problem (whose
+   centering is fragile on thousands of near-parallel rows), maximize
+   the total frequency under the same envelope, stopping as soon as
+   the throughput floor is strictly cleared.  A frontier iterate that
+   clears the floor is strictly feasible for the power problem. *)
+let feasible_start_via_frontier ?options built =
+  let needed =
+    float_of_int built.layout.n_cores *. built.ftarget
+    /. built.machine.Sim.Machine.fmax
+  in
+  let frontier =
+    build_internal ~machine:built.machine ~spec:built.spec
+      ~t0:built.initial_temperatures ~purpose:`Frontier
+  in
+  let start = trivial_start frontier in
+  if not (Convex.Barrier.is_strictly_feasible frontier.problem start) then
+    None
+  else
+    let stop_early x = total_fhat frontier x > needed +. 1e-7 in
+    let r = Convex.Barrier.solve ?options ~stop_early frontier.problem start in
+    if total_fhat frontier r.Convex.Barrier.x > needed then
+      Some r.Convex.Barrier.x
+    else None
+
+let solve ?options built =
+  let hint = start_hint built in
+  let start =
+    if Convex.Barrier.is_strictly_feasible built.problem hint then Some hint
+    else feasible_start_via_frontier ?options built
+  in
+  match start with
+  | None -> Infeasible
+  | Some start -> (
+      match Convex.Solve.solve ?options ~start built.problem with
+      | Convex.Solve.Optimal raw -> Feasible (solution_of_x built raw)
+      | Convex.Solve.Infeasible _ -> Infeasible)
+
+let predicted_peak built frequencies =
+  let machine = built.machine in
+  if Vec.dim frequencies <> machine.Sim.Machine.n_cores then
+    invalid_arg "Model.predicted_peak: need one frequency per core";
+  let power =
+    Sim.Machine.power_vector machine ~frequencies
+      ~busy:(Array.make machine.Sim.Machine.n_cores true)
+  in
+  let thermal = machine.Sim.Machine.thermal in
+  let t0 = built.initial_temperatures in
+  let traj =
+    Thermal.Transient.simulate thermal ~t0 ~steps:built.steps ~power:(fun _ ->
+        power)
+  in
+  Thermal.Transient.peak traj

@@ -1,0 +1,113 @@
+(** Construction of the paper's convex models (Eqs. 3-5).
+
+    For a starting temperature [tstart] and a target average frequency
+    [ftarget], builds the program
+
+    {v
+      minimize    sum_i p_i            (+ weight * tgrad, Eq. 5)
+      subject to  t_{0,i}   = tstart
+                  t_{k+1,i} = t_{k,i} + sum_j a_ij (t_kj - t_ki) + b_i p_i
+                  t_{k,i}  <= tmax                  for all steps k, nodes i
+                  pmax f_i^2 / fmax^2 <= p_i        (Eq. 2)
+                  sum_i f_i >= n ftarget
+                  0 <= f_i <= fmax
+                  (gradient variant: t_{k,i} - t_{k,j} <= tgrad)
+    v}
+
+    Because the frequencies are held for the whole window, the
+    temperature at step [k] is an {e affine} function of the power
+    vector; the recurrence is eliminated up front, leaving one linear
+    constraint per (step, node) pair, quadratic power-law constraints
+    and a linear objective — a convex QCQP solved by {!Convex.Solve}.
+    The gradient term is encoded with two auxiliary variables
+    [u >= t_{k,i}/tmax >= l] ranging over all steps and cores, so
+    [u - l] bounds the spread across the whole window; this dominates
+    the paper's per-instant pairwise spread (Eq. 4) — a conservative
+    over-approximation — while needing O(mn) instead of O(mn^2)
+    constraints.
+
+    Variables are normalized ([f/fmax], [p/pmax], [t/tmax]) so the
+    barrier solver operates on a well-conditioned unit box. *)
+
+open Linalg
+
+type layout = {
+  dim : int;
+  n_cores : int;
+  f_offset : int;  (** Index of the first frequency variable. *)
+  n_f : int;  (** 1 for the uniform variant, [n_cores] otherwise. *)
+  p_offset : int;
+  n_p : int;
+  bounds_offset : int option;
+      (** Index of [(u, l)] when the gradient term is enabled. *)
+}
+
+type built = {
+  problem : Convex.Barrier.problem;
+  layout : layout;
+  spec : Spec.t;
+  initial_temperatures : Vec.t;
+      (** Per-node start temperatures (uniform [tstart] for table
+          cells; a measured profile for the online controller). *)
+  ftarget : float;  (** Hz. *)
+  steps : int;  (** Thermal steps in the window ([m] in the paper). *)
+  machine : Sim.Machine.t;
+}
+
+val build :
+  machine:Sim.Machine.t -> spec:Spec.t -> tstart:float -> ftarget:float ->
+  built
+(** Raises [Invalid_argument] for [ftarget] outside [[0, fmax]] or a
+    window shorter than one thermal step. *)
+
+val build_frontier :
+  machine:Sim.Machine.t -> spec:Spec.t -> tstart:float -> built
+(** The companion problem: maximize the total frequency under the same
+    thermal envelope (no throughput floor).  Its optimum is the
+    feasibility frontier of {!build} over [ftarget] — the Fig. 9
+    curve — and its per-core split is the Fig. 10 data. *)
+
+val build_with_profile :
+  machine:Sim.Machine.t -> spec:Spec.t -> t0:Vec.t -> ftarget:float -> built
+(** Like {!build} but from a full per-node temperature profile, for
+    controllers that re-solve online with measured temperatures. *)
+
+val build_frontier_with_profile :
+  machine:Sim.Machine.t -> spec:Spec.t -> t0:Vec.t -> built
+
+val start_hint : built -> Vec.t
+(** A point that satisfies the power-law, box and throughput
+    constraints (thermal feasibility still depends on [tstart]); lets
+    the solver skip phase I whenever the instance is thermally
+    easy. *)
+
+val trivial_start : built -> Vec.t
+(** Near-zero frequencies: strictly feasible for {!build_frontier}
+    whenever the start temperature is inside the envelope at all. *)
+
+type solution = {
+  frequencies : Vec.t;  (** Per-core, Hz (expanded for uniform). *)
+  core_powers : Vec.t;  (** Per-core, W. *)
+  total_power : float;  (** W. *)
+  gradient_spread : float option;
+      (** [u - l] in degrees, when the gradient term is on. *)
+  raw : Convex.Solve.solution;
+}
+
+type outcome = Feasible of solution | Infeasible
+
+val solve : ?options:Convex.Barrier.options -> built -> outcome
+(** Solve an Eq. 3/5 instance.  Feasibility is established
+    structurally: if the warm-start hint is not strictly feasible, the
+    frontier problem is driven until the throughput floor is cleared
+    (or shown unreachable), side-stepping the generic phase I. *)
+
+val solve_frontier : ?options:Convex.Barrier.options -> built -> outcome
+(** Solve a {!build_frontier} instance; the returned solution's
+    [frequencies] sum to the maximal supportable total. *)
+
+val predicted_peak : built -> Vec.t -> float
+(** Peak temperature over the window (any node, any step) when the
+    cores run busy at the given per-core frequencies from [tstart] —
+    i.e. what the model believes; used to verify solutions against the
+    simulator. *)

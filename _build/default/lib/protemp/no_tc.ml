@@ -1,0 +1,1 @@
+let create ~fmax = Sim.Policy.workload_following ~fmax

@@ -1,0 +1,4 @@
+(** The paper's No-TC reference: frequencies follow the application
+    performance level, with no temperature control at all. *)
+
+val create : fmax:float -> Sim.Policy.controller

@@ -1,0 +1,55 @@
+let default_tstarts = [| 27.0; 30.0; 40.0; 50.0; 60.0; 70.0; 80.0; 90.0; 100.0 |]
+
+let default_ftargets =
+  Array.init 10 (fun i -> float_of_int (i + 1) *. 100.0 *. 1e6)
+
+type progress = {
+  tstart : float;
+  ftarget : float;
+  outcome : [ `Feasible | `Infeasible | `Pruned ];
+  seconds : float;
+}
+
+let solve_point ?options ~machine ~spec ~tstart ~ftarget () =
+  Model.solve ?options (Model.build ~machine ~spec ~tstart ~ftarget)
+
+let sweep ?options ?(tstarts = default_tstarts)
+    ?(ftargets = default_ftargets) ?on_progress ~machine ~spec () =
+  let report p = match on_progress with Some f -> f p | None -> () in
+  let cells =
+    Array.map
+      (fun tstart ->
+        let infeasible_from = ref None in
+        Array.map
+          (fun ftarget ->
+            match !infeasible_from with
+            | Some f0 when ftarget >= f0 ->
+                report { tstart; ftarget; outcome = `Pruned; seconds = 0.0 };
+                Table.Infeasible
+            | Some _ | None -> (
+                let t0 = Unix.gettimeofday () in
+                match solve_point ?options ~machine ~spec ~tstart ~ftarget () with
+                | Model.Feasible s ->
+                    report
+                      { tstart; ftarget; outcome = `Feasible;
+                        seconds = Unix.gettimeofday () -. t0 };
+                    Table.Frequencies s.Model.frequencies
+                | Model.Infeasible ->
+                    infeasible_from := Some ftarget;
+                    report
+                      { tstart; ftarget; outcome = `Infeasible;
+                        seconds = Unix.gettimeofday () -. t0 };
+                    Table.Infeasible))
+          ftargets)
+      tstarts
+  in
+  Table.make ~tstarts ~ftargets cells
+
+let frontier_point ?options ~machine ~spec ~tstart () =
+  Model.solve_frontier ?options (Model.build_frontier ~machine ~spec ~tstart)
+
+let max_feasible_ftarget ?options ~machine ~spec ~tstart () =
+  match frontier_point ?options ~machine ~spec ~tstart () with
+  | Model.Feasible s ->
+      Some (Linalg.Vec.mean s.Model.frequencies)
+  | Model.Infeasible -> None

@@ -1,0 +1,62 @@
+(** Phase 1 (design time): sweep the design space and build the table.
+
+    For every grid point [(tstart, ftarget)] the convex model is
+    solved and the optimal frequency vector stored.  Infeasibility is
+    monotone (hotter starts and higher targets are both harder), which
+    prunes the sweep: once a column is infeasible for a row, all
+    higher columns are too, and the check is skipped. *)
+
+
+val default_tstarts : float array
+(** 30..100 in steps of 10 (plus the 27 ambient row). *)
+
+val default_ftargets : float array
+(** 100 MHz..1 GHz in steps of 100 MHz. *)
+
+type progress = {
+  tstart : float;
+  ftarget : float;
+  outcome : [ `Feasible | `Infeasible | `Pruned ];
+  seconds : float;
+}
+
+val sweep :
+  ?options:Convex.Barrier.options ->
+  ?tstarts:float array ->
+  ?ftargets:float array ->
+  ?on_progress:(progress -> unit) ->
+  machine:Sim.Machine.t ->
+  spec:Spec.t ->
+  unit ->
+  Table.t
+
+val frontier_point :
+  ?options:Convex.Barrier.options ->
+  machine:Sim.Machine.t ->
+  spec:Spec.t ->
+  tstart:float ->
+  unit ->
+  Model.outcome
+(** Solve the max-throughput problem at one starting temperature; the
+    solution's per-core frequencies are the Fig. 10 data. *)
+
+val max_feasible_ftarget :
+  ?options:Convex.Barrier.options ->
+  machine:Sim.Machine.t ->
+  spec:Spec.t ->
+  tstart:float ->
+  unit ->
+  float option
+(** The feasibility frontier at one starting temperature — the average
+    of {!frontier_point}'s frequencies (the Fig. 9 series); [None]
+    when even idling is infeasible. *)
+
+val solve_point :
+  ?options:Convex.Barrier.options ->
+  machine:Sim.Machine.t ->
+  spec:Spec.t ->
+  tstart:float ->
+  ftarget:float ->
+  unit ->
+  Model.outcome
+(** One design point (convenience wrapper over {!Model}). *)

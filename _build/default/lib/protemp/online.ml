@@ -1,0 +1,57 @@
+open Linalg
+
+(* Controllers are first-class records, so the solve counter rides in
+   a side table keyed by the controller's (unique) name. *)
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 4
+
+let next_id =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    !n
+
+let create ?options ?fallback ~machine ~spec () =
+  let name = Printf.sprintf "pro-temp-online-%d" (next_id ()) in
+  let counter = ref 0 in
+  Hashtbl.replace counters name counter;
+  let n_cores = machine.Sim.Machine.n_cores in
+  let stop = Vec.zeros n_cores in
+  let fallback_frequencies obs =
+    match fallback with
+    | None -> stop
+    | Some table -> (
+        match
+          Table.lookup table
+            ~temperature:obs.Sim.Policy.max_core_temperature
+            ~required:obs.Sim.Policy.required_frequency
+        with
+        | Some f -> f
+        | None -> stop)
+  in
+  let profile_of obs =
+    (* Sensors exist per core; unsensed nodes are bounded above by the
+       hottest core (conservative under monotone dynamics). *)
+    let worst = obs.Sim.Policy.max_core_temperature in
+    let ambient = machine.Sim.Machine.thermal.Thermal.Rc_model.ambient in
+    let t0 = Vec.create machine.Sim.Machine.n_nodes (Float.max worst ambient) in
+    Array.iteri
+      (fun c node -> t0.(node) <- obs.Sim.Policy.core_temperatures.(c))
+      machine.Sim.Machine.core_nodes;
+    t0
+  in
+  {
+    Sim.Policy.controller_name = name;
+    decide =
+      (fun obs ->
+        incr counter;
+        let built =
+          Model.build_with_profile ~machine ~spec ~t0:(profile_of obs)
+            ~ftarget:obs.Sim.Policy.required_frequency
+        in
+        match Model.solve ?options built with
+        | Model.Feasible s -> s.Model.frequencies
+        | Model.Infeasible -> fallback_frequencies obs);
+  }
+
+let solves (c : Sim.Policy.controller) =
+  Option.map ( ! ) (Hashtbl.find_opt counters c.Sim.Policy.controller_name)

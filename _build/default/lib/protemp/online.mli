@@ -1,0 +1,32 @@
+(** Online (MPC-style) Pro-Temp: re-solve the convex program at every
+    DFS epoch from the measured temperatures.
+
+    The paper precomputes a table precisely to avoid online solving,
+    at the cost of two conservatisms: the measured per-core profile is
+    collapsed to its maximum (the table row key), and the demand is
+    rounded to the column grid.  This controller removes both by
+    solving the Eq. 3/5 instance for the actual situation each window.
+    It keeps the never-exceeds-tmax guarantee: core temperatures are
+    measured, and the unsensed non-core nodes are set to the hottest
+    core reading, an upper bound under the monotone thermal dynamics
+    (caches and buffers run cooler than cores on this platform).
+
+    Cost: one interior-point solve (hundreds of milliseconds of host
+    time at full constraint resolution) per 100 ms control window, so
+    this variant is a research upper bound for what the table
+    approximates — see the [abl_online_vs_table] bench. *)
+
+val create :
+  ?options:Convex.Barrier.options ->
+  ?fallback:Table.t ->
+  machine:Sim.Machine.t ->
+  spec:Spec.t ->
+  unit ->
+  Sim.Policy.controller
+(** When a window's instance is infeasible (or the solver fails), the
+    controller consults [fallback] like {!Controller}, or stops the
+    cores for the window if no fallback is given. *)
+
+val solves : Sim.Policy.controller -> int option
+(** Number of online solves a controller created here has performed;
+    [None] for foreign controllers. *)

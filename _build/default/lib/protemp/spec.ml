@@ -1,0 +1,36 @@
+type variant = Variable | Uniform
+
+type gradient = { weight : float; cap : float option }
+
+type t = {
+  tmax : float;
+  dfs_period : float;
+  constraint_stride : int;
+  variant : variant;
+  gradient : gradient option;
+}
+
+let default =
+  {
+    tmax = 100.0;
+    dfs_period = 0.1;
+    constraint_stride = 1;
+    variant = Variable;
+    gradient = None;
+  }
+
+let with_gradient ?cap ?(weight = 1.0) spec =
+  { spec with gradient = Some { weight; cap } }
+
+let validate spec =
+  if spec.tmax <= 0.0 then invalid_arg "Spec: non-positive tmax";
+  if spec.dfs_period <= 0.0 then invalid_arg "Spec: non-positive dfs_period";
+  if spec.constraint_stride < 1 then
+    invalid_arg "Spec: constraint_stride must be at least 1";
+  match spec.gradient with
+  | None -> ()
+  | Some g ->
+      if g.weight < 0.0 then invalid_arg "Spec: negative gradient weight";
+      (match g.cap with
+      | Some c when c <= 0.0 -> invalid_arg "Spec: non-positive gradient cap"
+      | Some _ | None -> ())

@@ -1,0 +1,161 @@
+open Linalg
+
+type cell = Frequencies of Vec.t | Infeasible
+
+type t = {
+  tstarts : float array;
+  ftargets : float array;
+  cells : cell array array;
+}
+
+let strictly_increasing a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) <= a.(i - 1) then ok := false
+  done;
+  !ok
+
+let make ~tstarts ~ftargets cells =
+  if Array.length tstarts = 0 || Array.length ftargets = 0 then
+    invalid_arg "Table.make: empty axis";
+  if not (strictly_increasing tstarts) then
+    invalid_arg "Table.make: tstarts not strictly increasing";
+  if not (strictly_increasing ftargets) then
+    invalid_arg "Table.make: ftargets not strictly increasing";
+  if Array.length cells <> Array.length tstarts then
+    invalid_arg "Table.make: row count mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length ftargets then
+        invalid_arg "Table.make: column count mismatch")
+    cells;
+  { tstarts; ftargets; cells }
+
+let tstarts t = Array.copy t.tstarts
+let ftargets t = Array.copy t.ftargets
+
+let cell t i j =
+  if i < 0 || i >= Array.length t.tstarts then
+    invalid_arg "Table.cell: row out of range";
+  if j < 0 || j >= Array.length t.ftargets then
+    invalid_arg "Table.cell: column out of range";
+  t.cells.(i).(j)
+
+let row_for_temperature t temperature =
+  let n = Array.length t.tstarts in
+  let rec go i =
+    if i >= n then None
+    else if t.tstarts.(i) >= temperature then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lookup t ~temperature ~required =
+  match row_for_temperature t temperature with
+  | None -> None
+  | Some row ->
+      let cols = Array.length t.ftargets in
+      (* Start from the smallest column satisfying the requirement (or
+         the top column when the requirement exceeds the grid), then
+         walk down to the first feasible one. *)
+      let start =
+        let rec go j = if j < cols && t.ftargets.(j) < required then go (j + 1) else j in
+        Stdlib.min (go 0) (cols - 1)
+      in
+      let rec down j =
+        if j < 0 then None
+        else
+          match t.cells.(row).(j) with
+          | Frequencies f -> Some (Vec.copy f)
+          | Infeasible -> down (j - 1)
+      in
+      down start
+
+let feasible_frontier t =
+  Array.mapi
+    (fun i tstart ->
+      let best = ref None in
+      Array.iteri
+        (fun j c ->
+          match c with
+          | Frequencies _ -> best := Some t.ftargets.(j)
+          | Infeasible -> ())
+        t.cells.(i);
+      (tstart, !best))
+    t.tstarts
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i tstart ->
+      Array.iteri
+        (fun j ftarget ->
+          Buffer.add_string buf (Printf.sprintf "%.6g,%.6g" tstart ftarget);
+          (match t.cells.(i).(j) with
+          | Infeasible -> Buffer.add_string buf ",infeasible"
+          | Frequencies f ->
+              Array.iter
+                (fun x -> Buffer.add_string buf (Printf.sprintf ",%.6g" x))
+                f);
+          Buffer.add_char buf '\n')
+        t.ftargets)
+    t.tstarts;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parsed =
+    List.map
+      (fun line ->
+        match String.split_on_char ',' line with
+        | tstart :: ftarget :: rest -> (
+            let fs x =
+              try float_of_string x
+              with Failure _ -> failwith ("Table.of_csv: bad number " ^ x)
+            in
+            match rest with
+            | [ "infeasible" ] -> (fs tstart, fs ftarget, Infeasible)
+            | [] -> failwith "Table.of_csv: missing cell payload"
+            | freqs ->
+                ( fs tstart,
+                  fs ftarget,
+                  Frequencies (Array.of_list (List.map fs freqs)) ))
+        | _ -> failwith "Table.of_csv: malformed line")
+      lines
+  in
+  let uniq_sorted xs =
+    List.sort_uniq compare xs |> Array.of_list
+  in
+  let tstarts = uniq_sorted (List.map (fun (t, _, _) -> t) parsed) in
+  let ftargets = uniq_sorted (List.map (fun (_, f, _) -> f) parsed) in
+  let find a x =
+    let rec go i = if a.(i) = x then i else go (i + 1) in
+    go 0
+  in
+  let cells =
+    Array.make_matrix (Array.length tstarts) (Array.length ftargets) Infeasible
+  in
+  List.iter
+    (fun (t, f, c) -> cells.(find tstarts t).(find ftargets f) <- c)
+    parsed;
+  make ~tstarts ~ftargets cells
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "tstart \\ ftarget(MHz):";
+  Array.iter (fun f -> Format.fprintf ppf " %8.0f" (f /. 1e6)) t.ftargets;
+  Array.iteri
+    (fun i tstart ->
+      Format.fprintf ppf "@,%6.1f C:             " tstart;
+      Array.iter
+        (fun c ->
+          match c with
+          | Infeasible -> Format.fprintf ppf " %8s" "--"
+          | Frequencies f ->
+              Format.fprintf ppf " %8.0f" (Vec.mean f /. 1e6))
+        t.cells.(i))
+    t.tstarts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,50 @@
+(** The Phase-1 output table (the paper's Fig. 4).
+
+    Rows are starting temperatures, columns target average
+    frequencies; each cell holds the optimal per-core frequency vector
+    or marks infeasibility.  {!lookup} implements the paper's run-time
+    rule: take the row covering the observed maximum temperature, then
+    the column for the required frequency, falling back to "the next
+    lower frequency point that can support the temperature
+    constraints". *)
+
+open Linalg
+
+type cell =
+  | Frequencies of Vec.t  (** Per-core frequencies, Hz. *)
+  | Infeasible
+
+type t
+
+val make :
+  tstarts:float array -> ftargets:float array -> cell array array -> t
+(** [tstarts] and [ftargets] must be strictly increasing;
+    [cells.(i).(j)] corresponds to [tstarts.(i)], [ftargets.(j)].
+    Raises [Invalid_argument] on shape or ordering errors. *)
+
+val tstarts : t -> float array
+val ftargets : t -> float array
+val cell : t -> int -> int -> cell
+
+val row_for_temperature : t -> float -> int option
+(** Smallest row whose [tstart] is >= the observed temperature —
+    the conservative covering row; [None] when the observation
+    exceeds the hottest row. *)
+
+val lookup : t -> temperature:float -> required:float -> Vec.t option
+(** The paper's run-time rule.  Returns [None] when the temperature
+    exceeds every row or no column in the row is feasible (the caller
+    should then stop the cores for a window). *)
+
+val feasible_frontier : t -> (float * float option) array
+(** Per row: the largest feasible [ftarget] ([None] if none) — the
+    data behind Fig. 9. *)
+
+val to_csv : t -> string
+(** One line per cell: [tstart,ftarget,f1,...,fn] or
+    [tstart,ftarget,infeasible]. *)
+
+val of_csv : string -> t
+(** Inverse of {!to_csv}.  Raises [Failure] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Float Linalg List Machine Option Policy Queue Stats Stdlib Thermal Unix Vec Workload

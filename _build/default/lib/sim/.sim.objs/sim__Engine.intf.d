@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Linalg Machine Policy Stats Vec Workload

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Float Linalg Mat Thermal Vec

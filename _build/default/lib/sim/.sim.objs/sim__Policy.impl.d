@@ -1,0 +1,1 @@
+lib/sim/policy.ml: Array Float Linalg List Printf Stdlib Vec

@@ -1,0 +1,214 @@
+open Linalg
+
+type config = {
+  dfs_period : float;
+  tmax : float;
+  t_initial : float option;
+  drain_limit : float;
+  record_series : bool;
+  migration : bool;
+}
+
+let default_config =
+  {
+    dfs_period = 0.1;
+    tmax = 100.0;
+    t_initial = None;
+    drain_limit = 60.0;
+    record_series = true;
+    migration = false;
+  }
+
+type sample = { at : float; core_temperatures : Vec.t }
+
+type result = {
+  stats : Stats.t;
+  series : sample array;
+  frequency_log : (float * Vec.t) array;
+  unfinished : int;
+  migrations : int;
+  wall_clock : float;
+}
+
+(* Per-core execution state: the remaining work (seconds at fmax) of
+   the running task, or none when idle. *)
+type core_state = { mutable remaining : float option }
+
+let run ?(config = default_config) (machine : Machine.t) controller assignment
+    trace =
+  let started = Unix.gettimeofday () in
+  let dt = machine.Machine.thermal.Thermal.Rc_model.dt in
+  let steps_per_epoch =
+    let s = int_of_float (Float.round (config.dfs_period /. dt)) in
+    if s < 1 then invalid_arg "Engine.run: dfs_period below the thermal step";
+    s
+  in
+  let n_cores = machine.Machine.n_cores in
+  let tasks = trace.Workload.Trace.tasks in
+  let n_tasks = Array.length tasks in
+  let ambient = machine.Machine.thermal.Thermal.Rc_model.ambient in
+  let t0 = Option.value config.t_initial ~default:ambient in
+  let temp = ref (Vec.create machine.Machine.n_nodes t0) in
+  let cores = Array.init n_cores (fun _ -> { remaining = None }) in
+  let frequencies = ref (Vec.zeros n_cores) in
+  let queue = Queue.create () in
+  let next_task = ref 0 in
+  let completed = ref 0 in
+  let busy_acc = Array.make n_cores 0.0 in
+  let stats = Stats.create ~n_cores ~tmax:config.tmax () in
+  let series = ref [] in
+  let freq_log = ref [] in
+  let migrations = ref 0 in
+  let deadline = trace.Workload.Trace.horizon +. config.drain_limit in
+  let idle_cores () =
+    let acc = ref [] in
+    for c = n_cores - 1 downto 0 do
+      if cores.(c).remaining = None then acc := c :: !acc
+    done;
+    !acc
+  in
+  let queued_work () =
+    let backlog = Queue.fold (fun acc t -> acc +. t.Workload.Task.work) 0.0 queue in
+    Array.fold_left
+      (fun acc c ->
+        match c.remaining with Some w -> acc +. w | None -> acc)
+      backlog cores
+  in
+  let observe time =
+    let core_temperatures = Machine.core_temperatures machine !temp in
+    let work = queued_work () in
+    (* The work can only spread over as many cores as there are
+       runnable tasks; a single straggler must be driven by one core,
+       not an eighth of one (otherwise its service slows down each
+       window and it never finishes). *)
+    let runnable =
+      Queue.length queue
+      + Array.fold_left
+          (fun acc c -> if c.remaining = None then acc else acc + 1)
+          0 cores
+    in
+    let parallelism = Stdlib.max 1 (Stdlib.min n_cores runnable) in
+    let capacity = float_of_int parallelism *. config.dfs_period in
+    let required = work /. capacity *. machine.Machine.fmax in
+    {
+      Policy.time;
+      core_temperatures;
+      max_core_temperature = Vec.max core_temperatures;
+      required_frequency =
+        Float.min machine.Machine.fmax (Float.max 0.0 required);
+      utilizations =
+        Vec.init n_cores (fun c -> busy_acc.(c) /. config.dfs_period);
+      queue_length = Queue.length queue;
+      queued_work = work;
+    }
+  in
+  let step = ref 0 in
+  let finished () = !next_task >= n_tasks && !completed >= n_tasks in
+  while (not (finished ())) && float_of_int !step *. dt <= deadline do
+    let time = float_of_int !step *. dt in
+    (* Task arrivals land in the queue at step resolution. *)
+    while
+      !next_task < n_tasks && tasks.(!next_task).Workload.Task.arrival <= time
+    do
+      Queue.push tasks.(!next_task) queue;
+      incr next_task
+    done;
+    (* DFS epoch boundary: ask the controller for new frequencies. *)
+    if !step mod steps_per_epoch = 0 then begin
+      let obs = observe time in
+      let f = controller.Policy.decide obs in
+      if Vec.dim f <> n_cores then
+        invalid_arg "Engine.run: controller returned a bad frequency vector";
+      frequencies := Vec.map (fun x -> Float.max 0.0 x) f;
+      Array.fill busy_acc 0 n_cores 0.0;
+      if config.record_series then begin
+        series :=
+          { at = time; core_temperatures = obs.Policy.core_temperatures }
+          :: !series;
+        freq_log := (time, Vec.copy !frequencies) :: !freq_log
+      end;
+      (* Optional task migration (a policy the paper composes with):
+         a task stuck on a stopped core moves to the coolest idle core
+         that was granted a non-zero frequency. *)
+      if config.migration then begin
+        let core_temperatures = Machine.core_temperatures machine !temp in
+        Array.iteri
+          (fun c state ->
+            match state.remaining with
+            | Some w when !frequencies.(c) = 0.0 ->
+                let best = ref None in
+                Array.iteri
+                  (fun d other ->
+                    if
+                      other.remaining = None
+                      && !frequencies.(d) > 0.0
+                      && (match !best with
+                         | None -> true
+                         | Some b ->
+                             core_temperatures.(d) < core_temperatures.(b))
+                    then best := Some d)
+                  cores;
+                (match !best with
+                | Some d ->
+                    cores.(d).remaining <- Some w;
+                    state.remaining <- None;
+                    incr migrations
+                | None -> ())
+            | Some _ | None -> ())
+          cores
+      end
+    end;
+    (* Dispatch queued tasks onto idle cores; the assignment policy
+       may defer (thermally-aware admission control). *)
+    let rec dispatch () =
+      if not (Queue.is_empty queue) then
+        match idle_cores () with
+        | [] -> ()
+        | idle -> (
+            let core_temperatures = Machine.core_temperatures machine !temp in
+            match assignment.Policy.choose ~idle ~core_temperatures with
+            | None -> ()
+            | Some c ->
+                if cores.(c).remaining <> None then
+                  invalid_arg "Engine.run: assignment picked a busy core";
+                let task = Queue.pop queue in
+                cores.(c).remaining <- Some task.Workload.Task.work;
+                Stats.record_waiting stats
+                  (Float.max 0.0 (time -. task.Workload.Task.arrival));
+                dispatch ())
+    in
+    dispatch ();
+    (* Advance running tasks at the current frequencies. *)
+    let busy = Array.make n_cores false in
+    Array.iteri
+      (fun c state ->
+        match state.remaining with
+        | None -> ()
+        | Some w ->
+            busy.(c) <- true;
+            busy_acc.(c) <- busy_acc.(c) +. dt;
+            let progress = dt *. !frequencies.(c) /. machine.Machine.fmax in
+            let w' = w -. progress in
+            if w' <= 0.0 then begin
+              state.remaining <- None;
+              incr completed;
+              Stats.record_completion stats
+            end
+            else state.remaining <- Some w')
+      cores;
+    (* Thermal step under the power this configuration draws. *)
+    let power = Machine.power_vector machine ~frequencies:!frequencies ~busy in
+    temp := Thermal.Rc_model.step_temperature machine.Machine.thermal !temp power;
+    Stats.record_power stats ~dt (Vec.sum power);
+    Stats.record_step stats ~dt
+      ~core_temperatures:(Machine.core_temperatures machine !temp);
+    incr step
+  done;
+  {
+    stats;
+    series = Array.of_list (List.rev !series);
+    frequency_log = Array.of_list (List.rev !freq_log);
+    unfinished = n_tasks - !completed;
+    migrations = !migrations;
+    wall_clock = Unix.gettimeofday () -. started;
+  }

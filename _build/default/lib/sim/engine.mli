@@ -1,0 +1,53 @@
+(** The discrete-time full-system simulator.
+
+    Co-simulates task arrival/assignment/execution with the thermal
+    network at the thermal step (0.4 ms for the Niagara machine),
+    invoking the DFS controller every [dfs_period] (100 ms), exactly
+    as the paper's evaluation infrastructure does.  The run ends when
+    the whole trace has been executed, or at the drain deadline for
+    controllers too slow to ever finish. *)
+
+open Linalg
+
+type config = {
+  dfs_period : float;  (** Seconds between controller invocations. *)
+  tmax : float;  (** Threshold used for violation statistics. *)
+  t_initial : float option;
+      (** Initial temperature of every node; defaults to the thermal
+          model's ambient. *)
+  drain_limit : float;
+      (** Extra simulated seconds allowed after the last arrival
+          before giving up on stragglers. *)
+  record_series : bool;
+      (** Record per-epoch core temperatures and frequencies (the
+          Figs. 1-2, 8 time series). *)
+  migration : bool;
+      (** Move tasks off stopped cores onto the coolest idle running
+          core at each DFS boundary — the task-migration policy class
+          the paper cites as composable with Pro-Temp.  Off by
+          default. *)
+}
+
+val default_config : config
+(** [dfs_period = 0.1], [tmax = 100.0], ambient start,
+    [drain_limit = 60.0], series recording on, migration off. *)
+
+type sample = { at : float; core_temperatures : Vec.t }
+
+type result = {
+  stats : Stats.t;
+  series : sample array;  (** One per DFS epoch (empty if disabled). *)
+  frequency_log : (float * Vec.t) array;
+      (** Controller decisions per epoch (empty if disabled). *)
+  unfinished : int;  (** Tasks not completed by the drain deadline. *)
+  migrations : int;  (** Tasks moved between cores (0 unless enabled). *)
+  wall_clock : float;  (** Host seconds spent simulating. *)
+}
+
+val run :
+  ?config:config ->
+  Machine.t ->
+  Policy.controller ->
+  Policy.assignment ->
+  Workload.Trace.t ->
+  result

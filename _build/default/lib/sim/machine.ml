@@ -1,0 +1,70 @@
+open Linalg
+
+type t = {
+  thermal : Thermal.Rc_model.discrete;
+  n_nodes : int;
+  n_cores : int;
+  core_nodes : int array;
+  fixed_power : Vec.t;
+  fmax : float;
+  core_pmax : float;
+  idle_activity : float;
+}
+
+let make ?(idle_activity = 0.3) ~thermal ~core_nodes ~fixed_power ~fmax
+    ~core_pmax () =
+  let n_nodes = Mat.rows thermal.Thermal.Rc_model.step in
+  if Vec.dim fixed_power <> n_nodes then
+    invalid_arg "Machine.make: fixed_power length mismatch";
+  if Array.length core_nodes = 0 then
+    invalid_arg "Machine.make: no core nodes";
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n_nodes then
+        invalid_arg "Machine.make: core node out of range")
+    core_nodes;
+  if fmax <= 0.0 then invalid_arg "Machine.make: non-positive fmax";
+  if core_pmax <= 0.0 then invalid_arg "Machine.make: non-positive core_pmax";
+  if idle_activity < 0.0 || idle_activity > 1.0 then
+    invalid_arg "Machine.make: idle_activity outside [0,1]";
+  {
+    thermal;
+    n_nodes;
+    n_cores = Array.length core_nodes;
+    core_nodes;
+    fixed_power = Vec.copy fixed_power;
+    fmax;
+    core_pmax;
+    idle_activity;
+  }
+
+let niagara () =
+  let fp = Thermal.Niagara.floorplan () in
+  let model = Thermal.Niagara.model () in
+  let thermal = Thermal.Rc_model.discretize model ~dt:Thermal.Niagara.dt in
+  make ~thermal
+    ~core_nodes:(Thermal.Niagara.core_nodes fp)
+    ~fixed_power:(Thermal.Niagara.fixed_power fp)
+    ~fmax:Thermal.Niagara.fmax ~core_pmax:Thermal.Niagara.core_pmax ()
+
+let core_power m ~frequency ~busy =
+  let f = Float.max 0.0 frequency in
+  let dynamic = m.core_pmax *. (f /. m.fmax) *. (f /. m.fmax) in
+  if busy then dynamic else m.idle_activity *. dynamic
+
+let power_vector m ~frequencies ~busy =
+  if Vec.dim frequencies <> m.n_cores then
+    invalid_arg "Machine.power_vector: frequency vector length mismatch";
+  if Array.length busy <> m.n_cores then
+    invalid_arg "Machine.power_vector: busy array length mismatch";
+  let p = Vec.copy m.fixed_power in
+  Array.iteri
+    (fun c node ->
+      p.(node) <- core_power m ~frequency:frequencies.(c) ~busy:busy.(c))
+    m.core_nodes;
+  p
+
+let core_temperatures m t =
+  if Vec.dim t <> m.n_nodes then
+    invalid_arg "Machine.core_temperatures: temperature length mismatch";
+  Array.map (fun node -> t.(node)) m.core_nodes

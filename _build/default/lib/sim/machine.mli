@@ -1,0 +1,51 @@
+(** The simulated multi-core machine: thermal model plus power law.
+
+    Bundles everything the engine needs to know about the hardware:
+    the discretized thermal network, which nodes are cores, the static
+    power of the non-core blocks, and the frequency-to-power law
+    (the paper's Eq. 2). *)
+
+open Linalg
+
+type t = {
+  thermal : Thermal.Rc_model.discrete;
+  n_nodes : int;
+  n_cores : int;
+  core_nodes : int array;  (** Thermal node index of each core. *)
+  fixed_power : Vec.t;  (** Per-node static power; zero on cores. *)
+  fmax : float;
+  core_pmax : float;
+  idle_activity : float;
+      (** Fraction of the dynamic power an idle (but clocked) core
+          burns; must be in [0, 1] so that the convex model's
+          all-cores-busy assumption stays an upper bound (this is
+          what makes the Pro-Temp guarantee carry over to the
+          simulation). *)
+}
+
+val make :
+  ?idle_activity:float ->
+  thermal:Thermal.Rc_model.discrete ->
+  core_nodes:int array ->
+  fixed_power:Vec.t ->
+  fmax:float ->
+  core_pmax:float ->
+  unit ->
+  t
+(** Validates shapes and ranges ([Invalid_argument] otherwise).
+    [idle_activity] defaults to 0.3. *)
+
+val niagara : unit -> t
+(** The calibrated Niagara platform of {!Thermal.Niagara}, discretized
+    at the paper's 0.4 ms step. *)
+
+val core_power : t -> frequency:float -> busy:bool -> float
+(** Power of one core at [frequency]: [pmax (f/fmax)^2], scaled by
+    [idle_activity] when the core is idle. *)
+
+val power_vector : t -> frequencies:Vec.t -> busy:bool array -> Vec.t
+(** Full node power vector for one thermal step. *)
+
+val core_temperatures : t -> Vec.t -> Vec.t
+(** Extract the core temperatures from a full node temperature
+    vector. *)

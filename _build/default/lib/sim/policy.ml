@@ -1,0 +1,73 @@
+open Linalg
+
+type observation = {
+  time : float;
+  core_temperatures : Vec.t;
+  max_core_temperature : float;
+  required_frequency : float;
+  utilizations : Vec.t;
+  queue_length : int;
+  queued_work : float;
+}
+
+type controller = { controller_name : string; decide : observation -> Vec.t }
+
+type assignment = {
+  assignment_name : string;
+  choose : idle:int list -> core_temperatures:Vec.t -> int option;
+}
+
+let coldest ~idle ~core_temperatures =
+  match idle with
+  | [] -> invalid_arg "Policy: no idle core"
+  | c :: rest ->
+      List.fold_left
+        (fun best k ->
+          if core_temperatures.(k) < core_temperatures.(best) then k else best)
+        c rest
+
+let first_idle =
+  {
+    assignment_name = "first-idle";
+    choose =
+      (fun ~idle ~core_temperatures:_ ->
+        match idle with
+        | [] -> invalid_arg "Policy.first_idle: no idle core"
+        | c :: rest -> Some (List.fold_left Stdlib.min c rest));
+  }
+
+let coolest_first =
+  {
+    assignment_name = "coolest-first";
+    choose =
+      (fun ~idle ~core_temperatures ->
+        Some (coldest ~idle ~core_temperatures));
+  }
+
+let cool_headroom ~threshold =
+  {
+    assignment_name = Printf.sprintf "cool-headroom@%.0fC" threshold;
+    choose =
+      (fun ~idle ~core_temperatures ->
+        let c = coldest ~idle ~core_temperatures in
+        if core_temperatures.(c) < threshold then Some c else None);
+  }
+
+let clamp ~fmax f = Float.min fmax (Float.max 0.0 f)
+
+let fixed_frequency ~fmax f =
+  let f = clamp ~fmax f in
+  {
+    controller_name = Printf.sprintf "fixed-%.0fMHz" (f /. 1e6);
+    decide = (fun obs -> Vec.create (Vec.dim obs.core_temperatures) f);
+  }
+
+let workload_following ~fmax =
+  {
+    controller_name = "no-tc";
+    decide =
+      (fun obs ->
+        Vec.create
+          (Vec.dim obs.core_temperatures)
+          (clamp ~fmax obs.required_frequency));
+  }

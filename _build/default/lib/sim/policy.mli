@@ -1,0 +1,63 @@
+(** Controller and task-assignment policy interfaces.
+
+    A {e controller} is the DFS decision function the thermal
+    management unit invokes once per DFS period; an {e assignment
+    policy} picks which idle core receives the next queued task.
+    Keeping them first-class values (rather than functors) lets the
+    benches enumerate policy combinations. *)
+
+open Linalg
+
+type observation = {
+  time : float;  (** Start of the upcoming DFS window, seconds. *)
+  core_temperatures : Vec.t;
+  max_core_temperature : float;
+  required_frequency : float;
+      (** Average frequency (Hz) needed to clear the current backlog
+          within the window, accounting for how many cores the
+          runnable tasks can actually occupy; already clamped to
+          [[0, fmax]]. *)
+  utilizations : Vec.t;
+      (** Per-core busy fraction over the elapsed window. *)
+  queue_length : int;
+  queued_work : float;  (** Seconds at fmax, including running tasks'
+                            remaining work. *)
+}
+
+type controller = {
+  controller_name : string;
+  decide : observation -> Vec.t;
+      (** Returns per-core frequencies in Hz for the next window
+          (0 = shut down). *)
+}
+
+type assignment = {
+  assignment_name : string;
+  choose : idle:int list -> core_temperatures:Vec.t -> int option;
+      (** Pick one of the [idle] core indices (non-empty), or [None]
+          to defer dispatch to a later step (thermally-aware admission
+          control). *)
+}
+
+val first_idle : assignment
+(** The paper's simple policy: any idle processor — we take the
+    lowest-numbered one. *)
+
+val coolest_first : assignment
+(** Send work to the coldest idle core (always dispatches). *)
+
+val cool_headroom : threshold:float -> assignment
+(** The temperature-aware allocation in the spirit of Coskun et
+    al. [26] (the paper's "efficient task assignment", Sec. 5.4):
+    dispatch to the coldest idle core, but only if it is below
+    [threshold]; otherwise hold the task so the hot cores get a
+    breather. *)
+
+val fixed_frequency : fmax:float -> float -> controller
+(** A controller that always answers the same frequency on all cores
+    (clamped to [[0, fmax]]); useful for tests and warm-up phases. *)
+
+val workload_following : fmax:float -> controller
+(** Matches the application performance level with no thermal action:
+    every core runs at the observation's [required_frequency].  This
+    is the paper's No-TC reference. *)

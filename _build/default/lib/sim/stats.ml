@@ -1,0 +1,130 @@
+open Linalg
+
+type band = { lo : float; hi : float }
+
+let paper_bands =
+  [
+    { lo = neg_infinity; hi = 80.0 };
+    { lo = 80.0; hi = 90.0 };
+    { lo = 90.0; hi = 100.0 };
+    { lo = 100.0; hi = infinity };
+  ]
+
+type t = {
+  bands : band array;
+  n_cores : int;
+  tmax : float;
+  band_time : float array;  (* core-seconds accumulated per band *)
+  mutable above_time : float;  (* core-seconds above tmax *)
+  mutable violation_steps : int;
+  mutable total_steps : int;
+  mutable sim_time : float;
+  mutable peak : float;
+  mutable peak_gradient : float;
+  mutable gradient_sum : float;
+  mutable waiting_sum : float;
+  mutable waiting_max : float;
+  mutable dispatched : int;
+  mutable completed : int;
+  mutable energy : float;
+}
+
+let create ?(bands = paper_bands) ~n_cores ~tmax () =
+  if n_cores <= 0 then invalid_arg "Stats.create: non-positive cores";
+  {
+    bands = Array.of_list bands;
+    n_cores;
+    tmax;
+    band_time = Array.make (List.length bands) 0.0;
+    above_time = 0.0;
+    violation_steps = 0;
+    total_steps = 0;
+    sim_time = 0.0;
+    peak = neg_infinity;
+    peak_gradient = 0.0;
+    gradient_sum = 0.0;
+    waiting_sum = 0.0;
+    waiting_max = 0.0;
+    dispatched = 0;
+    completed = 0;
+    energy = 0.0;
+  }
+
+let record_step s ~dt ~core_temperatures =
+  if Vec.dim core_temperatures <> s.n_cores then
+    invalid_arg "Stats.record_step: temperature vector length mismatch";
+  let hottest = Vec.max core_temperatures in
+  let coldest = Vec.min core_temperatures in
+  s.total_steps <- s.total_steps + 1;
+  s.sim_time <- s.sim_time +. dt;
+  s.peak <- Float.max s.peak hottest;
+  let spread = hottest -. coldest in
+  s.peak_gradient <- Float.max s.peak_gradient spread;
+  s.gradient_sum <- s.gradient_sum +. spread;
+  if hottest > s.tmax then s.violation_steps <- s.violation_steps + 1;
+  Array.iter
+    (fun temp ->
+      if temp > s.tmax then s.above_time <- s.above_time +. dt;
+      Array.iteri
+        (fun b { lo; hi } ->
+          if temp >= lo && temp < hi then
+            s.band_time.(b) <- s.band_time.(b) +. dt)
+        s.bands)
+    core_temperatures
+
+let record_power s ~dt power =
+  if power < 0.0 then invalid_arg "Stats.record_power: negative power";
+  s.energy <- s.energy +. (power *. dt)
+
+let record_waiting s w =
+  if w < 0.0 then invalid_arg "Stats.record_waiting: negative waiting time";
+  s.waiting_sum <- s.waiting_sum +. w;
+  s.waiting_max <- Float.max s.waiting_max w;
+  s.dispatched <- s.dispatched + 1
+
+let record_completion s = s.completed <- s.completed + 1
+
+let core_time s = s.sim_time *. float_of_int s.n_cores
+
+let band_residency s =
+  let total = Float.max 1e-300 (core_time s) in
+  Array.to_list
+    (Array.mapi (fun b band -> (band, s.band_time.(b) /. total)) s.bands)
+
+let time_above s = s.above_time /. Float.max 1e-300 (core_time s)
+let violation_steps s = s.violation_steps
+let total_steps s = s.total_steps
+let peak_temperature s = s.peak
+let peak_gradient s = s.peak_gradient
+
+let mean_gradient s =
+  s.gradient_sum /. float_of_int (Stdlib.max 1 s.total_steps)
+
+let mean_waiting s =
+  if s.dispatched = 0 then 0.0
+  else s.waiting_sum /. float_of_int s.dispatched
+
+let max_waiting s = s.waiting_max
+let completed s = s.completed
+let simulated_time s = s.sim_time
+let energy s = s.energy
+let average_power s = s.energy /. Float.max 1e-300 s.sim_time
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>%d tasks completed in %.1f s@,peak %.1f C, %.2f%% of core-time \
+     above %.0f C (%d violating steps)@,mean waiting %.2f ms (max %.1f \
+     ms)@,gradient: mean %.2f C, peak %.2f C"
+    s.completed s.sim_time s.peak
+    (100.0 *. time_above s)
+    s.tmax s.violation_steps
+    (mean_waiting s *. 1e3)
+    (s.waiting_max *. 1e3)
+    (mean_gradient s) s.peak_gradient;
+  Format.fprintf ppf "@,energy %.1f J (average power %.2f W)@,bands:" s.energy
+    (average_power s);
+  List.iter
+    (fun ({ lo; hi }, frac) ->
+      Format.fprintf ppf "@,  [%6.1f, %6.1f): %5.1f%%" lo hi (100.0 *. frac))
+    (band_residency s);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+(** Statistics collected during a simulation run.
+
+    Matches the paper's reporting: per-band residency of the cores
+    (its Fig. 6 categories <80, 80-90, 90-100, >100), task waiting
+    times (Fig. 7), peak temperatures and threshold violations (the
+    headline guarantee), and spatial gradients (Fig. 8 / Sec. 5.4). *)
+
+open Linalg
+
+type band = { lo : float; hi : float }
+
+val paper_bands : band list
+(** [<80], [80-90], [90-100], [>100] degrees Celsius. *)
+
+type t
+
+val create : ?bands:band list -> n_cores:int -> tmax:float -> unit -> t
+
+(** {1 Recording (used by the engine)} *)
+
+val record_step : t -> dt:float -> core_temperatures:Vec.t -> unit
+
+val record_power : t -> dt:float -> float -> unit
+(** Accumulate the chip power drawn over one step (Watts). *)
+
+val record_waiting : t -> float -> unit
+(** One completed dispatch: time the task spent queued. *)
+
+val record_completion : t -> unit
+
+(** {1 Reading} *)
+
+val band_residency : t -> (band * float) list
+(** Fraction of core-time spent in each band (averaged over cores);
+    fractions sum to 1. *)
+
+val time_above : t -> float
+(** Fraction of core-time spent strictly above [tmax]. *)
+
+val violation_steps : t -> int
+(** Number of thermal steps during which at least one core exceeded
+    [tmax]. *)
+
+val total_steps : t -> int
+
+val peak_temperature : t -> float
+
+val peak_gradient : t -> float
+(** Largest instantaneous spread [max_i t_i - min_i t_i] observed. *)
+
+val mean_gradient : t -> float
+
+val mean_waiting : t -> float
+(** Mean task waiting time, seconds ([0.0] if nothing was
+    dispatched). *)
+
+val max_waiting : t -> float
+
+val completed : t -> int
+
+val simulated_time : t -> float
+
+val energy : t -> float
+(** Total chip energy drawn, Joules. *)
+
+val average_power : t -> float
+(** [energy / simulated_time], Watts. *)
+
+val pp : Format.formatter -> t -> unit

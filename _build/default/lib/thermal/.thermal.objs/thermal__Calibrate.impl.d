@@ -1,0 +1,1 @@
+lib/thermal/calibrate.ml: Array Float Linalg Mat Qr Rc_model Vec

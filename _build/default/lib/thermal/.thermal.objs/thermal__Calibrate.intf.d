@@ -1,0 +1,1 @@
+lib/thermal/calibrate.mli: Floorplan Linalg Mat Rc_model Vec

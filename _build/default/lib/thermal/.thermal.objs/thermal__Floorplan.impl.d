@@ -1,0 +1,1 @@
+lib/thermal/floorplan.ml: Array Float Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/thermal/hotspot3l.ml: Array Float Floorplan Linalg List Lu Mat Tridiag Vec

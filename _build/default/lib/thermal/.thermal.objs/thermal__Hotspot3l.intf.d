@@ -1,0 +1,1 @@
+lib/thermal/hotspot3l.mli: Floorplan Linalg Vec

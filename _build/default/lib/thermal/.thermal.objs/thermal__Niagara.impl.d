@@ -1,0 +1,1 @@
+lib/thermal/niagara.ml: Array Calibrate Float Floorplan Linalg List Printf Rc_model Vec

@@ -1,0 +1,1 @@
+lib/thermal/niagara.mli: Floorplan Linalg Rc_model Vec

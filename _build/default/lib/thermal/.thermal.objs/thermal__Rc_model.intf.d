@@ -1,0 +1,1 @@
+lib/thermal/rc_model.mli: Floorplan Linalg Mat Sparse Vec

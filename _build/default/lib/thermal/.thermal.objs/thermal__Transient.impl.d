@@ -1,0 +1,1 @@
+lib/thermal/transient.ml: Array Expm Float Linalg Mat Rc_model Vec

@@ -1,0 +1,1 @@
+lib/thermal/transient.mli: Linalg Mat Rc_model Vec

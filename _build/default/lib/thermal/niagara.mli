@@ -1,0 +1,58 @@
+(** The Sun Niagara-like 8-core platform of the paper's evaluation
+    (its Fig. 5), with calibrated thermal parameters.
+
+    Two rows of four cores (P1-P4, P5-P8) flanked by L2 caches above
+    and below, L2 buffers at the row ends and a crossbar/interconnect
+    strip between the rows.  The row-end cores (P1, P4, P5, P8) have a
+    single hot core neighbour and sit next to cool structures, so they
+    can dissipate more — the asymmetry behind the paper's Figs. 9-10.
+
+    Physical anchors from the paper: 1 GHz maximum core frequency,
+    4 W maximum core power, non-core power about 30% of total core
+    power, thermal step 0.4 ms.  The package conductance is calibrated
+    so that all cores at maximum power settle at {!target_peak}
+    (above [tmax = 100] so that thermal control is actually needed,
+    as in the paper's Figs. 1-2 where uncontrolled cores reach
+    ~120 degrees). *)
+
+open Linalg
+
+val fmax : float
+(** Maximum core frequency, Hz (1e9). *)
+
+val core_pmax : float
+(** Core power at [fmax], Watts (4.0). *)
+
+val target_peak : float
+(** Calibration anchor: hottest steady-state node with all cores at
+    [core_pmax] (122 degrees Celsius). *)
+
+val dt : float
+(** Thermal integration step, seconds (0.4e-3, as in the paper). *)
+
+val n_cores : int
+(** 8. *)
+
+val floorplan : unit -> Floorplan.t
+(** 17 blocks: 8 cores, 4 L2 caches, 2 L2 buffers, 1 crossbar and
+    2 DRAM/IO bridge blocks at the remaining row ends. *)
+
+val params : unit -> Rc_model.params
+(** Calibrated parameters (computed once, then cached). *)
+
+val model : unit -> Rc_model.t
+
+val fixed_power : Floorplan.t -> Vec.t
+(** Static power of the non-core blocks (cores are zero here);
+    totals ~30% of the full-load core power. *)
+
+val core_power_of_frequency : float -> float
+(** The paper's Eq. 2: [pmax * f^2 / fmax^2].  Clamps negative
+    frequencies to zero. *)
+
+val power_vector : Floorplan.t -> core_power:Vec.t -> Vec.t
+(** Embed 8 per-core powers into a full node power vector, adding the
+    fixed non-core power. *)
+
+val core_nodes : Floorplan.t -> int array
+(** Node indices of P1..P8, in order. *)

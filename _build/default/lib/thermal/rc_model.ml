@@ -1,0 +1,164 @@
+open Linalg
+
+type params = {
+  die_thickness : float;
+  conductivity : float;
+  volumetric_heat_capacity : float;
+  vertical_conductance_per_area : float;
+  ambient : float;
+}
+
+let default_params =
+  {
+    die_thickness = 0.5e-3;
+    conductivity = 100.0;
+    volumetric_heat_capacity = 1.75e6;
+    vertical_conductance_per_area = 3.0e3;
+    ambient = 27.0;
+  }
+
+type t = {
+  fp : Floorplan.t;
+  prm : params;
+  lateral : Mat.t;  (* symmetric conductances, W/K *)
+  g_amb : Vec.t;  (* vertical conductance to ambient per node *)
+  cap : Vec.t;  (* heat capacity per node, J/K *)
+}
+
+let build ?(params = default_params) fp =
+  let n = Floorplan.size fp in
+  if n = 0 then invalid_arg "Rc_model.build: empty floorplan";
+  let lateral = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    let bi = Floorplan.block_of fp i in
+    List.iter
+      (fun (j, shared_len) ->
+        let bj = Floorplan.block_of fp j in
+        let dist = Floorplan.center_distance bi bj in
+        (* Conduction through the die cross-section between the two
+           block centers. *)
+        let g =
+          params.conductivity *. params.die_thickness *. shared_len /. dist
+        in
+        Mat.set lateral i j g)
+      (Floorplan.neighbours fp i)
+  done;
+  (* Defensive symmetrization: shared_edge is symmetric so this is a
+     no-op up to rounding. *)
+  let lateral = Mat.symmetrize lateral in
+  let g_amb =
+    Vec.init n (fun i ->
+        params.vertical_conductance_per_area
+        *. Floorplan.area (Floorplan.block_of fp i))
+  in
+  let cap =
+    Vec.init n (fun i ->
+        params.volumetric_heat_capacity *. params.die_thickness
+        *. Floorplan.area (Floorplan.block_of fp i))
+  in
+  { fp; prm = params; lateral; g_amb; cap }
+
+let size m = Floorplan.size m.fp
+let floorplan m = m.fp
+let params m = m.prm
+let conductance m i j = Mat.get m.lateral i j
+let ambient_conductance m i = m.g_amb.(i)
+let capacitance m i = m.cap.(i)
+
+(* Conductance (Laplacian + ambient) matrix: G T = P + g_amb * T_amb at
+   steady state. *)
+let conductance_matrix m =
+  let n = size m in
+  Mat.init n n (fun i j ->
+      if i = j then
+        m.g_amb.(i) +. Vec.sum (Mat.row m.lateral i)
+      else -.Mat.get m.lateral i j)
+
+let steady_state m p =
+  let n = size m in
+  if Vec.dim p <> n then invalid_arg "Rc_model.steady_state: bad power vector";
+  let g = conductance_matrix m in
+  let rhs = Vec.init n (fun i -> p.(i) +. (m.g_amb.(i) *. m.prm.ambient)) in
+  Lu.solve g rhs
+
+let conductance_sparse m =
+  let n = size m in
+  let trips = ref [] in
+  for i = 0 to n - 1 do
+    let diag = ref (m.g_amb.(i)) in
+    for j = 0 to n - 1 do
+      let g = Mat.get m.lateral i j in
+      if g > 0.0 then begin
+        diag := !diag +. g;
+        trips := { Sparse.row = i; col = j; value = -.g } :: !trips
+      end
+    done;
+    trips := { Sparse.row = i; col = i; value = !diag } :: !trips
+  done;
+  Sparse.of_triplets ~rows:n ~cols:n !trips
+
+let steady_state_cg ?(tol = 1e-10) m p =
+  let n = size m in
+  if Vec.dim p <> n then invalid_arg "Rc_model.steady_state_cg: bad power";
+  let g = conductance_sparse m in
+  let rhs = Vec.init n (fun i -> p.(i) +. (m.g_amb.(i) *. m.prm.ambient)) in
+  let r = Sparse.cg ~tol g rhs in
+  if not r.Sparse.converged then failwith "Rc_model.steady_state_cg: stalled";
+  (r.Sparse.solution, r.Sparse.iterations)
+
+type discrete = {
+  step : Mat.t;
+  injection : Vec.t;
+  drive : Vec.t;
+  dt : float;
+  ambient : float;
+}
+
+let total_conductance m i = m.g_amb.(i) +. Vec.sum (Mat.row m.lateral i)
+
+let max_monotone_dt m =
+  let n = size m in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    best := Float.min !best (m.cap.(i) /. total_conductance m i)
+  done;
+  !best
+
+let discretize m ~dt =
+  if dt <= 0.0 then invalid_arg "Rc_model.discretize: non-positive dt";
+  let limit = max_monotone_dt m in
+  if dt > limit then
+    invalid_arg
+      (Printf.sprintf
+         "Rc_model.discretize: dt=%g exceeds the monotone limit %g" dt limit);
+  let n = size m in
+  let step =
+    Mat.init n n (fun i j ->
+        let aij = dt *. Mat.get m.lateral i j /. m.cap.(i) in
+        if i = j then 1.0 -. (dt *. total_conductance m i /. m.cap.(i))
+        else aij)
+  in
+  let injection = Vec.init n (fun i -> dt /. m.cap.(i)) in
+  let drive =
+    Vec.init n (fun i -> dt *. m.g_amb.(i) /. m.cap.(i) *. m.prm.ambient)
+  in
+  { step; injection; drive; dt; ambient = m.prm.ambient }
+
+let step_temperature d t p =
+  let n = Mat.rows d.step in
+  if Vec.dim t <> n || Vec.dim p <> n then
+    invalid_arg "Rc_model.step_temperature: dimension mismatch";
+  let t' = Mat.mul_vec d.step t in
+  for i = 0 to n - 1 do
+    t'.(i) <- t'.(i) +. (d.injection.(i) *. p.(i)) +. d.drive.(i)
+  done;
+  t'
+
+let discrete_steady_state d p =
+  let n = Mat.rows d.step in
+  if Vec.dim p <> n then
+    invalid_arg "Rc_model.discrete_steady_state: bad power vector";
+  (* (I - A) t = b.p + c *)
+  let i_minus_a = Mat.sub (Mat.identity n) d.step in
+  let rhs = Vec.init n (fun i -> (d.injection.(i) *. p.(i)) +. d.drive.(i)) in
+  Lu.solve i_minus_a rhs

@@ -1,0 +1,88 @@
+(** RC thermal network extraction, and its discrete-time form.
+
+    Builds the lumped thermal network of a floorplan in the style of
+    HotSpot [Skadron et al., TACO 2004] and the MPSoC tool of
+    [Paci et al., DATE 2006]: one node per block, lateral conductances
+    proportional to the shared edge length through the die thickness,
+    a vertical conductance per unit area to ambient (lumping the
+    spreader/sink stack), and heat capacities proportional to block
+    volume.
+
+    The continuous model is [C dT/dt = -G (T - ...) + P], which the
+    paper discretizes (its Eq. 1) as
+
+    [t_{k+1,i} = t_{k,i} + sum_j a_ij (t_{k,j} - t_{k,i}) + b_i p_i]
+
+    plus an ambient term.  {!discretize} produces exactly that affine
+    recurrence [t_{k+1} = A t_k + diag(b) p + c]. *)
+
+open Linalg
+
+type params = {
+  die_thickness : float;  (** meters (default 0.5e-3). *)
+  conductivity : float;  (** W/(m K), silicon (default 100.0). *)
+  volumetric_heat_capacity : float;  (** J/(m^3 K) (default 1.75e6). *)
+  vertical_conductance_per_area : float;
+      (** W/(K m^2): effective package conductance, die to ambient
+          through spreader and sink (default 3.0e3). *)
+  ambient : float;  (** Ambient temperature, Celsius (default 27.0). *)
+}
+
+val default_params : params
+
+type t
+(** The continuous-time network. *)
+
+val build : ?params:params -> Floorplan.t -> t
+
+val size : t -> int
+val floorplan : t -> Floorplan.t
+val params : t -> params
+
+val conductance : t -> int -> int -> float
+(** Lateral conductance between two nodes (W/K); [0.0] if not
+    adjacent. *)
+
+val ambient_conductance : t -> int -> float
+val capacitance : t -> int -> float
+
+val steady_state : t -> Vec.t -> Vec.t
+(** [steady_state m p] is the equilibrium temperature vector under
+    constant power [p] (length = number of blocks). *)
+
+val conductance_sparse : t -> Sparse.t
+(** The (SPD) conductance matrix in CSR form: the Laplacian of the
+    lateral network plus the ambient conductances on the diagonal. *)
+
+val steady_state_cg : ?tol:float -> t -> Vec.t -> Vec.t * int
+(** Like {!steady_state} but via conjugate gradients on the sparse
+    matrix — the right tool for fine-grained meshes
+    ({!Floorplan.grid}) where dense LU is cubic.  Returns the
+    temperatures and the CG iteration count; raises [Failure] if CG
+    stalls. *)
+
+(** {1 Discrete-time form (the paper's Eq. 1)} *)
+
+type discrete = {
+  step : Mat.t;  (** [A]: nonnegative for a stable step size. *)
+  injection : Vec.t;  (** [b]: per-node power-to-temperature gain. *)
+  drive : Vec.t;  (** [c]: ambient forcing term. *)
+  dt : float;
+  ambient : float;
+}
+
+val max_monotone_dt : t -> float
+(** Largest step size for which the explicit-Euler matrix [A] stays
+    elementwise nonnegative — the regime in which temperatures are
+    monotone in initial conditions and powers (the lemma the Pro-Temp
+    guarantee rests on). *)
+
+val discretize : t -> dt:float -> discrete
+(** Raises [Invalid_argument] if [dt] exceeds {!max_monotone_dt}. *)
+
+val step_temperature : discrete -> Vec.t -> Vec.t -> Vec.t
+(** [step_temperature d t p] is one application of the recurrence. *)
+
+val discrete_steady_state : discrete -> Vec.t -> Vec.t
+(** Fixed point of the recurrence under constant [p]; equals
+    {!steady_state} of the continuous model. *)

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Arrival List Printf Rng Task

@@ -1,0 +1,1 @@
+lib/workload/task.ml: Float Format

@@ -1,0 +1,1 @@
+lib/workload/task.mli: Format

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Arrival Float Format List Mix Rng Stdlib Task

@@ -1,0 +1,60 @@
+type t =
+  | Poisson
+  | Bursty of { burst_factor : float; mean_on : float; mean_off : float }
+  | Periodic of { jitter : float }
+
+let generate_times process ~rng ~rate ~count =
+  if rate <= 0.0 then invalid_arg "Arrival.generate_times: non-positive rate";
+  if count < 0 then invalid_arg "Arrival.generate_times: negative count";
+  match process with
+  | Poisson ->
+      let t = ref 0.0 in
+      Array.init count (fun _ ->
+          t := !t +. Rng.exponential rng ~rate;
+          !t)
+  | Periodic { jitter } ->
+      if jitter < 0.0 || jitter >= 1.0 then
+        invalid_arg "Arrival.generate_times: jitter outside [0,1)";
+      let period = 1.0 /. rate in
+      let t = ref 0.0 in
+      Array.init count (fun _ ->
+          let j = 1.0 +. (jitter *. (Rng.float rng 1.0 -. 0.5)) in
+          t := !t +. (period *. j);
+          !t)
+  | Bursty { burst_factor; mean_on; mean_off } ->
+      if burst_factor <= 1.0 then
+        invalid_arg "Arrival.generate_times: burst_factor must exceed 1";
+      if mean_on <= 0.0 || mean_off <= 0.0 then
+        invalid_arg "Arrival.generate_times: non-positive phase duration";
+      let on_fraction = mean_on /. (mean_on +. mean_off) in
+      if burst_factor *. on_fraction >= 1.0 then
+        invalid_arg
+          "Arrival.generate_times: burst_factor too large for the on \
+           fraction (off-phase rate would be negative)";
+      let on_rate = burst_factor *. rate in
+      let off_rate =
+        rate *. (1.0 -. (burst_factor *. on_fraction)) /. (1.0 -. on_fraction)
+      in
+      (* Alternate exponentially distributed on/off phases; inside a
+         phase, arrivals are Poisson at the phase rate.  Phases with
+         rate zero simply skip time. *)
+      let times = Array.make count 0.0 in
+      let t = ref 0.0 in
+      let produced = ref 0 in
+      let in_burst = ref (Rng.bernoulli rng ~p:on_fraction) in
+      while !produced < count do
+        let mean = if !in_burst then mean_on else mean_off in
+        let phase_rate = if !in_burst then on_rate else off_rate in
+        let phase_end = !t +. Rng.exponential rng ~rate:(1.0 /. mean) in
+        if phase_rate > 0.0 then begin
+          let next = ref (!t +. Rng.exponential rng ~rate:phase_rate) in
+          while !produced < count && !next < phase_end do
+            times.(!produced) <- !next;
+            incr produced;
+            next := !next +. Rng.exponential rng ~rate:phase_rate
+          done
+        end;
+        t := phase_end;
+        in_burst := not !in_burst
+      done;
+      times

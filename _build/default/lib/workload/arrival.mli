@@ -1,0 +1,24 @@
+(** Arrival processes for task traces.
+
+    Three models: Poisson (web-style independent requests), bursty
+    on/off-modulated Poisson (consolidated server traffic — the
+    pattern the paper blames for Basic-DFS violations even under good
+    task assignment), and jittered-periodic (multimedia frame
+    processing). *)
+
+type t =
+  | Poisson
+  | Bursty of {
+      burst_factor : float;
+          (** Arrival-rate multiplier during bursts (> 1). *)
+      mean_on : float;  (** Mean burst duration, seconds. *)
+      mean_off : float;  (** Mean quiet duration, seconds. *)
+    }
+  | Periodic of { jitter : float  (** Fraction of the period, in [0,1). *) }
+
+val generate_times :
+  t -> rng:Rng.t -> rate:float -> count:int -> float array
+(** [generate_times p ~rng ~rate ~count] produces [count] increasing
+    arrival instants whose long-run average rate is [rate] (tasks per
+    second).  Raises [Invalid_argument] for non-positive [rate] or
+    invalid process parameters. *)

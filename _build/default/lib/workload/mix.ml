@@ -1,0 +1,114 @@
+type component = {
+  benchmark : Task.benchmark;
+  weight : float;
+  work_lo : float;
+  work_hi : float;
+}
+
+type t = {
+  name : string;
+  components : component list;
+  process : Arrival.t;
+  utilization : float;
+}
+
+let validate mix =
+  if mix.components = [] then
+    invalid_arg (Printf.sprintf "Mix %S has no components" mix.name);
+  List.iter
+    (fun c ->
+      if c.weight <= 0.0 then
+        invalid_arg (Printf.sprintf "Mix %S: non-positive weight" mix.name);
+      if c.work_lo <= 0.0 || c.work_hi < c.work_lo then
+        invalid_arg (Printf.sprintf "Mix %S: bad work range" mix.name))
+    mix.components;
+  if mix.utilization <= 0.0 || mix.utilization > 1.0 then
+    invalid_arg (Printf.sprintf "Mix %S: utilization outside (0,1]" mix.name)
+
+let total_weight mix =
+  List.fold_left (fun acc c -> acc +. c.weight) 0.0 mix.components
+
+let mean_work mix =
+  validate mix;
+  let weighted =
+    List.fold_left
+      (fun acc c -> acc +. (c.weight *. 0.5 *. (c.work_lo +. c.work_hi)))
+      0.0 mix.components
+  in
+  weighted /. total_weight mix
+
+let arrival_rate mix ~n_cores =
+  if n_cores <= 0 then invalid_arg "Mix.arrival_rate: non-positive cores";
+  mix.utilization *. float_of_int n_cores /. mean_work mix
+
+let sample_task mix ~rng ~id ~arrival =
+  let total = total_weight mix in
+  let pick = Rng.float rng total in
+  let rec choose acc = function
+    | [] -> invalid_arg "Mix.sample_task: empty mix"
+    | [ c ] -> c
+    | c :: rest ->
+        let acc = acc +. c.weight in
+        if pick < acc then c else choose acc rest
+  in
+  let c = choose 0.0 mix.components in
+  {
+    Task.id;
+    arrival;
+    work = Rng.uniform rng ~lo:c.work_lo ~hi:c.work_hi;
+    benchmark = c.benchmark;
+  }
+
+let ms x = x *. 1e-3
+
+let web =
+  {
+    name = "web";
+    components =
+      [ { benchmark = Task.Web; weight = 1.0; work_lo = ms 1.0;
+          work_hi = ms 4.0 } ];
+    process = Arrival.Poisson;
+    utilization = 0.45;
+  }
+
+let multimedia =
+  {
+    name = "multimedia";
+    components =
+      [ { benchmark = Task.Multimedia; weight = 1.0; work_lo = ms 5.0;
+          work_hi = ms 10.0 } ];
+    process = Arrival.Periodic { jitter = 0.3 };
+    utilization = 0.55;
+  }
+
+let compute_intensive =
+  {
+    name = "compute";
+    components =
+      [ { benchmark = Task.Compute; weight = 1.0; work_lo = ms 8.0;
+          work_hi = ms 10.0 } ];
+    process =
+      Arrival.Bursty { burst_factor = 1.5; mean_on = 0.5; mean_off = 0.4 };
+    utilization = 0.9;
+  }
+
+let paper_mix =
+  {
+    name = "mix";
+    components =
+      [
+        { benchmark = Task.Web; weight = 0.4; work_lo = ms 1.0;
+          work_hi = ms 4.0 };
+        { benchmark = Task.Multimedia; weight = 0.35; work_lo = ms 5.0;
+          work_hi = ms 10.0 };
+        { benchmark = Task.Compute; weight = 0.25; work_lo = ms 8.0;
+          work_hi = ms 10.0 };
+      ];
+    process =
+      Arrival.Bursty { burst_factor = 1.5; mean_on = 0.4; mean_off = 0.4 };
+    utilization = 0.65;
+  }
+
+let all = [ web; multimedia; compute_intensive; paper_mix ]
+
+let by_name name = List.find (fun m -> m.name = name) all

@@ -1,0 +1,62 @@
+(** Benchmark mixes: named workload scenarios.
+
+    Each mix blends benchmark classes (with per-class task-length
+    ranges inside the paper's 1-10 ms envelope), fixes an arrival
+    process and a target utilization — the fraction of the machine's
+    total capacity at maximum frequency that the trace demands on
+    average.  The four predefined mixes model the paper's evaluation
+    workloads. *)
+
+type component = {
+  benchmark : Task.benchmark;
+  weight : float;  (** Relative share of tasks; normalized internally. *)
+  work_lo : float;  (** Shortest task of the class, seconds at fmax. *)
+  work_hi : float;
+}
+
+type t = {
+  name : string;
+  components : component list;
+  process : Arrival.t;
+  utilization : float;
+      (** Offered load as a fraction of [n_cores * fmax] capacity. *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on empty components, non-positive
+    weights, inverted work ranges or utilization outside (0, 1]. *)
+
+val mean_work : t -> float
+(** Weighted mean task length, seconds. *)
+
+val arrival_rate : t -> n_cores:int -> float
+(** Task arrival rate (tasks/s) that realizes [utilization] on
+    [n_cores] cores: [utilization * n_cores / mean_work]. *)
+
+val sample_task :
+  t -> rng:Rng.t -> id:int -> arrival:float -> Task.t
+(** Draw a task class (by weight) and a length (uniform in the class
+    range). *)
+
+(** {1 The paper's workloads} *)
+
+val web : t
+(** Short web/transactional requests, Poisson arrivals, ~45% load. *)
+
+val multimedia : t
+(** Frame-sized multimedia jobs, jittered-periodic arrivals,
+    ~55% load. *)
+
+val compute_intensive : t
+(** The "most computation intensive benchmark": long tasks, bursty
+    arrivals, ~85% load (drives Basic-DFS above [tmax] up to 40% of
+    the time in the paper's Fig. 6b). *)
+
+val paper_mix : t
+(** The Fig. 6a blend of web, multimedia and compute tasks with
+    moderate burstiness, ~60% load. *)
+
+val by_name : string -> t
+(** Look up one of the predefined mixes; raises [Not_found]. *)
+
+val all : t list

@@ -1,0 +1,45 @@
+(* splitmix64 (Steele, Lea & Flood): tiny state, excellent statistical
+   quality for simulation workloads, trivially splittable. *)
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+(* Uniform in [0, 1): use the top 53 bits. *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound =
+  if bound <= 0.0 then invalid_arg "Rng.float: non-positive bound";
+  unit_float t *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* Rejection-free modulo is fine for simulation purposes. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1)
+                  (Int64.of_int bound))
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. (unit_float t *. (hi -. lo))
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: non-positive rate";
+  -.log (1.0 -. unit_float t) /. rate
+
+let bernoulli t ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  unit_float t < p

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All trace generation goes through this generator so that every
+    experiment is exactly reproducible from a seed, independent of the
+    OCaml stdlib's [Random] implementation details. *)
+
+type t
+
+val create : int64 -> t
+(** Seed a fresh generator. *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel streams). *)
+
+val next_int64 : t -> int64
+(** Uniform over all 64-bit values; advances the state. *)
+
+val float : t -> float -> float
+(** [float rng bound] is uniform in [[0, bound)].  Requires
+    [bound > 0]. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [[0, bound)].  Requires
+    [bound > 0]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val exponential : t -> rate:float -> float
+(** Exponentially distributed with the given rate (mean [1/rate]). *)
+
+val bernoulli : t -> p:float -> bool

@@ -1,0 +1,57 @@
+type t = { tasks : Task.t array; mix_name : string; horizon : float }
+
+let generate ?(n_cores = 8) ~seed ~n_tasks mix =
+  Mix.validate mix;
+  if n_tasks <= 0 then invalid_arg "Trace.generate: need at least one task";
+  let rng = Rng.create seed in
+  let rate = Mix.arrival_rate mix ~n_cores in
+  let times =
+    Arrival.generate_times mix.Mix.process ~rng ~rate ~count:n_tasks
+  in
+  let tasks =
+    Array.mapi (fun id arrival -> Mix.sample_task mix ~rng ~id ~arrival) times
+  in
+  (* Arrival generators produce increasing times already; sort
+     defensively so downstream code may rely on the invariant. *)
+  Array.sort Task.compare_by_arrival tasks;
+  { tasks; mix_name = mix.Mix.name; horizon = times.(n_tasks - 1) }
+
+type statistics = {
+  count : int;
+  mean_work : float;
+  max_work : float;
+  total_work : float;
+  mean_interarrival : float;
+  offered_utilization : float;
+}
+
+let statistics trace ~n_cores =
+  if n_cores <= 0 then invalid_arg "Trace.statistics: non-positive cores";
+  let n = Array.length trace.tasks in
+  let total_work =
+    Array.fold_left (fun acc t -> acc +. t.Task.work) 0.0 trace.tasks
+  in
+  let max_work =
+    Array.fold_left (fun acc t -> Float.max acc t.Task.work) 0.0 trace.tasks
+  in
+  {
+    count = n;
+    mean_work = total_work /. float_of_int n;
+    max_work;
+    total_work;
+    mean_interarrival = trace.horizon /. float_of_int (Stdlib.max 1 (n - 1));
+    offered_utilization =
+      total_work /. (trace.horizon *. float_of_int n_cores);
+  }
+
+let tasks_in_window trace ~lo ~hi =
+  Array.to_list trace.tasks
+  |> List.filter (fun t -> t.Task.arrival >= lo && t.Task.arrival < hi)
+
+let pp_statistics ppf s =
+  Format.fprintf ppf
+    "%d tasks, mean work %.2f ms (max %.2f), mean interarrival %.2f ms, \
+     offered utilization %.1f%%"
+    s.count (s.mean_work *. 1e3) (s.max_work *. 1e3)
+    (s.mean_interarrival *. 1e3)
+    (100.0 *. s.offered_utilization)

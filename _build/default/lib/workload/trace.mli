@@ -1,0 +1,34 @@
+(** Task traces: reproducible workload inputs for the simulator.
+
+    The paper's experiments use "a large trace with around 60,000
+    tasks, modeling several hundred seconds of actual system
+    execution"; {!generate} produces such traces from a {!Mix} and a
+    seed. *)
+
+type t = {
+  tasks : Task.t array;  (** Sorted by arrival time. *)
+  mix_name : string;
+  horizon : float;  (** Arrival time of the last task, seconds. *)
+}
+
+val generate : ?n_cores:int -> seed:int64 -> n_tasks:int -> Mix.t -> t
+(** [generate ~seed ~n_tasks mix] draws [n_tasks] tasks.  [n_cores]
+    (default 8) scales the arrival rate so the trace's offered load
+    matches the mix's target utilization on that machine. *)
+
+type statistics = {
+  count : int;
+  mean_work : float;
+  max_work : float;
+  total_work : float;
+  mean_interarrival : float;
+  offered_utilization : float;
+      (** [total_work / (horizon * n_cores)]: the realized load. *)
+}
+
+val statistics : t -> n_cores:int -> statistics
+
+val tasks_in_window : t -> lo:float -> hi:float -> Task.t list
+(** Tasks with arrival in [[lo, hi)], in order. *)
+
+val pp_statistics : Format.formatter -> statistics -> unit

@@ -1,0 +1,1 @@
+test/test_convex.ml: Alcotest Array Barrier Bisect Chol Convex Expr Float Fun Kkt Linalg Linprog List Mat Newton Phase1 QCheck2 QCheck_alcotest Quad Random Simplex Solve Vec

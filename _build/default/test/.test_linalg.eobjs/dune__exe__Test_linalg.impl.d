@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Chol Expm Float Linalg List Lu Mat QCheck2 QCheck_alcotest Qr Random Sparse Tridiag Vec

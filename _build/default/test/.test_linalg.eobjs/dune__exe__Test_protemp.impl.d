@@ -1,0 +1,1 @@
+test/test_protemp.ml: Alcotest Array Float Fun Int64 Lazy Linalg List Option Printf Protemp QCheck2 QCheck_alcotest Random Sim Vec Workload

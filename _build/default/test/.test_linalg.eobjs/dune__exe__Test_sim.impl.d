@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int64 Lazy Linalg List Printf QCheck2 QCheck_alcotest Sim Thermal Vec Workload

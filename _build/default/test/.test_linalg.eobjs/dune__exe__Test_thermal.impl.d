@@ -1,0 +1,1 @@
+test/test_thermal.ml: Alcotest Array Calibrate Float Floorplan Hotspot3l Linalg List Mat Niagara Printf QCheck2 QCheck_alcotest Random Rc_model Thermal Transient Vec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Arrival Hashtbl Int64 List Mix QCheck2 QCheck_alcotest Rng Task Trace Workload

@@ -1,0 +1,637 @@
+(* Tests for the convex optimization substrate: quadratic forms, the
+   DCP layer, Newton, the barrier method, phase-I, KKT certificates,
+   LP corner cases and bisection. *)
+
+open Linalg
+open Convex
+
+let check_bool = Alcotest.(check bool)
+let check_float tol = Alcotest.(check (float tol))
+let check_int = Alcotest.(check int)
+
+let mk_rand seed = Random.State.make [| seed |]
+let random_vec st n = Vec.init n (fun _ -> Random.State.float st 2.0 -. 1.0)
+
+let random_spd st n =
+  let a = Mat.init n n (fun _ _ -> Random.State.float st 2.0 -. 1.0) in
+  Mat.add (Mat.matmul (Mat.transpose a) a) (Mat.identity n)
+
+(* ------------------------------------------------------------------ *)
+(* Quad *)
+
+let test_quad_affine_eval () =
+  let f = Quad.affine [| 1.0; -2.0 |] 3.0 in
+  check_float 1e-12 "eval" 2.0 (Quad.eval f [| 1.0; 1.0 |]);
+  check_bool "grad" true
+    (Vec.approx_equal (Quad.grad f [| 5.0; 5.0 |]) [| 1.0; -2.0 |]);
+  check_bool "affine" true (Quad.is_affine f)
+
+let test_quad_quadratic_eval () =
+  (* f(x) = 1/2 (2 x0^2 + 2 x1^2) + x0 = x0^2 + x1^2 + x0 *)
+  let f = Quad.quadratic (Mat.of_diag [| 2.0; 2.0 |]) [| 1.0; 0.0 |] 0.0 in
+  check_float 1e-12 "eval" 3.0 (Quad.eval f [| 1.0; 1.0 |]);
+  check_bool "grad" true
+    (Vec.approx_equal (Quad.grad f [| 1.0; 1.0 |]) [| 3.0; 2.0 |]);
+  check_bool "psd" true (Quad.hess_is_psd f)
+
+let test_quad_square_of_affine () =
+  (* (x0 - x1 + 2)^2 at (1, 0) = 9. *)
+  let f = Quad.square_of_affine [| 1.0; -1.0 |] 2.0 in
+  check_float 1e-12 "eval" 9.0 (Quad.eval f [| 1.0; 0.0 |]);
+  (* gradient: 2 (q.x + r) q = 2*3*(1,-1) = (6,-6) *)
+  check_bool "grad" true
+    (Vec.approx_equal (Quad.grad f [| 1.0; 0.0 |]) [| 6.0; -6.0 |]);
+  check_bool "psd" true (Quad.hess_is_psd f)
+
+let test_quad_algebra () =
+  let f = Quad.square_of_affine [| 1.0 |] 0.0 in
+  let g = Quad.affine [| 2.0 |] 1.0 in
+  let h = Quad.add f (Quad.scale 3.0 g) in
+  (* x^2 + 6x + 3 at x=2: 4 + 12 + 3 = 19 *)
+  check_float 1e-12 "combo" 19.0 (Quad.eval h [| 2.0 |]);
+  let s = Quad.sub h h in
+  check_float 1e-12 "self-sub" 0.0 (Quad.eval s [| 7.0 |])
+
+let test_quad_extend () =
+  let f = Quad.square_of_affine [| 1.0; 1.0 |] 0.0 in
+  let g = Quad.extend f 4 in
+  check_int "dim" 4 (Quad.dim g);
+  check_float 1e-12 "ignores new coords" 4.0
+    (Quad.eval g [| 1.0; 1.0; 99.0; -99.0 |])
+
+let test_quad_grad_finite_difference () =
+  let st = mk_rand 2 in
+  let n = 5 in
+  let f = Quad.quadratic (random_spd st n) (random_vec st n) 0.3 in
+  let x = random_vec st n in
+  let g = Quad.grad f x in
+  let h = 1e-6 in
+  for i = 0 to n - 1 do
+    let xp = Vec.copy x and xm = Vec.copy x in
+    xp.(i) <- xp.(i) +. h;
+    xm.(i) <- xm.(i) -. h;
+    let fd = (Quad.eval f xp -. Quad.eval f xm) /. (2.0 *. h) in
+    check_float 1e-5 "fd grad" fd g.(i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Expr (DCP layer) *)
+
+let test_expr_curvature () =
+  let x = Expr.var 2 0 in
+  check_bool "var affine" true (Expr.curvature x = Expr.Affine);
+  check_bool "square convex" true (Expr.curvature (Expr.square x) = Expr.Convex);
+  check_bool "neg square concave" true
+    (Expr.curvature (Expr.neg (Expr.square x)) = Expr.Concave);
+  check_bool "scale by negative flips" true
+    (Expr.curvature (Expr.scale (-2.0) (Expr.square x)) = Expr.Concave)
+
+let test_expr_rejects_non_dcp () =
+  let x = Expr.var 1 0 in
+  let sq = Expr.square x in
+  check_bool "square of convex rejected" true
+    (match Expr.square sq with
+    | _ -> false
+    | exception Expr.Non_dcp _ -> true);
+  check_bool "convex+concave rejected" true
+    (match Expr.add sq (Expr.neg sq) with
+    | _ -> false
+    | exception Expr.Non_dcp _ -> true);
+  check_bool "convex rhs of leq rejected" true
+    (match Expr.leq x sq with
+    | _ -> false
+    | exception Expr.Non_dcp _ -> true);
+  check_bool "concave minimize rejected" true
+    (match Expr.minimize (Expr.neg sq) [] with
+    | _ -> false
+    | exception Expr.Non_dcp _ -> true)
+
+let test_expr_eval () =
+  let n = 3 in
+  let e =
+    Expr.add
+      (Expr.sum_squares [ Expr.var n 0; Expr.var n 1 ])
+      (Expr.scale 2.0 (Expr.var n 2))
+  in
+  check_float 1e-12 "eval" (1.0 +. 4.0 +. 6.0) (Expr.eval e [| 1.0; 2.0; 3.0 |])
+
+let test_expr_quad_form () =
+  let p = Mat.of_diag [| 2.0; 4.0 |] in
+  let e = Expr.quad_form p in
+  check_float 1e-12 "eval" (1.0 +. 2.0) (Expr.eval e [| 1.0; 1.0 |]);
+  let neg = Mat.of_diag [| -1.0; 1.0 |] in
+  check_bool "indefinite rejected" true
+    (match Expr.quad_form neg with
+    | _ -> false
+    | exception Expr.Non_dcp _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Newton *)
+
+let quad_bowl_oracle p q =
+  (* f(x) = 1/2 x'Px + q'x *)
+  let f = Quad.quadratic p q 0.0 in
+  {
+    Newton.value = (fun x -> Some (Quad.eval f x));
+    grad_hess = (fun x -> (Quad.grad f x, Quad.hess f));
+  }
+
+let test_newton_quadratic_one_step () =
+  (* On a quadratic, Newton converges in one damped step. *)
+  let st = mk_rand 4 in
+  let n = 6 in
+  let p = random_spd st n in
+  let q = random_vec st n in
+  let r = Newton.minimize (quad_bowl_oracle p q) (Vec.zeros n) in
+  check_bool "converged" true (r.Newton.outcome = Newton.Converged);
+  (* optimum solves P x = -q *)
+  let expect = Chol.solve p (Vec.neg q) in
+  check_bool "argmin" true (Vec.approx_equal ~tol:1e-6 r.Newton.x expect);
+  check_bool "few iterations" true (r.Newton.iterations <= 3)
+
+let test_newton_respects_domain () =
+  (* minimize -log(x) + x on x > 0: optimum at x = 1. *)
+  let oracle =
+    {
+      Newton.value =
+        (fun x -> if x.(0) <= 0.0 then None else Some (x.(0) -. log x.(0)));
+      grad_hess =
+        (fun x ->
+          ([| 1.0 -. (1.0 /. x.(0)) |],
+           Mat.of_diag [| 1.0 /. (x.(0) *. x.(0)) |]));
+    }
+  in
+  let r = Newton.minimize oracle [| 0.01 |] in
+  check_bool "converged" true (r.Newton.outcome = Newton.Converged);
+  check_float 1e-6 "optimum" 1.0 r.Newton.x.(0)
+
+let test_newton_rejects_bad_start () =
+  let oracle =
+    {
+      Newton.value = (fun x -> if x.(0) <= 0.0 then None else Some x.(0));
+      grad_hess = (fun _ -> ([| 1.0 |], Mat.of_diag [| 1.0 |]));
+    }
+  in
+  check_bool "raises" true
+    (match Newton.minimize oracle [| -1.0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Barrier on problems with known solutions *)
+
+let test_barrier_box_lp () =
+  (* minimize x0 + x1 s.t. 0 <= xi <= 1: optimum (0,0), value 0. *)
+  let n = 2 in
+  let constraints =
+    Array.of_list
+      (List.concat_map
+         (fun i ->
+           List.map Expr.constr_quad (Expr.box n i ~lo:0.0 ~hi:1.0))
+         [ 0; 1 ])
+  in
+  let p =
+    { Barrier.objective = Quad.affine [| 1.0; 1.0 |] 0.0; constraints }
+  in
+  let r = Barrier.solve p [| 0.5; 0.5 |] in
+  check_float 1e-5 "value" 0.0 r.Barrier.objective_value;
+  check_bool "near corner" true (Vec.norm_inf r.Barrier.x < 1e-4)
+
+let test_barrier_projection () =
+  (* minimize ||x - (2,2)||^2 s.t. x0 + x1 <= 2: projection (1,1). *)
+  let obj =
+    Quad.add
+      (Quad.square_of_affine [| 1.0; 0.0 |] (-2.0))
+      (Quad.square_of_affine [| 0.0; 1.0 |] (-2.0))
+  in
+  let constraints = [| Quad.affine [| 1.0; 1.0 |] (-2.0) |] in
+  let r = Barrier.solve { Barrier.objective = obj; constraints } [| 0.0; 0.0 |] in
+  check_bool "projection" true
+    (Vec.approx_equal ~tol:1e-4 r.Barrier.x [| 1.0; 1.0 |]);
+  (* The dual of the active constraint must be ~2 (from KKT:
+     2(x0-2) + lambda = 0 at x0=1). *)
+  check_float 1e-3 "dual" 2.0 r.Barrier.dual.(0)
+
+let test_barrier_inactive_constraint () =
+  (* minimize (x-1)^2 s.t. x <= 100: unconstrained optimum x=1. *)
+  let obj = Quad.square_of_affine [| 1.0 |] (-1.0) in
+  let constraints = [| Quad.affine [| 1.0 |] (-100.0) |] in
+  let r = Barrier.solve { Barrier.objective = obj; constraints } [| 0.0 |] in
+  check_float 1e-5 "optimum" 1.0 r.Barrier.x.(0);
+  check_bool "dual tiny" true (r.Barrier.dual.(0) < 1e-4)
+
+let test_barrier_quadratic_constraint () =
+  (* minimize x0 + x1 s.t. x0^2 + x1^2 <= 1: optimum (-1/sqrt2, -1/sqrt2),
+     value -sqrt(2). *)
+  let obj = Quad.affine [| 1.0; 1.0 |] 0.0 in
+  let ball = Quad.quadratic (Mat.of_diag [| 2.0; 2.0 |]) (Vec.zeros 2) (-1.0) in
+  let r =
+    Barrier.solve { Barrier.objective = obj; constraints = [| ball |] }
+      [| 0.0; 0.0 |]
+  in
+  check_float 1e-4 "value" (-.sqrt 2.0) r.Barrier.objective_value;
+  let s = -1.0 /. sqrt 2.0 in
+  check_bool "argmin" true (Vec.approx_equal ~tol:1e-4 r.Barrier.x [| s; s |])
+
+let test_barrier_rejects_infeasible_start () =
+  let constraints = [| Quad.affine [| 1.0 |] 0.0 |] in
+  let p = { Barrier.objective = Quad.affine [| 1.0 |] 0.0; constraints } in
+  check_bool "raises" true
+    (match Barrier.solve p [| 1.0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_barrier_unconstrained () =
+  let obj = Quad.square_of_affine [| 1.0 |] (-3.0) in
+  let r = Barrier.solve { Barrier.objective = obj; constraints = [||] } [| 0.0 |] in
+  check_float 1e-6 "optimum" 3.0 r.Barrier.x.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1 and two-phase Solve *)
+
+let test_phase1_finds_point () =
+  (* Feasible set: 1 <= x <= 2, start from 0 (infeasible). *)
+  let constraints =
+    [| Quad.affine [| -1.0 |] 1.0 (* 1 - x <= 0 *);
+       Quad.affine [| 1.0 |] (-2.0) (* x - 2 <= 0 *) |]
+  in
+  match Phase1.find constraints [| 0.0 |] with
+  | Phase1.Strictly_feasible x ->
+      check_bool "inside" true (x.(0) > 1.0 && x.(0) < 2.0)
+  | Phase1.Infeasible _ -> Alcotest.fail "expected feasible"
+
+let test_phase1_detects_infeasible () =
+  (* x <= 0 and x >= 1 simultaneously. *)
+  let constraints =
+    [| Quad.affine [| 1.0 |] 0.0; Quad.affine [| -1.0 |] 1.0 |]
+  in
+  match Phase1.find constraints [| 0.5 |] with
+  | Phase1.Strictly_feasible _ -> Alcotest.fail "expected infeasible"
+  | Phase1.Infeasible worst -> check_bool "worst >= 0" true (worst >= -1e-6)
+
+let test_phase1_short_circuit () =
+  (* Already strictly feasible: returns the same point. *)
+  let constraints = [| Quad.affine [| 1.0 |] (-10.0) |] in
+  match Phase1.find constraints [| 0.0 |] with
+  | Phase1.Strictly_feasible x -> check_float 1e-12 "same point" 0.0 x.(0)
+  | Phase1.Infeasible _ -> Alcotest.fail "expected feasible"
+
+let test_solve_end_to_end () =
+  (* minimize (x-5)^2 s.t. x <= 3, from an infeasible start: optimum 3. *)
+  let obj = Quad.square_of_affine [| 1.0 |] (-5.0) in
+  let constraints = [| Quad.affine [| 1.0 |] (-3.0) |] in
+  match Solve.solve { Barrier.objective = obj; constraints } ~start:[| 10.0 |] with
+  | Solve.Optimal s ->
+      check_float 1e-4 "optimum" 3.0 s.Solve.x.(0);
+      check_bool "kkt" true (Kkt.max_residual s.Solve.kkt < 1e-3)
+  | Solve.Infeasible _ -> Alcotest.fail "expected optimal"
+
+let test_solve_reports_infeasible () =
+  let obj = Quad.affine [| 1.0 |] 0.0 in
+  let constraints =
+    [| Quad.affine [| 1.0 |] 0.0; Quad.affine [| -1.0 |] 1.0 |]
+  in
+  match Solve.solve { Barrier.objective = obj; constraints } with
+  | Solve.Optimal _ -> Alcotest.fail "expected infeasible"
+  | Solve.Infeasible _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Linprog *)
+
+let test_linprog_known () =
+  (* minimize -x0 - 2 x1 s.t. x0 + x1 <= 1, x >= 0.
+     Optimum at (0, 1), value -2. *)
+  let a =
+    Mat.of_rows [| [| 1.0; 1.0 |]; [| -1.0; 0.0 |]; [| 0.0; -1.0 |] |]
+  in
+  match
+    Linprog.solve ~c:[| -1.0; -2.0 |] ~a ~b:[| 1.0; 0.0; 0.0 |] ()
+  with
+  | Linprog.Optimal { x; objective_value; _ } ->
+      check_float 1e-4 "value" (-2.0) objective_value;
+      check_bool "vertex" true (Vec.approx_equal ~tol:1e-3 x [| 0.0; 1.0 |])
+  | Linprog.Infeasible _ -> Alcotest.fail "expected optimal"
+
+let test_linprog_infeasible () =
+  let a = Mat.of_rows [| [| 1.0 |]; [| -1.0 |] |] in
+  match Linprog.solve ~c:[| 1.0 |] ~a ~b:[| -1.0; -1.0 |] () with
+  | Linprog.Optimal _ -> Alcotest.fail "expected infeasible"
+  | Linprog.Infeasible _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Simplex *)
+
+let test_simplex_known () =
+  (* max x0 + 2 x1 s.t. x0 + x1 <= 4, x1 <= 2, x >= 0: optimum (2,2),
+     value -6 for the minimization form. *)
+  let a = Mat.of_rows [| [| 1.0; 1.0 |]; [| 0.0; 1.0 |] |] in
+  match Simplex.solve ~c:[| -1.0; -2.0 |] ~a ~b:[| 4.0; 2.0 |] with
+  | Simplex.Optimal { x; objective_value } ->
+      check_float 1e-9 "value" (-6.0) objective_value;
+      check_bool "vertex" true (Vec.approx_equal ~tol:1e-9 x [| 2.0; 2.0 |])
+  | Simplex.Unbounded | Simplex.Infeasible -> Alcotest.fail "expected optimal"
+
+let test_simplex_two_phase () =
+  (* min x s.t. x >= 1 (written -x <= -1), x >= 0: needs phase 1. *)
+  let a = Mat.of_rows [| [| -1.0 |] |] in
+  match Simplex.solve ~c:[| 1.0 |] ~a ~b:[| -1.0 |] with
+  | Simplex.Optimal { x; objective_value } ->
+      check_float 1e-9 "value" 1.0 objective_value;
+      check_float 1e-9 "x" 1.0 x.(0)
+  | Simplex.Unbounded | Simplex.Infeasible -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  (* x <= 1 and x >= 2 simultaneously. *)
+  let a = Mat.of_rows [| [| 1.0 |]; [| -1.0 |] |] in
+  check_bool "infeasible" true
+    (Simplex.solve ~c:[| 0.0 |] ~a ~b:[| 1.0; -2.0 |] = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  (* min -x0 with only x0 - x1 <= 1: x0 can grow with x1. *)
+  let a = Mat.of_rows [| [| 1.0; -1.0 |] |] in
+  check_bool "unbounded" true
+    (Simplex.solve ~c:[| -1.0; 0.0 |] ~a ~b:[| 1.0 |] = Simplex.Unbounded)
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex (redundant constraints through the optimum):
+     Bland's rule must terminate. *)
+  let a =
+    Mat.of_rows
+      [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |]; [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |]
+  in
+  match Simplex.solve ~c:[| -1.0; -1.0 |] ~a ~b:[| 1.0; 1.0; 1.0; 1.0 |] with
+  | Simplex.Optimal { objective_value; _ } ->
+      check_float 1e-9 "value" (-1.0) objective_value
+  | Simplex.Unbounded | Simplex.Infeasible -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Bisect *)
+
+let test_bisect_threshold () =
+  let r = Bisect.max_feasible ~tol:1e-9 ~lo:0.0 ~hi:10.0 (fun x -> x <= 3.7) in
+  (match r.Bisect.best_feasible with
+  | Some v -> check_float 1e-6 "threshold" 3.7 v
+  | None -> Alcotest.fail "expected feasible");
+  check_bool "probes logarithmic" true (r.Bisect.probes < 50)
+
+let test_bisect_all_infeasible () =
+  let r = Bisect.max_feasible ~lo:0.0 ~hi:1.0 (fun _ -> false) in
+  check_bool "none" true (r.Bisect.best_feasible = None);
+  check_bool "lo infeasible" true (r.Bisect.first_infeasible = Some 0.0)
+
+let test_bisect_all_feasible () =
+  let r = Bisect.max_feasible ~lo:0.0 ~hi:1.0 (fun _ -> true) in
+  check_bool "hi feasible" true (r.Bisect.best_feasible = Some 1.0);
+  check_bool "none infeasible" true (r.Bisect.first_infeasible = None)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+(* Random convex QP with box constraints: the barrier optimum must
+   satisfy the KKT conditions and beat random feasible points. *)
+let qp_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 5 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, seed))
+
+let random_box_qp st n =
+  let p = random_spd st n in
+  let q = random_vec st n in
+  let obj = Quad.quadratic p q 0.0 in
+  let constraints =
+    Array.init (2 * n) (fun k ->
+        let i = k / 2 in
+        if k mod 2 = 0 then Quad.linear_coord n i (-1.0) |> fun f ->
+          Quad.add_constant f (-1.0) (* -x_i - 1 <= 0 *)
+        else Quad.add_constant (Quad.linear_coord n i 1.0) (-1.0)
+        (* x_i - 1 <= 0 *))
+  in
+  { Barrier.objective = obj; constraints }
+
+let prop_barrier_kkt =
+  QCheck2.Test.make ~name:"barrier: KKT residuals small on random QPs"
+    ~count:60 qp_gen (fun (n, seed) ->
+      let st = mk_rand seed in
+      let p = random_box_qp st n in
+      let r = Barrier.solve p (Vec.zeros n) in
+      let kkt = Kkt.residuals p r.Barrier.x r.Barrier.dual in
+      Kkt.max_residual kkt < 1e-4)
+
+let prop_barrier_beats_random_feasible =
+  QCheck2.Test.make
+    ~name:"barrier: optimum value <= random feasible points" ~count:60 qp_gen
+    (fun (n, seed) ->
+      let st = mk_rand seed in
+      let p = random_box_qp st n in
+      let r = Barrier.solve p (Vec.zeros n) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let y = Vec.init n (fun _ -> Random.State.float st 1.8 -. 0.9) in
+        if Quad.eval p.Barrier.objective y < r.Barrier.objective_value -. 1e-5
+        then ok := false
+      done;
+      !ok)
+
+let prop_phase1_consistent =
+  (* Intervals [a, b]: phase 1 must find a point iff a < b. *)
+  QCheck2.Test.make ~name:"phase1: interval feasibility" ~count:100
+    QCheck2.Gen.(pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+    (fun (a, b) ->
+      QCheck2.assume (Float.abs (a -. b) > 1e-3);
+      let constraints =
+        [| Quad.add_constant (Quad.linear_coord 1 0 (-1.0)) a
+           (* a - x <= 0 *);
+           Quad.add_constant (Quad.linear_coord 1 0 1.0) (-.b)
+           (* x - b <= 0 *) |]
+      in
+      match Phase1.find constraints [| 0.0 |] with
+      | Phase1.Strictly_feasible x -> a < b && x.(0) > a && x.(0) < b
+      | Phase1.Infeasible _ -> a > b)
+
+(* The strongest solver evidence available: two algorithmically
+   independent LP solvers (tableau simplex vs log-barrier IPM) agree on
+   random feasible bounded instances. *)
+let prop_simplex_matches_barrier =
+  QCheck2.Test.make ~name:"simplex and barrier agree on random LPs"
+    ~count:40 qp_gen (fun (n, seed) ->
+      let st = mk_rand seed in
+      let m_rows = 1 + Random.State.int st 5 in
+      let a0 =
+        Mat.init m_rows n (fun _ _ -> Random.State.float st 2.0 -. 1.0)
+      in
+      let b0 = Vec.init m_rows (fun _ -> 0.5 +. Random.State.float st 1.5) in
+      let c = random_vec st n in
+      (* Box x <= 3 keeps both solvers bounded; x >= 0 is implicit for
+         the simplex and explicit rows for the barrier. *)
+      let box = Mat.init n n (fun i j -> if i = j then 1.0 else 0.0) in
+      let a_simplex =
+        Mat.init (m_rows + n) n (fun i j ->
+            if i < m_rows then Mat.get a0 i j else Mat.get box (i - m_rows) j)
+      in
+      let b_simplex = Vec.concat b0 (Vec.create n 3.0) in
+      let a_barrier =
+        Mat.init (m_rows + (2 * n)) n (fun i j ->
+            if i < m_rows then Mat.get a0 i j
+            else if i < m_rows + n then Mat.get box (i - m_rows) j
+            else if i - m_rows - n = j then -1.0
+            else 0.0)
+      in
+      let b_barrier = Vec.concat b_simplex (Vec.zeros n) in
+      match
+        ( Simplex.solve ~c ~a:a_simplex ~b:b_simplex,
+          Linprog.solve ~c ~a:a_barrier ~b:b_barrier () )
+      with
+      | ( Simplex.Optimal { objective_value = sv; _ },
+          Linprog.Optimal { objective_value = lv; _ } ) ->
+          Float.abs (sv -. lv) < 1e-3 *. Float.max 1.0 (Float.abs sv)
+      | Simplex.Infeasible, Linprog.Infeasible _ -> true
+      | _, _ -> false)
+
+(* Random affine expressions: the DCP layer's compilation to Quad must
+   agree with direct evaluation, and squares must evaluate to squares. *)
+let random_affine st n =
+  let q = random_vec st n in
+  let r = Random.State.float st 2.0 -. 1.0 in
+  (Expr.affine_of q r, q, r)
+
+let prop_expr_eval_matches_quad =
+  QCheck2.Test.make ~name:"expr: eval agrees with compiled quad" ~count:100
+    qp_gen (fun (n, seed) ->
+      let st = mk_rand seed in
+      let e1, _, _ = random_affine st n in
+      let e2, _, _ = random_affine st n in
+      let expr = Expr.add (Expr.square e1) (Expr.scale 3.0 e2) in
+      let x = random_vec st n in
+      Float.abs (Expr.eval expr x -. Quad.eval (Expr.to_quad expr) x) < 1e-9)
+
+let prop_expr_square_is_square =
+  QCheck2.Test.make ~name:"expr: square evaluates to the square" ~count:100
+    qp_gen (fun (n, seed) ->
+      let st = mk_rand seed in
+      let e, q, r = random_affine st n in
+      let x = random_vec st n in
+      let v = Vec.dot q x +. r in
+      Float.abs (Expr.eval (Expr.square e) x -. (v *. v)) < 1e-9)
+
+let prop_expr_curvature_closed =
+  (* Sums and nonnegative scalings of convex expressions stay convex,
+     and their compiled Hessians are PSD. *)
+  QCheck2.Test.make ~name:"expr: convex compositions have PSD Hessians"
+    ~count:60 qp_gen (fun (n, seed) ->
+      let st = mk_rand seed in
+      let e1, _, _ = random_affine st n in
+      let e2, _, _ = random_affine st n in
+      let c = Random.State.float st 3.0 in
+      let expr = Expr.add (Expr.scale c (Expr.square e1)) (Expr.square e2) in
+      Expr.curvature expr = Expr.Convex
+      && Quad.hess_is_psd (Expr.to_quad expr))
+
+(* End-to-end through the DCP layer: a least-squares-with-box problem
+   posed with Expr, solved by the barrier, checked against the
+   projection. *)
+let test_expr_to_solver_end_to_end () =
+  let n = 3 in
+  (* minimize sum_i (x_i - 2)^2 s.t. 0 <= x_i <= 1: optimum (1,1,1). *)
+  let terms =
+    List.init n (fun i ->
+        Expr.square (Expr.sub (Expr.var n i) (Expr.const n 2.0)))
+  in
+  let obj = List.fold_left Expr.add (List.hd terms) (List.tl terms) in
+  let constrs =
+    List.concat_map (fun i -> Expr.box n i ~lo:0.0 ~hi:1.0) (List.init n Fun.id)
+  in
+  let problem = Expr.minimize obj constrs in
+  match Solve.solve problem ~start:(Vec.create n 0.5) with
+  | Solve.Optimal s ->
+      check_bool "projection" true
+        (Vec.approx_equal ~tol:1e-4 s.Solve.x (Vec.create n 1.0))
+  | Solve.Infeasible _ -> Alcotest.fail "expected optimal"
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_barrier_kkt; prop_barrier_beats_random_feasible;
+      prop_phase1_consistent; prop_simplex_matches_barrier;
+      prop_expr_eval_matches_quad; prop_expr_square_is_square;
+      prop_expr_curvature_closed ]
+
+let () =
+  Alcotest.run "convex"
+    [
+      ( "quad",
+        [
+          Alcotest.test_case "affine eval/grad" `Quick test_quad_affine_eval;
+          Alcotest.test_case "quadratic eval/grad" `Quick
+            test_quad_quadratic_eval;
+          Alcotest.test_case "square of affine" `Quick
+            test_quad_square_of_affine;
+          Alcotest.test_case "algebra" `Quick test_quad_algebra;
+          Alcotest.test_case "extend" `Quick test_quad_extend;
+          Alcotest.test_case "gradient vs finite differences" `Quick
+            test_quad_grad_finite_difference;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "curvature tracking" `Quick test_expr_curvature;
+          Alcotest.test_case "rejects non-DCP" `Quick test_expr_rejects_non_dcp;
+          Alcotest.test_case "evaluation" `Quick test_expr_eval;
+          Alcotest.test_case "quad_form" `Quick test_expr_quad_form;
+          Alcotest.test_case "end-to-end through the solver" `Quick
+            test_expr_to_solver_end_to_end;
+        ] );
+      ( "newton",
+        [
+          Alcotest.test_case "quadratic bowl" `Quick
+            test_newton_quadratic_one_step;
+          Alcotest.test_case "respects domain" `Quick
+            test_newton_respects_domain;
+          Alcotest.test_case "rejects bad start" `Quick
+            test_newton_rejects_bad_start;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "box LP" `Quick test_barrier_box_lp;
+          Alcotest.test_case "projection QP" `Quick test_barrier_projection;
+          Alcotest.test_case "inactive constraint" `Quick
+            test_barrier_inactive_constraint;
+          Alcotest.test_case "quadratic constraint" `Quick
+            test_barrier_quadratic_constraint;
+          Alcotest.test_case "rejects infeasible start" `Quick
+            test_barrier_rejects_infeasible_start;
+          Alcotest.test_case "unconstrained" `Quick test_barrier_unconstrained;
+        ] );
+      ( "phase1",
+        [
+          Alcotest.test_case "finds point" `Quick test_phase1_finds_point;
+          Alcotest.test_case "detects infeasible" `Quick
+            test_phase1_detects_infeasible;
+          Alcotest.test_case "short circuit" `Quick test_phase1_short_circuit;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "end to end" `Quick test_solve_end_to_end;
+          Alcotest.test_case "reports infeasible" `Quick
+            test_solve_reports_infeasible;
+        ] );
+      ( "linprog",
+        [
+          Alcotest.test_case "known LP" `Quick test_linprog_known;
+          Alcotest.test_case "infeasible LP" `Quick test_linprog_infeasible;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "known LP" `Quick test_simplex_known;
+          Alcotest.test_case "two-phase start" `Quick test_simplex_two_phase;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "degenerate (Bland)" `Quick
+            test_simplex_degenerate;
+        ] );
+      ( "bisect",
+        [
+          Alcotest.test_case "finds threshold" `Quick test_bisect_threshold;
+          Alcotest.test_case "all infeasible" `Quick test_bisect_all_infeasible;
+          Alcotest.test_case "all feasible" `Quick test_bisect_all_feasible;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,606 @@
+(* Tests for the Pro-Temp core: specs, convex model construction and
+   solving, the offline sweep, the table, the online controllers, and
+   the headline never-exceeds-tmax guarantee as a property. *)
+
+open Linalg
+
+let check_bool = Alcotest.(check bool)
+let check_float tol = Alcotest.(check (float tol))
+let check_int = Alcotest.(check int)
+
+let machine = lazy (Sim.Machine.niagara ())
+
+(* A cheaper spec for solver-bound unit tests: same window, thermal
+   cap enforced every 4th step (the audit below confirms the guarantee
+   still holds at full resolution). *)
+let fast_spec = { Protemp.Spec.default with Protemp.Spec.constraint_stride = 4 }
+
+(* ------------------------------------------------------------------ *)
+(* Spec *)
+
+let test_spec_validation () =
+  let bad s =
+    match Protemp.Spec.validate s with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "negative tmax" true
+    (bad { Protemp.Spec.default with Protemp.Spec.tmax = -1.0 });
+  check_bool "zero stride" true
+    (bad { Protemp.Spec.default with Protemp.Spec.constraint_stride = 0 });
+  check_bool "default ok" true
+    (match Protemp.Spec.validate Protemp.Spec.default with
+    | () -> true
+    | exception Invalid_argument _ -> false)
+
+let test_spec_with_gradient () =
+  let s = Protemp.Spec.with_gradient ~weight:2.0 Protemp.Spec.default in
+  match s.Protemp.Spec.gradient with
+  | Some g -> check_float 1e-12 "weight" 2.0 g.Protemp.Spec.weight
+  | None -> Alcotest.fail "gradient not set"
+
+(* ------------------------------------------------------------------ *)
+(* Table (synthetic; no solver involved) *)
+
+let freqs v = Protemp.Table.Frequencies (Vec.create 8 v)
+
+let synthetic_table () =
+  Protemp.Table.make ~tstarts:[| 50.0; 80.0; 100.0 |]
+    ~ftargets:[| 2e8; 5e8; 8e8 |]
+    [|
+      [| freqs 2e8; freqs 5e8; freqs 8e8 |];
+      [| freqs 2e8; freqs 5e8; Protemp.Table.Infeasible |];
+      [| freqs 2e8; Protemp.Table.Infeasible; Protemp.Table.Infeasible |];
+    |]
+
+let test_table_validation () =
+  check_bool "unsorted tstarts" true
+    (match
+       Protemp.Table.make ~tstarts:[| 80.0; 50.0 |] ~ftargets:[| 1e8 |]
+         [| [| freqs 1e8 |]; [| freqs 1e8 |] |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "ragged" true
+    (match
+       Protemp.Table.make ~tstarts:[| 50.0 |] ~ftargets:[| 1e8; 2e8 |]
+         [| [| freqs 1e8 |] |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_table_row_selection () =
+  let t = synthetic_table () in
+  check_bool "below first" true
+    (Protemp.Table.row_for_temperature t 30.0 = Some 0);
+  check_bool "exact" true (Protemp.Table.row_for_temperature t 80.0 = Some 1);
+  check_bool "between" true (Protemp.Table.row_for_temperature t 81.0 = Some 2);
+  check_bool "too hot" true (Protemp.Table.row_for_temperature t 101.0 = None)
+
+let test_table_lookup_rounds_up_frequency () =
+  let t = synthetic_table () in
+  (* required 3e8 at a cool chip: smallest column >= required is 5e8 *)
+  match Protemp.Table.lookup t ~temperature:40.0 ~required:3e8 with
+  | Some f -> check_float 1.0 "rounded up" 5e8 f.(0)
+  | None -> Alcotest.fail "expected entry"
+
+let test_table_lookup_falls_back_down () =
+  let t = synthetic_table () in
+  (* hot row 100: the 5e8 and 8e8 columns are infeasible; fall back to
+     the next lower feasible point, 2e8. *)
+  match Protemp.Table.lookup t ~temperature:95.0 ~required:7e8 with
+  | Some f -> check_float 1.0 "fell back" 2e8 f.(0)
+  | None -> Alcotest.fail "expected fallback entry"
+
+let test_table_lookup_none_when_too_hot () =
+  let t = synthetic_table () in
+  check_bool "none" true
+    (Protemp.Table.lookup t ~temperature:120.0 ~required:1e8 = None)
+
+let test_table_frontier () =
+  let t = synthetic_table () in
+  let frontier = Protemp.Table.feasible_frontier t in
+  check_bool "row 0" true (frontier.(0) = (50.0, Some 8e8));
+  check_bool "row 1" true (frontier.(1) = (80.0, Some 5e8));
+  check_bool "row 2" true (frontier.(2) = (100.0, Some 2e8))
+
+let test_table_csv_roundtrip () =
+  let t = synthetic_table () in
+  let t' = Protemp.Table.of_csv (Protemp.Table.to_csv t) in
+  check_bool "axes" true
+    (Protemp.Table.tstarts t = Protemp.Table.tstarts t'
+    && Protemp.Table.ftargets t = Protemp.Table.ftargets t');
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      let same =
+        match (Protemp.Table.cell t i j, Protemp.Table.cell t' i j) with
+        | Protemp.Table.Infeasible, Protemp.Table.Infeasible -> true
+        | Protemp.Table.Frequencies a, Protemp.Table.Frequencies b ->
+            Vec.approx_equal ~tol:1.0 a b
+        | Protemp.Table.Infeasible, Protemp.Table.Frequencies _
+        | Protemp.Table.Frequencies _, Protemp.Table.Infeasible -> false
+      in
+      check_bool "cell" true same
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Model *)
+
+let test_model_easy_instance () =
+  (* Cool start, modest target: thermal slack everywhere, so the
+     optimum is the uniform split at exactly the target and the power
+     follows Eq. 2. *)
+  let m = Lazy.force machine in
+  let built = Protemp.Model.build ~machine:m ~spec:fast_spec ~tstart:40.0
+      ~ftarget:4e8 in
+  match Protemp.Model.solve built with
+  | Protemp.Model.Infeasible -> Alcotest.fail "expected feasible"
+  | Protemp.Model.Feasible s ->
+      check_float 2e6 "mean at target" 4e8 (Vec.mean s.Protemp.Model.frequencies);
+      (* p = 8 * 4W * 0.4^2 = 5.12 W *)
+      check_float 0.05 "power law" 5.12 s.Protemp.Model.total_power;
+      check_bool "peak within cap" true
+        (Protemp.Model.predicted_peak built s.Protemp.Model.frequencies
+        <= fast_spec.Protemp.Spec.tmax +. 1e-6)
+
+let test_model_infeasible_when_too_hot () =
+  let m = Lazy.force machine in
+  let built = Protemp.Model.build ~machine:m ~spec:fast_spec ~tstart:105.0
+      ~ftarget:1e8 in
+  check_bool "infeasible" true (Protemp.Model.solve built = Protemp.Model.Infeasible)
+
+let test_model_throughput_satisfied () =
+  let m = Lazy.force machine in
+  let built = Protemp.Model.build ~machine:m ~spec:fast_spec ~tstart:70.0
+      ~ftarget:7e8 in
+  match Protemp.Model.solve built with
+  | Protemp.Model.Infeasible -> Alcotest.fail "expected feasible"
+  | Protemp.Model.Feasible s ->
+      check_bool "throughput" true
+        (Vec.sum s.Protemp.Model.frequencies >= 8.0 *. 7e8 -. 8e6)
+
+let test_model_uniform_expands () =
+  let m = Lazy.force machine in
+  let spec = { fast_spec with Protemp.Spec.variant = Protemp.Spec.Uniform } in
+  let built = Protemp.Model.build ~machine:m ~spec ~tstart:40.0 ~ftarget:3e8 in
+  match Protemp.Model.solve built with
+  | Protemp.Model.Infeasible -> Alcotest.fail "expected feasible"
+  | Protemp.Model.Feasible s ->
+      check_int "eight cores" 8 (Vec.dim s.Protemp.Model.frequencies);
+      let f0 = s.Protemp.Model.frequencies.(0) in
+      check_bool "all equal" true
+        (Array.for_all (fun f -> Float.abs (f -. f0) < 1.0)
+           s.Protemp.Model.frequencies)
+
+let test_model_frontier_beats_uniform () =
+  (* Section 5.3: the variable assignment supports at least the
+     uniform frontier, with the periphery cores at or above the middle
+     ones. *)
+  let m = Lazy.force machine in
+  let var = Protemp.Model.build_frontier ~machine:m ~spec:fast_spec ~tstart:57.0 in
+  let uni =
+    Protemp.Model.build_frontier ~machine:m
+      ~spec:{ fast_spec with Protemp.Spec.variant = Protemp.Spec.Uniform }
+      ~tstart:57.0
+  in
+  match (Protemp.Model.solve_frontier var, Protemp.Model.solve_frontier uni) with
+  | Protemp.Model.Feasible v, Protemp.Model.Feasible u ->
+      let fv = Vec.mean v.Protemp.Model.frequencies in
+      let fu = Vec.mean u.Protemp.Model.frequencies in
+      check_bool (Printf.sprintf "variable %.0f >= uniform %.0f" fv fu) true
+        (fv >= fu -. 1e6);
+      (* periphery (P1 P4 P5 P8 = 0 3 4 7) at or above middles *)
+      let f = v.Protemp.Model.frequencies in
+      check_bool "P1 >= P2" true (f.(0) >= f.(1) -. 1e5);
+      check_bool "P4 >= P3" true (f.(3) >= f.(2) -. 1e5)
+  | _, _ -> Alcotest.fail "expected both frontiers feasible"
+
+let test_model_gradient_variant_reports_spread () =
+  let m = Lazy.force machine in
+  let spec = Protemp.Spec.with_gradient ~weight:0.5 fast_spec in
+  let built = Protemp.Model.build ~machine:m ~spec ~tstart:50.0 ~ftarget:5e8 in
+  match Protemp.Model.solve built with
+  | Protemp.Model.Infeasible -> Alcotest.fail "expected feasible"
+  | Protemp.Model.Feasible s -> (
+      match s.Protemp.Model.gradient_spread with
+      | Some spread -> check_bool "positive and bounded" true
+          (spread >= 0.0 && spread < 100.0)
+      | None -> Alcotest.fail "spread missing")
+
+let test_model_rejects_bad_ftarget () =
+  let m = Lazy.force machine in
+  check_bool "too high" true
+    (match
+       Protemp.Model.build ~machine:m ~spec:fast_spec ~tstart:40.0
+         ~ftarget:2e9
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Offline *)
+
+let small_table =
+  lazy
+    (Protemp.Offline.sweep ~machine:(Lazy.force machine) ~spec:fast_spec
+       ~tstarts:[| 40.0; 70.0; 100.0 |]
+       ~ftargets:[| 3e8; 6e8; 9e8 |]
+       ())
+
+let test_offline_sweep_shape () =
+  let t = Lazy.force small_table in
+  check_int "rows" 3 (Array.length (Protemp.Table.tstarts t));
+  check_int "cols" 3 (Array.length (Protemp.Table.ftargets t));
+  (* The cool rows support everything up to 900 MHz. *)
+  check_bool "cool row feasible" true
+    (match Protemp.Table.cell t 0 2 with
+    | Protemp.Table.Frequencies _ -> true
+    | Protemp.Table.Infeasible -> false)
+
+let test_offline_monotone_infeasibility () =
+  (* Once a column is infeasible in a row, all higher columns are. *)
+  let t = Lazy.force small_table in
+  Array.iteri
+    (fun i _ ->
+      let seen_infeasible = ref false in
+      Array.iteri
+        (fun j _ ->
+          match Protemp.Table.cell t i j with
+          | Protemp.Table.Infeasible -> seen_infeasible := true
+          | Protemp.Table.Frequencies _ ->
+              check_bool "no feasible after infeasible" false !seen_infeasible)
+        (Protemp.Table.ftargets t))
+    (Protemp.Table.tstarts t)
+
+let test_offline_frontier_consistent_with_sweep () =
+  let m = Lazy.force machine in
+  match
+    Protemp.Offline.max_feasible_ftarget ~machine:m ~spec:fast_spec
+      ~tstart:70.0 ()
+  with
+  | None -> Alcotest.fail "expected a frontier"
+  | Some f ->
+      (* every feasible cell of the 70-degree row is below the
+         frontier *)
+      let t = Lazy.force small_table in
+      Array.iteri
+        (fun j ftarget ->
+          match Protemp.Table.cell t 1 j with
+          | Protemp.Table.Frequencies _ ->
+              check_bool "cell below frontier" true (ftarget <= f +. 1e7)
+          | Protemp.Table.Infeasible ->
+              check_bool "cell above frontier" true (ftarget >= f -. 1e7))
+        (Protemp.Table.ftargets t)
+
+(* ------------------------------------------------------------------ *)
+(* Controllers *)
+
+let obs ~temp ~required =
+  {
+    Sim.Policy.time = 0.0;
+    core_temperatures = Vec.create 8 temp;
+    max_core_temperature = temp;
+    required_frequency = required;
+    utilizations = Vec.zeros 8;
+    queue_length = 0;
+    queued_work = 0.0;
+  }
+
+let test_controller_uses_table () =
+  let c = Protemp.Controller.create ~table:(synthetic_table ()) in
+  let f = c.Sim.Policy.decide (obs ~temp:40.0 ~required:3e8) in
+  check_float 1.0 "table entry" 5e8 f.(0)
+
+let test_controller_stops_when_too_hot () =
+  let c = Protemp.Controller.create ~table:(synthetic_table ()) in
+  let f = c.Sim.Policy.decide (obs ~temp:150.0 ~required:3e8) in
+  check_float 1e-9 "stopped" 0.0 (Vec.norm_inf f)
+
+let test_basic_dfs_lag () =
+  let c = Protemp.Basic_dfs.create ~threshold:90.0 ~lag_periods:1 ~fmax:1e9 () in
+  (* First epoch hot: no history yet, reacts to the current reading. *)
+  let f1 = c.Sim.Policy.decide (obs ~temp:95.0 ~required:1e9) in
+  check_float 1e-9 "first epoch shut" 0.0 f1.(0);
+  (* Chip cools below threshold, but the lagged reading is still hot:
+     the shutdown persists one extra window. *)
+  let f2 = c.Sim.Policy.decide (obs ~temp:60.0 ~required:1e9) in
+  check_float 1e-9 "lagged shutdown" 0.0 f2.(0);
+  (* Now the lagged reading is the cool one: full speed resumes. *)
+  let f3 = c.Sim.Policy.decide (obs ~temp:95.0 ~required:1e9) in
+  check_float 1e-9 "resumes on stale cool reading" 1e9 f3.(0)
+
+let test_basic_dfs_no_lag () =
+  let c = Protemp.Basic_dfs.create ~threshold:90.0 ~lag_periods:0 ~fmax:1e9 () in
+  let f = c.Sim.Policy.decide (obs ~temp:95.0 ~required:1e9) in
+  check_float 1e-9 "instant shutdown" 0.0 f.(0);
+  let f = c.Sim.Policy.decide (obs ~temp:60.0 ~required:5e8) in
+  check_float 1e-9 "instant resume" 5e8 f.(0)
+
+let test_no_tc_follows_demand () =
+  let c = Protemp.No_tc.create ~fmax:1e9 in
+  let f = c.Sim.Policy.decide (obs ~temp:150.0 ~required:7e8) in
+  check_float 1e-9 "ignores temperature" 7e8 f.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Guarantee *)
+
+let test_guarantee_window_peak_cooling () =
+  (* Zero frequency from a hot uniform start: the peak is the start. *)
+  let m = Lazy.force machine in
+  let peak =
+    Protemp.Guarantee.window_peak ~machine:m ~dfs_period:0.1 ~tstart:95.0
+      ~frequencies:(Vec.zeros 8)
+  in
+  check_float 1e-9 "peak is start" 95.0 peak
+
+let test_guarantee_audit_table () =
+  let m = Lazy.force machine in
+  let audit =
+    Protemp.Guarantee.audit_table ~machine:m ~spec:fast_spec
+      (Lazy.force small_table)
+  in
+  check_bool "cells checked" true (audit.Protemp.Guarantee.cells_checked > 0);
+  (* Every stored entry honours tmax at full thermal resolution, even
+     though the model only constrained every 4th step. *)
+  check_bool
+    (Printf.sprintf "margin %.4f >= 0" audit.Protemp.Guarantee.worst_margin)
+    true
+    (audit.Protemp.Guarantee.worst_margin >= -1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Ladder (discrete DVFS) *)
+
+let test_ladder_floor () =
+  let l = Protemp.Ladder.make [ 2e8; 6e8; 1e9 ] in
+  check_float 1.0 "between levels" 6e8 (Protemp.Ladder.floor l 7e8);
+  check_float 1.0 "exact level" 6e8 (Protemp.Ladder.floor l 6e8);
+  check_float 1.0 "above top" 1e9 (Protemp.Ladder.floor l 2e9);
+  check_float 1.0 "below bottom is off" 0.0 (Protemp.Ladder.floor l 1e8)
+
+let test_ladder_uniform () =
+  let l = Protemp.Ladder.uniform ~fmax:1e9 ~levels:4 in
+  check_bool "levels" true
+    (Vec.approx_equal ~tol:1.0 (Protemp.Ladder.levels l)
+       [| 2.5e8; 5e8; 7.5e8; 1e9 |])
+
+let test_ladder_validation () =
+  check_bool "empty" true
+    (match Protemp.Ladder.make [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "negative" true
+    (match Protemp.Ladder.make [ -1.0 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_ladder_quantize_table_preserves_guarantee () =
+  let m = Lazy.force machine in
+  let ladder = Protemp.Ladder.uniform ~fmax:1e9 ~levels:20 in
+  let quantized =
+    Protemp.Ladder.quantize_table ladder (Lazy.force small_table)
+  in
+  (* Quantized cells never exceed the originals... *)
+  Array.iteri
+    (fun i _ ->
+      Array.iteri
+        (fun j _ ->
+          match
+            ( Protemp.Table.cell (Lazy.force small_table) i j,
+              Protemp.Table.cell quantized i j )
+          with
+          | Protemp.Table.Frequencies a, Protemp.Table.Frequencies b ->
+              Array.iteri
+                (fun k fq -> check_bool "rounded down" true (fq <= a.(k)))
+                b
+          | Protemp.Table.Infeasible, Protemp.Table.Infeasible -> ()
+          | _, _ -> Alcotest.fail "feasibility changed")
+        (Protemp.Table.ftargets quantized))
+    (Protemp.Table.tstarts quantized);
+  (* ... so the audit must still pass. *)
+  let audit = Protemp.Guarantee.audit_table ~machine:m ~spec:fast_spec quantized in
+  check_bool "audit" true (audit.Protemp.Guarantee.worst_margin >= -1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Online (MPC) controller *)
+
+let test_online_keeps_guarantee () =
+  let m = Lazy.force machine in
+  let spec = { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 } in
+  let controller = Protemp.Online.create ~machine:m ~spec () in
+  let trace = Workload.Trace.generate ~seed:808L ~n_tasks:1200 Workload.Mix.web in
+  let r = Sim.Engine.run m controller Sim.Policy.first_idle trace in
+  check_int "zero violations" 0 (Sim.Stats.violation_steps r.Sim.Engine.stats);
+  check_int "all tasks done" 0 r.Sim.Engine.unfinished;
+  match Protemp.Online.solves controller with
+  | Some n -> check_bool "solved every epoch" true (n > 0)
+  | None -> Alcotest.fail "solve counter missing"
+
+let test_online_solves_counter_foreign () =
+  check_bool "foreign controller has no counter" true
+    (Protemp.Online.solves (Sim.Policy.workload_following ~fmax:1e9) = None)
+
+(* The headline property: Pro-Temp never exceeds tmax, on random
+   traces. *)
+let prop_never_exceeds_tmax =
+  QCheck2.Test.make ~name:"pro-temp: zero violations on random traces"
+    ~count:6
+    QCheck2.Gen.(
+      pair (int_range 0 1_000_000)
+        (oneofl [ "web"; "multimedia"; "compute"; "mix" ]))
+    (fun (seed, mix_name) ->
+      let m = Lazy.force machine in
+      let table = Lazy.force small_table in
+      let trace =
+        Workload.Trace.generate ~seed:(Int64.of_int seed) ~n_tasks:2000
+          (Workload.Mix.by_name mix_name)
+      in
+      let controller = Protemp.Controller.create ~table in
+      let r = Sim.Engine.run m controller Sim.Policy.first_idle trace in
+      Sim.Stats.violation_steps r.Sim.Engine.stats = 0
+      && Sim.Stats.peak_temperature r.Sim.Engine.stats
+         <= fast_spec.Protemp.Spec.tmax)
+
+(* And the contrast: under the same saturating load, the reactive
+   baseline does violate. *)
+let test_basic_dfs_violates_under_load () =
+  let m = Lazy.force machine in
+  let trace =
+    Workload.Trace.generate ~seed:4242L ~n_tasks:6000
+      Workload.Mix.compute_intensive
+  in
+  let basic = Protemp.Basic_dfs.create ~fmax:1e9 () in
+  let r = Sim.Engine.run m basic Sim.Policy.first_idle trace in
+  check_bool "violations happen" true
+    (Sim.Stats.violation_steps r.Sim.Engine.stats > 0)
+
+(* Lookup semantics on random synthetic tables: the result always
+   comes from the covering row, and when the ideal column (smallest
+   target at or above the requirement) is feasible, it is chosen. *)
+let prop_table_lookup_semantics =
+  QCheck2.Test.make ~name:"table: lookup picks the ideal feasible column"
+    ~count:200
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000)
+        (float_range 20.0 120.0)
+        (float_range 0.0 1.1e9))
+    (fun (seed, temperature, required) ->
+      let st = Random.State.make [| seed |] in
+      let tstarts = [| 40.0; 70.0; 100.0 |] in
+      let ftargets = [| 2e8; 5e8; 8e8 |] in
+      let cells =
+        Array.map
+          (fun _ ->
+            Array.map
+              (fun f ->
+                if Random.State.bool st then
+                  Protemp.Table.Frequencies (Vec.create 8 f)
+                else Protemp.Table.Infeasible)
+              ftargets)
+          tstarts
+      in
+      let table = Protemp.Table.make ~tstarts ~ftargets cells in
+      match Protemp.Table.lookup table ~temperature ~required with
+      | None ->
+          (* Legal only when the chip is hotter than every row, or
+             every cell of the covering row at or below the ideal
+             column is infeasible. *)
+          temperature > 100.0
+          ||
+          let row = Option.get (Protemp.Table.row_for_temperature table temperature) in
+          let ideal =
+            let rec go j =
+              if j < 2 && ftargets.(j) < required then go (j + 1) else j
+            in
+            go 0
+          in
+          Array.for_all
+            (fun j -> cells.(row).(j) = Protemp.Table.Infeasible)
+            (Array.init (ideal + 1) Fun.id)
+      | Some f ->
+          temperature <= 100.0
+          &&
+          let row = Option.get (Protemp.Table.row_for_temperature table temperature) in
+          let ideal =
+            let rec go j =
+              if j < 2 && ftargets.(j) < required then go (j + 1) else j
+            in
+            go 0
+          in
+          (* the result is a feasible cell of the covering row at or
+             below the ideal column, and the highest such one *)
+          let rec highest j =
+            if j < 0 then None
+            else
+              match cells.(row).(j) with
+              | Protemp.Table.Frequencies g -> Some g
+              | Protemp.Table.Infeasible -> highest (j - 1)
+          in
+          (match highest ideal with
+          | Some g -> Vec.approx_equal ~tol:1.0 f g
+          | None -> false))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_never_exceeds_tmax; prop_table_lookup_semantics ]
+
+let () =
+  Alcotest.run "protemp"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "with_gradient" `Quick test_spec_with_gradient;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "validation" `Quick test_table_validation;
+          Alcotest.test_case "row selection" `Quick test_table_row_selection;
+          Alcotest.test_case "lookup rounds up" `Quick
+            test_table_lookup_rounds_up_frequency;
+          Alcotest.test_case "lookup falls back" `Quick
+            test_table_lookup_falls_back_down;
+          Alcotest.test_case "lookup too hot" `Quick
+            test_table_lookup_none_when_too_hot;
+          Alcotest.test_case "frontier" `Quick test_table_frontier;
+          Alcotest.test_case "csv roundtrip" `Quick test_table_csv_roundtrip;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "easy instance" `Slow test_model_easy_instance;
+          Alcotest.test_case "infeasible when too hot" `Slow
+            test_model_infeasible_when_too_hot;
+          Alcotest.test_case "throughput satisfied" `Slow
+            test_model_throughput_satisfied;
+          Alcotest.test_case "uniform expands" `Slow test_model_uniform_expands;
+          Alcotest.test_case "frontier beats uniform" `Slow
+            test_model_frontier_beats_uniform;
+          Alcotest.test_case "gradient variant" `Slow
+            test_model_gradient_variant_reports_spread;
+          Alcotest.test_case "rejects bad ftarget" `Quick
+            test_model_rejects_bad_ftarget;
+        ] );
+      ( "offline",
+        [
+          Alcotest.test_case "sweep shape" `Slow test_offline_sweep_shape;
+          Alcotest.test_case "monotone infeasibility" `Slow
+            test_offline_monotone_infeasibility;
+          Alcotest.test_case "frontier vs sweep" `Slow
+            test_offline_frontier_consistent_with_sweep;
+        ] );
+      ( "controllers",
+        [
+          Alcotest.test_case "pro-temp uses table" `Quick
+            test_controller_uses_table;
+          Alcotest.test_case "pro-temp stops when too hot" `Quick
+            test_controller_stops_when_too_hot;
+          Alcotest.test_case "basic-dfs lag" `Quick test_basic_dfs_lag;
+          Alcotest.test_case "basic-dfs no lag" `Quick test_basic_dfs_no_lag;
+          Alcotest.test_case "no-tc follows demand" `Quick
+            test_no_tc_follows_demand;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "floor" `Quick test_ladder_floor;
+          Alcotest.test_case "uniform" `Quick test_ladder_uniform;
+          Alcotest.test_case "validation" `Quick test_ladder_validation;
+          Alcotest.test_case "quantized table keeps guarantee" `Slow
+            test_ladder_quantize_table_preserves_guarantee;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "keeps the guarantee" `Slow
+            test_online_keeps_guarantee;
+          Alcotest.test_case "foreign counter" `Quick
+            test_online_solves_counter_foreign;
+        ] );
+      ( "guarantee",
+        [
+          Alcotest.test_case "window peak cooling" `Quick
+            test_guarantee_window_peak_cooling;
+          Alcotest.test_case "table audit" `Slow test_guarantee_audit_table;
+          Alcotest.test_case "basic-dfs violates" `Slow
+            test_basic_dfs_violates_under_load;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,362 @@
+(* Tests for the system simulator: machine description, policies,
+   statistics and the engine's conservation invariants. *)
+
+open Linalg
+
+let check_bool = Alcotest.(check bool)
+let check_float tol = Alcotest.(check (float tol))
+let check_int = Alcotest.(check int)
+
+let machine = lazy (Sim.Machine.niagara ())
+
+(* ------------------------------------------------------------------ *)
+(* Machine *)
+
+let test_machine_shape () =
+  let m = Lazy.force machine in
+  check_int "cores" 8 m.Sim.Machine.n_cores;
+  check_int "nodes" 17 m.Sim.Machine.n_nodes;
+  check_float 1e-3 "fmax" 1e9 m.Sim.Machine.fmax;
+  Array.iter
+    (fun node -> check_float 1e-12 "no fixed power on cores" 0.0
+        m.Sim.Machine.fixed_power.(node))
+    m.Sim.Machine.core_nodes
+
+let test_machine_core_power () =
+  let m = Lazy.force machine in
+  check_float 1e-9 "busy at fmax" 4.0
+    (Sim.Machine.core_power m ~frequency:1e9 ~busy:true);
+  check_float 1e-9 "busy at half" 1.0
+    (Sim.Machine.core_power m ~frequency:5e8 ~busy:true);
+  check_float 1e-9 "idle scales" (0.3 *. 1.0)
+    (Sim.Machine.core_power m ~frequency:5e8 ~busy:false);
+  check_float 1e-9 "negative clamps" 0.0
+    (Sim.Machine.core_power m ~frequency:(-1.0) ~busy:true)
+
+let test_machine_idle_never_exceeds_busy () =
+  (* The invariant behind the Pro-Temp guarantee carrying over to the
+     simulation: real power never exceeds the modeled all-busy power. *)
+  let m = Lazy.force machine in
+  List.iter
+    (fun f ->
+      check_bool "idle <= busy" true
+        (Sim.Machine.core_power m ~frequency:f ~busy:false
+        <= Sim.Machine.core_power m ~frequency:f ~busy:true +. 1e-12))
+    [ 0.0; 1e8; 5e8; 9e8; 1e9 ]
+
+let test_machine_power_vector () =
+  let m = Lazy.force machine in
+  let freqs = Vec.create 8 1e9 in
+  let busy = Array.make 8 true in
+  let p = Sim.Machine.power_vector m ~frequencies:freqs ~busy in
+  check_float 1e-9 "total" (32.0 +. Vec.sum m.Sim.Machine.fixed_power) (Vec.sum p)
+
+let test_machine_validation () =
+  let m = Lazy.force machine in
+  check_bool "bad idle_activity" true
+    (match
+       Sim.Machine.make ~idle_activity:1.5 ~thermal:m.Sim.Machine.thermal
+         ~core_nodes:m.Sim.Machine.core_nodes
+         ~fixed_power:m.Sim.Machine.fixed_power ~fmax:1e9 ~core_pmax:4.0 ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "bad core node" true
+    (match
+       Sim.Machine.make ~thermal:m.Sim.Machine.thermal ~core_nodes:[| 99 |]
+         ~fixed_power:m.Sim.Machine.fixed_power ~fmax:1e9 ~core_pmax:4.0 ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Policy *)
+
+let get_pick = function
+  | Some c -> c
+  | None -> Alcotest.fail "expected a dispatch decision"
+
+let test_first_idle_lowest () =
+  let pick = Sim.Policy.first_idle.Sim.Policy.choose in
+  check_int "lowest" 1
+    (get_pick (pick ~idle:[ 3; 1; 5 ] ~core_temperatures:(Vec.zeros 8)))
+
+let test_coolest_first () =
+  let temps = [| 90.0; 50.0; 70.0; 40.0; 95.0; 60.0; 55.0; 45.0 |] in
+  let pick = Sim.Policy.coolest_first.Sim.Policy.choose in
+  check_int "coolest among idle" 3
+    (get_pick (pick ~idle:[ 0; 2; 3; 4 ] ~core_temperatures:temps));
+  check_int "coolest overall" 3
+    (get_pick (pick ~idle:[ 0; 1; 2; 3; 4; 5; 6; 7 ] ~core_temperatures:temps))
+
+let test_cool_headroom_defers () =
+  let temps = [| 91.0; 93.0; 89.0; 95.0 |] in
+  let policy = Sim.Policy.cool_headroom ~threshold:90.0 in
+  let pick = policy.Sim.Policy.choose in
+  check_int "dispatches below threshold" 2
+    (get_pick (pick ~idle:[ 0; 1; 2; 3 ] ~core_temperatures:temps));
+  check_bool "defers when all hot" true
+    (pick ~idle:[ 0; 1; 3 ] ~core_temperatures:temps = None)
+
+let test_workload_following_clamps () =
+  let c = Sim.Policy.workload_following ~fmax:1e9 in
+  let obs required =
+    {
+      Sim.Policy.time = 0.0;
+      core_temperatures = Vec.zeros 8;
+      max_core_temperature = 0.0;
+      required_frequency = required;
+      utilizations = Vec.zeros 8;
+      queue_length = 0;
+      queued_work = 0.0;
+    }
+  in
+  let f = c.Sim.Policy.decide (obs 5e8) in
+  check_float 1e-3 "matches demand" 5e8 f.(0);
+  let f = c.Sim.Policy.decide (obs 2e9) in
+  check_float 1e-3 "clamped to fmax" 1e9 f.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_bands_sum_to_one () =
+  let s = Sim.Stats.create ~n_cores:2 ~tmax:100.0 () in
+  Sim.Stats.record_step s ~dt:0.1 ~core_temperatures:[| 75.0; 85.0 |];
+  Sim.Stats.record_step s ~dt:0.1 ~core_temperatures:[| 95.0; 105.0 |];
+  let total =
+    List.fold_left (fun acc (_, f) -> acc +. f) 0.0 (Sim.Stats.band_residency s)
+  in
+  check_float 1e-9 "sums to 1" 1.0 total;
+  check_float 1e-9 "above fraction" 0.25 (Sim.Stats.time_above s);
+  check_int "violating steps" 1 (Sim.Stats.violation_steps s);
+  check_float 1e-9 "peak" 105.0 (Sim.Stats.peak_temperature s)
+
+let test_stats_gradient () =
+  let s = Sim.Stats.create ~n_cores:2 ~tmax:100.0 () in
+  Sim.Stats.record_step s ~dt:0.1 ~core_temperatures:[| 80.0; 90.0 |];
+  Sim.Stats.record_step s ~dt:0.1 ~core_temperatures:[| 80.0; 84.0 |];
+  check_float 1e-9 "peak gradient" 10.0 (Sim.Stats.peak_gradient s);
+  check_float 1e-9 "mean gradient" 7.0 (Sim.Stats.mean_gradient s)
+
+let test_stats_waiting () =
+  let s = Sim.Stats.create ~n_cores:1 ~tmax:100.0 () in
+  Sim.Stats.record_waiting s 0.2;
+  Sim.Stats.record_waiting s 0.4;
+  check_float 1e-9 "mean" 0.3 (Sim.Stats.mean_waiting s);
+  check_float 1e-9 "max" 0.4 (Sim.Stats.max_waiting s);
+  check_bool "negative rejected" true
+    (match Sim.Stats.record_waiting s (-0.1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let small_trace n =
+  Workload.Trace.generate ~seed:77L ~n_tasks:n Workload.Mix.web
+
+let fast_controller =
+  lazy (Sim.Policy.fixed_frequency ~fmax:1e9 1e9)
+
+let test_engine_completes_all_tasks () =
+  let m = Lazy.force machine in
+  let trace = small_trace 2000 in
+  let r =
+    Sim.Engine.run m (Lazy.force fast_controller) Sim.Policy.first_idle trace
+  in
+  check_int "all done" 0 r.Sim.Engine.unfinished;
+  check_int "completions" 2000 (Sim.Stats.completed r.Sim.Engine.stats)
+
+let test_engine_finishes_near_horizon () =
+  (* At fmax, a 45%-load web trace finishes just after the last
+     arrival (plus the last task's length). *)
+  let m = Lazy.force machine in
+  let trace = small_trace 2000 in
+  let r =
+    Sim.Engine.run m (Lazy.force fast_controller) Sim.Policy.first_idle trace
+  in
+  let sim_t = Sim.Stats.simulated_time r.Sim.Engine.stats in
+  check_bool "no long drain" true
+    (sim_t < trace.Workload.Trace.horizon +. 1.0)
+
+let test_engine_waiting_small_at_low_load () =
+  let m = Lazy.force machine in
+  let trace = small_trace 2000 in
+  let r =
+    Sim.Engine.run m (Lazy.force fast_controller) Sim.Policy.first_idle trace
+  in
+  (* 45% load on 8 cores at fmax: queueing is negligible. *)
+  check_bool "small waiting" true
+    (Sim.Stats.mean_waiting r.Sim.Engine.stats < 5e-3)
+
+let test_engine_zero_frequency_never_finishes () =
+  let m = Lazy.force machine in
+  let trace = small_trace 50 in
+  let stopped = Sim.Policy.fixed_frequency ~fmax:1e9 0.0 in
+  let config = { Sim.Engine.default_config with Sim.Engine.drain_limit = 0.5 } in
+  let r = Sim.Engine.run ~config m stopped Sim.Policy.first_idle trace in
+  check_int "nothing completes" 50 r.Sim.Engine.unfinished
+
+let test_engine_series_recorded () =
+  let m = Lazy.force machine in
+  let trace = small_trace 500 in
+  let r =
+    Sim.Engine.run m (Lazy.force fast_controller) Sim.Policy.first_idle trace
+  in
+  check_bool "series non-empty" true (Array.length r.Sim.Engine.series > 0);
+  check_bool "one sample per epoch" true
+    (Array.length r.Sim.Engine.series = Array.length r.Sim.Engine.frequency_log);
+  (* Samples are 100 ms apart. *)
+  let s = r.Sim.Engine.series in
+  check_float 1e-9 "epoch spacing" 0.1 (s.(1).Sim.Engine.at -. s.(0).Sim.Engine.at)
+
+let test_engine_temperatures_stay_physical () =
+  let m = Lazy.force machine in
+  let trace = small_trace 1000 in
+  let r =
+    Sim.Engine.run m (Lazy.force fast_controller) Sim.Policy.first_idle trace
+  in
+  let peak = Sim.Stats.peak_temperature r.Sim.Engine.stats in
+  check_bool "above ambient" true (peak > 27.0);
+  check_bool "below all-max steady peak" true
+    (peak <= Thermal.Niagara.target_peak +. 1e-6)
+
+let test_engine_coolest_first_reduces_gradient () =
+  (* Spreading work to cool cores lowers the spatial spread vs. always
+     hammering the lowest-numbered cores. *)
+  let m = Lazy.force machine in
+  let trace =
+    Workload.Trace.generate ~seed:99L ~n_tasks:4000 Workload.Mix.multimedia
+  in
+  let run assign =
+    let r = Sim.Engine.run m (Lazy.force fast_controller) assign trace in
+    Sim.Stats.mean_gradient r.Sim.Engine.stats
+  in
+  let g_first = run Sim.Policy.first_idle in
+  let g_cool = run Sim.Policy.coolest_first in
+  check_bool
+    (Printf.sprintf "gradient %.2f < %.2f" g_cool g_first)
+    true (g_cool < g_first)
+
+let test_engine_migration_rescues_stalled_tasks () =
+  (* A controller that permanently stops core 0 but runs the others:
+     without migration, a task stuck on core 0 never finishes; with
+     migration it moves and completes. *)
+  let m = Lazy.force machine in
+  let stop_core0 =
+    {
+      Sim.Policy.controller_name = "stop-core0";
+      decide =
+        (fun obs ->
+          Vec.init (Vec.dim obs.Sim.Policy.core_temperatures) (fun c ->
+              if c = 0 then 0.0 else 1e9));
+    }
+  in
+  let trace = small_trace 200 in
+  let config =
+    { Sim.Engine.default_config with Sim.Engine.drain_limit = 2.0 }
+  in
+  let without =
+    Sim.Engine.run ~config m stop_core0 Sim.Policy.first_idle trace
+  in
+  (* first-idle prefers core 0, so tasks do get stuck there *)
+  check_bool "tasks stall without migration" true
+    (without.Sim.Engine.unfinished > 0);
+  let with_migration =
+    Sim.Engine.run
+      ~config:{ config with Sim.Engine.migration = true }
+      m stop_core0 Sim.Policy.first_idle trace
+  in
+  check_int "all complete with migration" 0 with_migration.Sim.Engine.unfinished;
+  check_bool "migrations counted" true (with_migration.Sim.Engine.migrations > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_engine_conserves_tasks =
+  QCheck2.Test.make ~name:"engine: dispatched = completed + unfinished"
+    ~count:10
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let m = Lazy.force machine in
+      let trace =
+        Workload.Trace.generate ~seed:(Int64.of_int seed) ~n_tasks:500
+          Workload.Mix.web
+      in
+      let r =
+        Sim.Engine.run m (Lazy.force fast_controller) Sim.Policy.first_idle
+          trace
+      in
+      Sim.Stats.completed r.Sim.Engine.stats + r.Sim.Engine.unfinished = 500)
+
+let prop_engine_deterministic =
+  QCheck2.Test.make ~name:"engine: identical runs agree" ~count:5
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let m = Lazy.force machine in
+      let trace =
+        Workload.Trace.generate ~seed:(Int64.of_int seed) ~n_tasks:300
+          Workload.Mix.web
+      in
+      let run () =
+        let r =
+          Sim.Engine.run m (Lazy.force fast_controller) Sim.Policy.first_idle
+            trace
+        in
+        ( Sim.Stats.peak_temperature r.Sim.Engine.stats,
+          Sim.Stats.mean_waiting r.Sim.Engine.stats )
+      in
+      run () = run ())
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_engine_conserves_tasks; prop_engine_deterministic ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "niagara shape" `Quick test_machine_shape;
+          Alcotest.test_case "core power law" `Quick test_machine_core_power;
+          Alcotest.test_case "idle below busy" `Quick
+            test_machine_idle_never_exceeds_busy;
+          Alcotest.test_case "power vector" `Quick test_machine_power_vector;
+          Alcotest.test_case "validation" `Quick test_machine_validation;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "first idle" `Quick test_first_idle_lowest;
+          Alcotest.test_case "coolest first" `Quick test_coolest_first;
+          Alcotest.test_case "cool headroom defers" `Quick
+            test_cool_headroom_defers;
+          Alcotest.test_case "workload following clamps" `Quick
+            test_workload_following_clamps;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "bands" `Quick test_stats_bands_sum_to_one;
+          Alcotest.test_case "gradient" `Quick test_stats_gradient;
+          Alcotest.test_case "waiting" `Quick test_stats_waiting;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "completes all tasks" `Quick
+            test_engine_completes_all_tasks;
+          Alcotest.test_case "finishes near horizon" `Quick
+            test_engine_finishes_near_horizon;
+          Alcotest.test_case "low-load waiting" `Quick
+            test_engine_waiting_small_at_low_load;
+          Alcotest.test_case "zero frequency stalls" `Quick
+            test_engine_zero_frequency_never_finishes;
+          Alcotest.test_case "series recording" `Quick
+            test_engine_series_recorded;
+          Alcotest.test_case "temperatures physical" `Quick
+            test_engine_temperatures_stay_physical;
+          Alcotest.test_case "coolest-first lowers gradient" `Quick
+            test_engine_coolest_first_reduces_gradient;
+          Alcotest.test_case "migration rescues stalled tasks" `Quick
+            test_engine_migration_rescues_stalled_tasks;
+        ] );
+      ("properties", props);
+    ]

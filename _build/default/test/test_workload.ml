@@ -1,0 +1,329 @@
+(* Tests for the workload substrate: PRNG, arrival processes,
+   benchmark mixes and trace generation. *)
+
+open Workload
+
+let check_bool = Alcotest.(check bool)
+let check_float tol = Alcotest.(check (float tol))
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  check_bool "different" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 3L in
+  let b = Rng.split a in
+  check_bool "split differs" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let r = Rng.create 11L in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 2.5 in
+    check_bool "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create 13L in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    let k = Rng.int r 10 in
+    check_bool "in range" true (k >= 0 && k < 10);
+    seen.(k) <- true
+  done;
+  check_bool "all values hit" true (Array.for_all (fun b -> b) seen)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 17L in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential r ~rate:4.0
+  done;
+  check_float 0.01 "mean 1/rate" 0.25 (!acc /. float_of_int n)
+
+let test_rng_bernoulli_frequency () =
+  let r = Rng.create 19L in
+  let n = 20000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r ~p:0.3 then incr hits
+  done;
+  check_float 0.02 "frequency" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_rng_rejects_bad_args () =
+  let r = Rng.create 23L in
+  check_bool "float" true
+    (match Rng.float r 0.0 with _ -> false | exception Invalid_argument _ -> true);
+  check_bool "int" true
+    (match Rng.int r 0 with _ -> false | exception Invalid_argument _ -> true);
+  check_bool "exponential" true
+    (match Rng.exponential r ~rate:(-1.0) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "bernoulli" true
+    (match Rng.bernoulli r ~p:1.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Arrival *)
+
+let increasing a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) <= a.(i - 1) then ok := false
+  done;
+  !ok
+
+let realized_rate times =
+  float_of_int (Array.length times - 1) /. times.(Array.length times - 1)
+
+let test_poisson_rate () =
+  let rng = Rng.create 29L in
+  let times = Arrival.generate_times Arrival.Poisson ~rng ~rate:500.0 ~count:20000 in
+  check_bool "increasing" true (increasing times);
+  check_float 15.0 "rate" 500.0 (realized_rate times)
+
+let test_periodic_rate_and_jitter () =
+  let rng = Rng.create 31L in
+  let times =
+    Arrival.generate_times (Arrival.Periodic { jitter = 0.4 }) ~rng ~rate:100.0
+      ~count:5000
+  in
+  check_bool "increasing" true (increasing times);
+  check_float 2.0 "rate" 100.0 (realized_rate times);
+  (* every gap within [0.8, 1.2] of the period *)
+  let ok = ref true in
+  for i = 1 to Array.length times - 1 do
+    let gap = times.(i) -. times.(i - 1) in
+    if gap < 0.008 || gap > 0.012 then ok := false
+  done;
+  check_bool "jitter bounded" true !ok
+
+let test_bursty_long_run_rate () =
+  let rng = Rng.create 37L in
+  let p = Arrival.Bursty { burst_factor = 1.5; mean_on = 0.5; mean_off = 0.4 } in
+  let times = Arrival.generate_times p ~rng ~rate:800.0 ~count:100000 in
+  check_bool "increasing" true (increasing times);
+  (* Burst phases make the estimate noisy; 8% tolerance. *)
+  check_float 64.0 "long-run rate" 800.0 (realized_rate times)
+
+let test_bursty_rejects_bad_parameters () =
+  let rng = Rng.create 41L in
+  let bad p =
+    match Arrival.generate_times p ~rng ~rate:100.0 ~count:10 with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "burst_factor <= 1" true
+    (bad (Arrival.Bursty { burst_factor = 1.0; mean_on = 1.0; mean_off = 1.0 }));
+  check_bool "negative phase" true
+    (bad (Arrival.Bursty { burst_factor = 1.5; mean_on = -1.0; mean_off = 1.0 }));
+  (* burst_factor * on_fraction >= 1 would need a negative off rate *)
+  check_bool "overdriven burst" true
+    (bad (Arrival.Bursty { burst_factor = 3.0; mean_on = 9.0; mean_off = 1.0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Task *)
+
+let test_task_service_time () =
+  let t = { Task.id = 0; arrival = 0.0; work = 0.004; benchmark = Task.Web } in
+  check_float 1e-12 "at fmax" 0.004 (Task.service_time t ~frequency:1e9 ~fmax:1e9);
+  check_float 1e-12 "at half" 0.008 (Task.service_time t ~frequency:5e8 ~fmax:1e9);
+  check_bool "zero frequency" true
+    (match Task.service_time t ~frequency:0.0 ~fmax:1e9 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Mix *)
+
+let test_mix_mean_work () =
+  (* compute: uniform 8-10 ms -> mean 9 ms *)
+  check_float 1e-9 "compute mean" 9e-3 (Mix.mean_work Mix.compute_intensive)
+
+let test_mix_arrival_rate () =
+  let m = Mix.compute_intensive in
+  (* rate = util * n / mean_work *)
+  check_float 1e-6 "rate" (0.9 *. 8.0 /. 9e-3) (Mix.arrival_rate m ~n_cores:8)
+
+let test_mix_sample_in_range () =
+  let rng = Rng.create 43L in
+  for i = 0 to 999 do
+    let t = Mix.sample_task Mix.paper_mix ~rng ~id:i ~arrival:(float_of_int i) in
+    check_bool "work in 1..10ms" true (t.Task.work >= 1e-3 && t.Task.work <= 10e-3)
+  done
+
+let test_mix_weights_respected () =
+  let rng = Rng.create 47L in
+  let counts = Hashtbl.create 3 in
+  let n = 20000 in
+  for i = 0 to n - 1 do
+    let t = Mix.sample_task Mix.paper_mix ~rng ~id:i ~arrival:0.0 in
+    let k = Task.benchmark_name t.Task.benchmark in
+    Hashtbl.replace counts k (1 + try Hashtbl.find counts k with Not_found -> 0)
+  done;
+  let frac k = float_of_int (Hashtbl.find counts k) /. float_of_int n in
+  check_float 0.02 "web share" 0.40 (frac "web");
+  check_float 0.02 "multimedia share" 0.35 (frac "multimedia");
+  check_float 0.02 "compute share" 0.25 (frac "compute")
+
+let test_mix_validation () =
+  let bad = { Mix.web with Mix.utilization = 1.5 } in
+  check_bool "bad utilization" true
+    (match Mix.validate bad with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let empty = { Mix.web with Mix.components = [] } in
+  check_bool "empty" true
+    (match Mix.validate empty with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_mix_by_name () =
+  check_bool "web" true (Mix.by_name "web" == Mix.web);
+  check_bool "unknown" true
+    (match Mix.by_name "nope" with
+    | _ -> false
+    | exception Not_found -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_sorted_and_sized () =
+  let trace = Trace.generate ~seed:1L ~n_tasks:5000 Mix.paper_mix in
+  check_int "count" 5000 (Array.length trace.Trace.tasks);
+  let ok = ref true in
+  for i = 1 to 4999 do
+    if
+      trace.Trace.tasks.(i).Task.arrival
+      < trace.Trace.tasks.(i - 1).Task.arrival
+    then ok := false
+  done;
+  check_bool "sorted" true !ok;
+  check_float 1e-12 "horizon is last arrival"
+    trace.Trace.tasks.(4999).Task.arrival trace.Trace.horizon
+
+let test_trace_reproducible () =
+  let t1 = Trace.generate ~seed:5L ~n_tasks:100 Mix.web in
+  let t2 = Trace.generate ~seed:5L ~n_tasks:100 Mix.web in
+  check_bool "same tasks" true
+    (Array.for_all2
+       (fun a b -> a.Task.arrival = b.Task.arrival && a.Task.work = b.Task.work)
+       t1.Trace.tasks t2.Trace.tasks)
+
+let test_trace_statistics () =
+  let trace = Trace.generate ~seed:2L ~n_tasks:30000 Mix.web in
+  let s = Trace.statistics trace ~n_cores:8 in
+  check_int "count" 30000 s.Trace.count;
+  check_float 3e-4 "mean work" 2.5e-3 s.Trace.mean_work;
+  check_bool "max <= 4ms" true (s.Trace.max_work <= 4e-3);
+  (* Poisson web traffic realizes its target utilization closely. *)
+  check_float 0.05 "utilization" 0.45 s.Trace.offered_utilization
+
+let test_trace_tasks_in_window () =
+  let trace = Trace.generate ~seed:3L ~n_tasks:1000 Mix.web in
+  let lo = trace.Trace.horizon /. 4.0 and hi = trace.Trace.horizon /. 2.0 in
+  let inside = Trace.tasks_in_window trace ~lo ~hi in
+  check_bool "non-trivial" true (List.length inside > 0);
+  List.iter
+    (fun t ->
+      check_bool "inside" true (t.Task.arrival >= lo && t.Task.arrival < hi))
+    inside
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_poisson_interarrivals_positive =
+  QCheck2.Test.make ~name:"arrival: strictly increasing times" ~count:50
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let times = Arrival.generate_times Arrival.Poisson ~rng ~rate:100.0 ~count:200 in
+      increasing times)
+
+let prop_trace_work_positive =
+  QCheck2.Test.make ~name:"trace: all work in the mix envelope" ~count:30
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let trace =
+        Trace.generate ~seed:(Int64.of_int seed) ~n_tasks:500 Mix.paper_mix
+      in
+      Array.for_all
+        (fun t -> t.Task.work >= 1e-3 && t.Task.work <= 10e-3)
+        trace.Trace.tasks)
+
+let prop_bursty_rate_bounded =
+  QCheck2.Test.make ~name:"arrival: bursty long-run rate near target"
+    ~count:10
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let p = Arrival.Bursty { burst_factor = 1.5; mean_on = 0.3; mean_off = 0.3 } in
+      let times = Arrival.generate_times p ~rng ~rate:1000.0 ~count:50000 in
+      let r = realized_rate times in
+      r > 850.0 && r < 1150.0)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_poisson_interarrivals_positive; prop_trace_work_positive;
+      prop_bursty_rate_bounded ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_different_seeds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "bernoulli frequency" `Quick
+            test_rng_bernoulli_frequency;
+          Alcotest.test_case "argument validation" `Quick
+            test_rng_rejects_bad_args;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "poisson rate" `Quick test_poisson_rate;
+          Alcotest.test_case "periodic rate and jitter" `Quick
+            test_periodic_rate_and_jitter;
+          Alcotest.test_case "bursty long-run rate" `Quick
+            test_bursty_long_run_rate;
+          Alcotest.test_case "bursty parameter validation" `Quick
+            test_bursty_rejects_bad_parameters;
+        ] );
+      ( "task",
+        [ Alcotest.test_case "service time" `Quick test_task_service_time ] );
+      ( "mix",
+        [
+          Alcotest.test_case "mean work" `Quick test_mix_mean_work;
+          Alcotest.test_case "arrival rate" `Quick test_mix_arrival_rate;
+          Alcotest.test_case "sample ranges" `Quick test_mix_sample_in_range;
+          Alcotest.test_case "weights respected" `Quick
+            test_mix_weights_respected;
+          Alcotest.test_case "validation" `Quick test_mix_validation;
+          Alcotest.test_case "lookup by name" `Quick test_mix_by_name;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "sorted and sized" `Quick
+            test_trace_sorted_and_sized;
+          Alcotest.test_case "reproducible" `Quick test_trace_reproducible;
+          Alcotest.test_case "statistics" `Quick test_trace_statistics;
+          Alcotest.test_case "window query" `Quick test_trace_tasks_in_window;
+        ] );
+      ("properties", props);
+    ]
