@@ -1,0 +1,131 @@
+(* Offline-sweep benchmark: times the Phase-1 table build across
+   domain counts and warm-start modes, verifies the tables agree, and
+   emits BENCH_sweep.json (cells/sec) so the perf trajectory can be
+   tracked across PRs.
+
+   Run with:  dune exec bench/sweep_bench.exe            (full grid)
+              PROTEMP_BENCH_FAST=1 dune exec bench/sweep_bench.exe
+              (tiny grid, seconds — wired into `dune runtest` as a
+              smoke test) *)
+
+let fast = Sys.getenv_opt "PROTEMP_BENCH_FAST" <> None
+
+let machine = Sim.Machine.niagara ()
+
+let spec =
+  {
+    Protemp.Spec.default with
+    Protemp.Spec.constraint_stride = (if fast then 4 else 2);
+  }
+
+let tstarts =
+  if fast then [| 27.0; 85.0 |]
+  else [| 27.0; 40.0; 55.0; 70.0; 85.0; 100.0 |]
+
+let ftargets =
+  if fast then [| 2e8; 5e8; 8e8 |]
+  else Array.init 10 (fun i -> float_of_int (i + 1) *. 1e8)
+
+let cells = Array.length tstarts * Array.length ftargets
+
+type run = {
+  domains : int;
+  warm_starts : bool;
+  seconds : float;
+  table : Protemp.Table.t;
+}
+
+let time_sweep ~domains ~warm_starts =
+  let t0 = Unix.gettimeofday () in
+  let table =
+    Protemp.Offline.sweep ~machine ~spec ~domains ~warm_starts ~tstarts
+      ~ftargets ()
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  Printf.printf "  domains=%d warm_starts=%b: %7.2f s  (%.2f cells/s)\n%!"
+    domains warm_starts seconds
+    (float_of_int cells /. seconds);
+  { domains; warm_starts; seconds; table }
+
+let tables_equal a b =
+  let ta = Protemp.Table.tstarts a and fa = Protemp.Table.ftargets a in
+  Array.for_all
+    (fun i ->
+      Array.for_all
+        (fun j ->
+          match (Protemp.Table.cell a i j, Protemp.Table.cell b i j) with
+          | Protemp.Table.Infeasible, Protemp.Table.Infeasible -> true
+          | Protemp.Table.Frequencies x, Protemp.Table.Frequencies y ->
+              Linalg.Vec.approx_equal ~tol:1e-9 x y
+          | Protemp.Table.Infeasible, Protemp.Table.Frequencies _
+          | Protemp.Table.Frequencies _, Protemp.Table.Infeasible -> false)
+        (Array.init (Array.length fa) Fun.id))
+    (Array.init (Array.length ta) Fun.id)
+
+let () =
+  let hw = Parallel.Pool.default_domains () in
+  Printf.printf "Offline sweep benchmark%s: %dx%d grid (stride %d), %d domain(s) available\n%!"
+    (if fast then " (FAST mode)" else "")
+    (Array.length tstarts) (Array.length ftargets)
+    spec.Protemp.Spec.constraint_stride hw;
+  (* Cold sequential first (the seed behaviour minus the shared row
+     context), then warm-started at 1 and at the hardware count; in
+     FAST mode also an oversubscribed 4-domain run so the parallel
+     path is exercised even on small machines. *)
+  let domain_counts =
+    List.sort_uniq compare ([ 1; hw ] @ if fast then [ 4 ] else [])
+  in
+  let cold = time_sweep ~domains:1 ~warm_starts:false in
+  let runs =
+    cold
+    :: List.map (fun domains -> time_sweep ~domains ~warm_starts:true)
+         domain_counts
+  in
+  let warm_tables =
+    List.filter_map
+      (fun r -> if r.warm_starts then Some r.table else None)
+      runs
+  in
+  let identical =
+    match warm_tables with
+    | [] -> true
+    | first :: rest -> List.for_all (tables_equal first) rest
+  in
+  let sequential_warm =
+    List.find (fun r -> r.warm_starts && r.domains = 1) runs
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"grid\": {\"tstarts\": %d, \"ftargets\": %d, \"cells\": %d, \
+        \"constraint_stride\": %d, \"fast\": %b},\n"
+       (Array.length tstarts) (Array.length ftargets) cells
+       spec.Protemp.Spec.constraint_stride fast);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"available_domains\": %d,\n" hw);
+  Buffer.add_string buf "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"domains\": %d, \"warm_starts\": %b, \"seconds\": %.3f, \
+            \"cells_per_sec\": %.3f, \"speedup_vs_sequential_warm\": %.3f}%s\n"
+           r.domains r.warm_starts r.seconds
+           (float_of_int cells /. r.seconds)
+           (sequential_warm.seconds /. r.seconds)
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identical_across_domains\": %b\n" identical);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_sweep.json\n";
+  if not identical then begin
+    Printf.printf "FAIL: tables differ across domain counts\n";
+    exit 1
+  end;
+  Printf.printf "tables identical across domain counts: ok\n"

@@ -130,10 +130,19 @@ let table_cmd =
              (Array.to_list Protemp.Offline.default_ftargets))
       & info [ "ftargets" ] ~docv:"MHZ1,MHZ2,..." ~doc:"Column targets (MHz).")
   in
-  let run uniform gradient stride tstarts ftargets out =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Solve table rows on N domains (default: PROTEMP_DOMAINS or the \
+             machine's core count; 1 = sequential).")
+  in
+  let run uniform gradient stride tstarts ftargets domains out =
     let spec = spec_of ~uniform ~gradient ~stride in
     let table =
-      Protemp.Offline.sweep ~machine:(Lazy.force machine) ~spec
+      Protemp.Offline.sweep ~machine:(Lazy.force machine) ~spec ?domains
         ~tstarts:(Array.of_list tstarts)
         ~ftargets:(Array.of_list (List.map (fun f -> f *. 1e6) ftargets))
         ~on_progress:(fun p ->
@@ -155,7 +164,8 @@ let table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Run the Phase-1 sweep and store the table.")
     Term.(
-      const run $ uniform $ gradient $ stride $ tstarts $ ftargets $ out_file)
+      const run $ uniform $ gradient $ stride $ tstarts $ ftargets $ domains
+      $ out_file)
 
 (* ----- validate ----- *)
 

@@ -22,6 +22,8 @@ let () =
   in
 
   print_endline "=== Phase 1: design-time table generation ===";
+  Printf.printf "(rows solved on %d domain(s); set PROTEMP_DOMAINS to change)\n%!"
+    (Parallel.Pool.default_domains ());
   let t0 = Unix.gettimeofday () in
   let table =
     Protemp.Offline.sweep ~machine ~spec

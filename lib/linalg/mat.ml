@@ -99,8 +99,10 @@ let matmul a b =
   c
 
 let mul_vec_into a x ~dst =
-  if a.cols <> Vec.dim x then invalid_arg "Mat.mul_vec: dimension mismatch";
-  if a.rows <> Vec.dim dst then invalid_arg "Mat.mul_vec: bad destination";
+  if a.cols <> Vec.dim x then
+    invalid_arg "Mat.mul_vec_into: dimension mismatch";
+  if a.rows <> Vec.dim dst then
+    invalid_arg "Mat.mul_vec_into: bad destination";
   for i = 0 to a.rows - 1 do
     let acc = ref 0.0 in
     let base = i * a.cols in

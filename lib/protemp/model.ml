@@ -19,6 +19,7 @@ type built = {
   ftarget : float;
   steps : int;
   machine : Sim.Machine.t;
+  frontier_problem : Convex.Barrier.problem Lazy.t;
 }
 
 let make_layout (spec : Spec.t) ~n_cores =
@@ -49,22 +50,38 @@ let stride_steps ~steps ~stride =
   (* Always constrain the end of the window. *)
   if List.mem steps ks then ks else steps :: ks
 
-(* [purpose] selects the objective and whether the throughput floor is
-   imposed:
-   - [`Power ftarget]: the paper's Eq. 3/5 — minimize power subject to
-     the average-frequency floor;
-   - [`Frontier]: maximize the total frequency subject to the same
-     thermal envelope (no floor) — used both to compute the
-     feasibility frontier (Fig. 9) and as a structural phase I: any
-     iterate whose total frequency exceeds the floor is strictly
-     feasible for the power problem. *)
-let build_internal ~machine ~(spec : Spec.t) ~t0 ~purpose =
+(* Everything in the models of Eqs. 3-5 except the throughput floor
+   (and the choice of objective) depends only on [(machine, spec, t0)]
+   — the matrix-power products S_k, the base trajectory and every
+   thermal, power-law, box and gradient row are shared by all
+   [ftarget] columns of a table row.  [prepared] is that shared
+   context, computed once; {!instantiate} then builds one [ftarget]
+   instance by splicing in the single floor constraint.
+
+   - [pre_floor]: power-law and box rows (the constraints the original
+     single-shot construction emits before the floor);
+   - [post_floor]: thermal and gradient rows (emitted after it).
+
+   Keeping the original emission order means an instantiated problem
+   is identical, constraint for constraint, to what a from-scratch
+   build produces.  The shared [Quad.t] rows are never mutated by the
+   solver, so cells — and domains — may share them freely. *)
+type prepared = {
+  pre_floor : Quad.t array;
+  post_floor : Quad.t array;
+  total_f_coeffs : Vec.t;
+  power_objective : Quad.t;
+  p_layout : layout;
+  p_spec : Spec.t;
+  p_machine : Sim.Machine.t;
+  p_t0 : Vec.t;
+  p_steps : int;
+  p_frontier : Convex.Barrier.problem Lazy.t;
+}
+
+let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
   Spec.validate spec;
-  let fmax = machine.Sim.Machine.fmax in
   let pmax = machine.Sim.Machine.core_pmax in
-  let ftarget = match purpose with `Power f -> f | `Frontier -> 0.0 in
-  if ftarget < 0.0 || ftarget > fmax then
-    invalid_arg "Model.build: ftarget outside [0, fmax]";
   let thermal = machine.Sim.Machine.thermal in
   let dt = thermal.Thermal.Rc_model.dt in
   let steps = int_of_float (Float.round (spec.Spec.dfs_period /. dt)) in
@@ -74,15 +91,14 @@ let build_internal ~machine ~(spec : Spec.t) ~t0 ~purpose =
   let core_nodes = machine.Sim.Machine.core_nodes in
   let layout = make_layout spec ~n_cores in
   let dim = layout.dim in
-  let ftarget_hat = ftarget /. fmax in
-  let constraints = ref [] in
-  let add c = constraints := c :: !constraints in
+  let pre = ref [] in
+  let add_pre c = pre := c :: !pre in
   (* Power law and box constraints. *)
   for j = 0 to layout.n_f - 1 do
     let f_var = Quad.linear_coord dim (layout.f_offset + j) 1.0 in
     let p_var = Quad.linear_coord dim (layout.p_offset + j) 1.0 in
     (* f^2 - p <= 0 *)
-    add
+    add_pre
       (Quad.add
          (Quad.square_of_affine (Quad.linear_part f_var) 0.0)
          (Quad.scale (-1.0) p_var));
@@ -91,14 +107,15 @@ let build_internal ~machine ~(spec : Spec.t) ~t0 ~purpose =
        fmax keeps a strict interior for the barrier; extraction clamps
        back to fmax, which only lowers power, so the thermal guarantee
        (computed at the relaxed powers) still holds. *)
-    add (Quad.scale (-1.0) f_var);
-    add (Quad.add_constant f_var (-1.002));
+    add_pre (Quad.scale (-1.0) f_var);
+    add_pre (Quad.add_constant f_var (-1.002));
     (* 0 <= p <= 1.005 *)
-    add (Quad.scale (-1.0) p_var);
-    add (Quad.add_constant p_var (-1.005))
+    add_pre (Quad.scale (-1.0) p_var);
+    add_pre (Quad.add_constant p_var (-1.005))
   done;
-  (* Throughput: sum over cores of f >= n_cores * ftarget_hat.  In the
-     uniform variant the single f counts n_cores times. *)
+  (* Throughput direction: sum over cores of f.  In the uniform
+     variant the single f counts n_cores times.  The floor constraint
+     itself is per-[ftarget] and built in {!instantiate}. *)
   let total_f_coeffs =
     let q = Vec.zeros dim in
     (match spec.Spec.variant with
@@ -109,13 +126,8 @@ let build_internal ~machine ~(spec : Spec.t) ~t0 ~purpose =
     | Spec.Uniform -> q.(layout.f_offset) <- -.float_of_int n_cores);
     q
   in
-  (match purpose with
-  | `Power _ ->
-      add
-        (Quad.affine total_f_coeffs (float_of_int n_cores *. ftarget_hat))
-  | `Frontier -> ());
   (* Base trajectory: the window with zero core power (fixed non-core
-     power only), from the uniform start temperature. *)
+     power only), from the start temperature profile. *)
   if Vec.dim t0 <> n_nodes then
     invalid_arg "Model.build: initial temperature profile length mismatch";
   let base_traj =
@@ -126,6 +138,8 @@ let build_internal ~machine ~(spec : Spec.t) ~t0 ~purpose =
     traj.Thermal.Transient.temperatures
   in
   (* Thermal constraints: accumulate S_k and A^k. *)
+  let post = ref [] in
+  let add c = post := c :: !post in
   let ks = stride_steps ~steps ~stride:spec.Spec.constraint_stride in
   let ks = List.sort_uniq compare ks in
   let tmax = spec.Spec.tmax in
@@ -205,57 +219,102 @@ let build_internal ~machine ~(spec : Spec.t) ~t0 ~purpose =
       | None -> ())
   | None, None -> ()
   | Some _, None | None, Some _ -> assert false);
-  (* Objective: total normalized power plus the weighted spread
-     (Eq. 3/5), or minus the total frequency for the frontier
-     problem. *)
-  let objective =
-    match purpose with
-    | `Frontier -> Quad.affine total_f_coeffs 0.0
-    | `Power _ ->
-        let q = Vec.zeros dim in
-        for j = 0 to layout.n_p - 1 do
-          q.(layout.p_offset + j) <-
-            (match spec.Spec.variant with
-            | Spec.Variable -> 1.0
-            | Spec.Uniform -> float_of_int n_cores)
-        done;
-        (match (layout.bounds_offset, spec.Spec.gradient) with
-        | Some off, Some g ->
-            q.(off) <- g.Spec.weight;
-            q.(off + 1) <- -.g.Spec.weight
-        | None, _ | _, None -> ());
-        Quad.affine q 0.0
+  (* Objective of the power problem: total normalized power plus the
+     weighted spread (Eq. 3/5). *)
+  let power_objective =
+    let q = Vec.zeros dim in
+    for j = 0 to layout.n_p - 1 do
+      q.(layout.p_offset + j) <-
+        (match spec.Spec.variant with
+        | Spec.Variable -> 1.0
+        | Spec.Uniform -> float_of_int n_cores)
+    done;
+    (match (layout.bounds_offset, spec.Spec.gradient) with
+    | Some off, Some g ->
+        q.(off) <- g.Spec.weight;
+        q.(off + 1) <- -.g.Spec.weight
+    | None, _ | _, None -> ());
+    Quad.affine q 0.0
   in
+  let pre_floor = Array.of_list (List.rev !pre) in
+  let post_floor = Array.of_list (List.rev !post) in
   {
-    problem =
-      {
-        Convex.Barrier.objective;
-        constraints = Array.of_list (List.rev !constraints);
-      };
-    layout;
-    spec;
-    initial_temperatures = Vec.copy t0;
-    ftarget;
-    steps;
-    machine;
+    pre_floor;
+    post_floor;
+    total_f_coeffs;
+    power_objective;
+    p_layout = layout;
+    p_spec = spec;
+    p_machine = machine;
+    p_t0 = Vec.copy t0;
+    p_steps = steps;
+    (* The frontier problem — maximize the total frequency under the
+       same envelope, no floor — is shared by every cell of the row
+       and forced at most once. *)
+    p_frontier =
+      lazy
+        {
+          Convex.Barrier.objective = Quad.affine total_f_coeffs 0.0;
+          constraints = Array.append pre_floor post_floor;
+        };
   }
 
 let uniform_t0 machine tstart =
   Vec.create machine.Sim.Machine.n_nodes tstart
 
+let prepare ~machine ~spec ~tstart =
+  prepare_internal ~machine ~spec ~t0:(uniform_t0 machine tstart)
+
+let prepare_with_profile ~machine ~spec ~t0 =
+  prepare_internal ~machine ~spec ~t0
+
+let instantiate p ~ftarget =
+  let fmax = p.p_machine.Sim.Machine.fmax in
+  if ftarget < 0.0 || ftarget > fmax then
+    invalid_arg "Model.build: ftarget outside [0, fmax]";
+  let floor =
+    Quad.affine p.total_f_coeffs
+      (float_of_int p.p_layout.n_cores *. (ftarget /. fmax))
+  in
+  {
+    problem =
+      {
+        Convex.Barrier.objective = p.power_objective;
+        constraints =
+          Array.concat [ p.pre_floor; [| floor |]; p.post_floor ];
+      };
+    layout = p.p_layout;
+    spec = p.p_spec;
+    initial_temperatures = p.p_t0;
+    ftarget;
+    steps = p.p_steps;
+    machine = p.p_machine;
+    frontier_problem = p.p_frontier;
+  }
+
+let frontier_of_prepared p =
+  {
+    problem = Lazy.force p.p_frontier;
+    layout = p.p_layout;
+    spec = p.p_spec;
+    initial_temperatures = p.p_t0;
+    ftarget = 0.0;
+    steps = p.p_steps;
+    machine = p.p_machine;
+    frontier_problem = p.p_frontier;
+  }
+
 let build ~machine ~spec ~tstart ~ftarget =
-  build_internal ~machine ~spec ~t0:(uniform_t0 machine tstart)
-    ~purpose:(`Power ftarget)
+  instantiate (prepare ~machine ~spec ~tstart) ~ftarget
 
 let build_frontier ~machine ~spec ~tstart =
-  build_internal ~machine ~spec ~t0:(uniform_t0 machine tstart)
-    ~purpose:`Frontier
+  frontier_of_prepared (prepare ~machine ~spec ~tstart)
 
 let build_with_profile ~machine ~spec ~t0 ~ftarget =
-  build_internal ~machine ~spec ~t0 ~purpose:(`Power ftarget)
+  instantiate (prepare_with_profile ~machine ~spec ~t0) ~ftarget
 
 let build_frontier_with_profile ~machine ~spec ~t0 =
-  build_internal ~machine ~spec ~t0 ~purpose:`Frontier
+  frontier_of_prepared (prepare_with_profile ~machine ~spec ~t0)
 
 let with_gradient_bounds layout x =
   (match layout.bounds_offset with
@@ -361,36 +420,56 @@ let solve_frontier ?options built =
    centering is fragile on thousands of near-parallel rows), maximize
    the total frequency under the same envelope, stopping as soon as
    the throughput floor is strictly cleared.  A frontier iterate that
-   clears the floor is strictly feasible for the power problem. *)
-let feasible_start_via_frontier ?options built =
+   clears the floor is strictly feasible for the power problem.
+
+   [start] warm-starts the climb: barrier iterates are strictly
+   interior, so the previous column's optimum — which already sits at
+   its own (lower) floor — is strictly feasible for the floor-free
+   frontier problem, and the climb only has to cover the gap between
+   consecutive floors instead of starting from zero frequency. *)
+let feasible_start_via_frontier ?options ?start built =
   let needed =
     float_of_int built.layout.n_cores *. built.ftarget
     /. built.machine.Sim.Machine.fmax
   in
-  let frontier =
-    build_internal ~machine:built.machine ~spec:built.spec
-      ~t0:built.initial_temperatures ~purpose:`Frontier
+  let problem = Lazy.force built.frontier_problem in
+  let x0 =
+    match start with
+    | Some x
+      when Vec.dim x = built.layout.dim
+           && Convex.Barrier.is_strictly_feasible problem x ->
+        Some x
+    | Some _ | None ->
+        let triv = trivial_start built in
+        if Convex.Barrier.is_strictly_feasible problem triv then Some triv
+        else None
   in
-  let start = trivial_start frontier in
-  if not (Convex.Barrier.is_strictly_feasible frontier.problem start) then
-    None
-  else
-    let stop_early x = total_fhat frontier x > needed +. 1e-7 in
-    let r = Convex.Barrier.solve ?options ~stop_early frontier.problem start in
-    if total_fhat frontier r.Convex.Barrier.x > needed then
-      Some r.Convex.Barrier.x
-    else None
+  match x0 with
+  | None -> None
+  | Some x0 ->
+      let stop_early x = total_fhat built x > needed +. 1e-7 in
+      let r = Convex.Barrier.solve ?options ~stop_early problem x0 in
+      if total_fhat built r.Convex.Barrier.x > needed then
+        Some r.Convex.Barrier.x
+      else None
 
-let solve ?options built =
-  let hint = start_hint built in
-  let start =
-    if Convex.Barrier.is_strictly_feasible built.problem hint then Some hint
-    else feasible_start_via_frontier ?options built
+let solve ?options ?start built =
+  let strictly_ok x =
+    Vec.dim x = built.layout.dim
+    && Convex.Barrier.is_strictly_feasible built.problem x
   in
-  match start with
+  let chosen =
+    match start with
+    | Some s when strictly_ok s -> Some s
+    | Some _ | None ->
+        let hint = start_hint built in
+        if strictly_ok hint then Some hint
+        else feasible_start_via_frontier ?options ?start built
+  in
+  match chosen with
   | None -> Infeasible
-  | Some start -> (
-      match Convex.Solve.solve ?options ~start built.problem with
+  | Some s -> (
+      match Convex.Solve.solve ?options ~start:s built.problem with
       | Convex.Solve.Optimal raw -> Feasible (solution_of_x built raw)
       | Convex.Solve.Infeasible _ -> Infeasible)
 

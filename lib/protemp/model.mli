@@ -52,7 +52,37 @@ type built = {
   ftarget : float;  (** Hz. *)
   steps : int;  (** Thermal steps in the window ([m] in the paper). *)
   machine : Sim.Machine.t;
+  frontier_problem : Convex.Barrier.problem Lazy.t;
+      (** The floor-free companion problem over the same envelope,
+          used as a structural phase I by {!solve}.  Shared — and
+          forced at most once — by every instance made from the same
+          {!prepared} context. *)
 }
+
+type prepared
+(** The [(machine, spec, t0)]-dependent part of a model: the
+    matrix-power products, base trajectory and every constraint except
+    the throughput floor.  Building it costs as much as one {!build};
+    each further {!instantiate} at a new [ftarget] is then almost
+    free.  The offline sweep prepares once per table row and
+    instantiates once per column. *)
+
+val prepare :
+  machine:Sim.Machine.t -> spec:Spec.t -> tstart:float -> prepared
+(** Raises [Invalid_argument] for an invalid spec or a window shorter
+    than one thermal step. *)
+
+val prepare_with_profile :
+  machine:Sim.Machine.t -> spec:Spec.t -> t0:Vec.t -> prepared
+
+val instantiate : prepared -> ftarget:float -> built
+(** Splice the throughput floor for [ftarget] into the prepared
+    context.  The result is identical, constraint for constraint, to
+    the corresponding {!build}.  Raises [Invalid_argument] for
+    [ftarget] outside [[0, fmax]]. *)
+
+val frontier_of_prepared : prepared -> built
+(** The {!build_frontier} instance of a prepared context. *)
 
 val build :
   machine:Sim.Machine.t -> spec:Spec.t -> tstart:float -> ftarget:float ->
@@ -96,11 +126,21 @@ type solution = {
 
 type outcome = Feasible of solution | Infeasible
 
-val solve : ?options:Convex.Barrier.options -> built -> outcome
+val solve :
+  ?options:Convex.Barrier.options -> ?start:Vec.t -> built -> outcome
 (** Solve an Eq. 3/5 instance.  Feasibility is established
-    structurally: if the warm-start hint is not strictly feasible, the
+    structurally: if the start point is not strictly feasible, the
     frontier problem is driven until the throughput floor is cleared
-    (or shown unreachable), side-stepping the generic phase I. *)
+    (or shown unreachable), side-stepping the generic phase I.
+
+    [start] is a warm-start point, typically the previous column's
+    [raw.x] when sweeping [ftarget] upward.  It is used directly when
+    strictly feasible; otherwise it seeds the frontier climb (barrier
+    iterates are strictly interior, so a neighbouring cell's optimum
+    is always strictly feasible for the floor-free frontier problem).
+    Points of the wrong dimension are ignored.  Warm starts change
+    only the path taken, not the model: every returned solution
+    satisfies the same constraints to the same duality gap. *)
 
 val solve_frontier : ?options:Convex.Barrier.options -> built -> outcome
 (** Solve a {!build_frontier} instance; the returned solution's

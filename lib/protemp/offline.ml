@@ -13,35 +13,66 @@ type progress = {
 let solve_point ?options ~machine ~spec ~tstart ~ftarget () =
   Model.solve ?options (Model.build ~machine ~spec ~tstart ~ftarget)
 
-let sweep ?options ?(tstarts = default_tstarts)
+(* One table row: prepare the [(machine, spec, tstart)] context once,
+   then walk the [ftarget] columns upward, seeding each solve from the
+   previous feasible cell's interior optimum and pruning everything
+   above the first infeasible target (infeasibility is monotone in
+   [ftarget]).  The row is a pure function of its inputs — column
+   order is sequential within the row — so the table is the same
+   whichever domain runs it, and however many domains run at once. *)
+let sweep_row ?options ~machine ~spec ~ftargets ~warm_starts ~report tstart =
+  let prepared = Model.prepare ~machine ~spec ~tstart in
+  let infeasible_from = ref None in
+  let warm = ref None in
+  Array.map
+    (fun ftarget ->
+      match !infeasible_from with
+      | Some f0 when ftarget >= f0 ->
+          report { tstart; ftarget; outcome = `Pruned; seconds = 0.0 };
+          Table.Infeasible
+      | Some _ | None -> (
+          let t0 = Unix.gettimeofday () in
+          let built = Model.instantiate prepared ~ftarget in
+          match Model.solve ?options ?start:!warm built with
+          | Model.Feasible s ->
+              if warm_starts then warm := Some s.Model.raw.Convex.Solve.x;
+              report
+                { tstart; ftarget; outcome = `Feasible;
+                  seconds = Unix.gettimeofday () -. t0 };
+              Table.Frequencies s.Model.frequencies
+          | Model.Infeasible ->
+              infeasible_from := Some ftarget;
+              report
+                { tstart; ftarget; outcome = `Infeasible;
+                  seconds = Unix.gettimeofday () -. t0 };
+              Table.Infeasible))
+    ftargets
+
+let sweep ?options ?domains ?(warm_starts = true) ?(tstarts = default_tstarts)
     ?(ftargets = default_ftargets) ?on_progress ~machine ~spec () =
-  let report p = match on_progress with Some f -> f p | None -> () in
+  let domains =
+    match domains with Some d -> d | None -> Parallel.Pool.default_domains ()
+  in
+  let report =
+    match on_progress with
+    | None -> fun _ -> ()
+    | Some f ->
+        if domains <= 1 then f
+        else
+          (* Rows complete out of order; serialize the callback so
+             user code (typically terminal logging) never runs
+             concurrently with itself. *)
+          let m = Mutex.create () in
+          fun p ->
+            Mutex.lock m;
+            Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f p)
+  in
   let cells =
-    Array.map
-      (fun tstart ->
-        let infeasible_from = ref None in
-        Array.map
-          (fun ftarget ->
-            match !infeasible_from with
-            | Some f0 when ftarget >= f0 ->
-                report { tstart; ftarget; outcome = `Pruned; seconds = 0.0 };
-                Table.Infeasible
-            | Some _ | None -> (
-                let t0 = Unix.gettimeofday () in
-                match solve_point ?options ~machine ~spec ~tstart ~ftarget () with
-                | Model.Feasible s ->
-                    report
-                      { tstart; ftarget; outcome = `Feasible;
-                        seconds = Unix.gettimeofday () -. t0 };
-                    Table.Frequencies s.Model.frequencies
-                | Model.Infeasible ->
-                    infeasible_from := Some ftarget;
-                    report
-                      { tstart; ftarget; outcome = `Infeasible;
-                        seconds = Unix.gettimeofday () -. t0 };
-                    Table.Infeasible))
-          ftargets)
-      tstarts
+    Parallel.Pool.map ~domains
+      (fun i ->
+        sweep_row ?options ~machine ~spec ~ftargets ~warm_starts ~report
+          tstarts.(i))
+      (Array.length tstarts)
   in
   Table.make ~tstarts ~ftargets cells
 

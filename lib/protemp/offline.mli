@@ -4,7 +4,14 @@
     solved and the optimal frequency vector stored.  Infeasibility is
     monotone (hotter starts and higher targets are both harder), which
     prunes the sweep: once a column is infeasible for a row, all
-    higher columns are too, and the check is skipped. *)
+    higher columns are too, and the check is skipped.
+
+    The sweep is parallel across [tstart] rows (each row is an
+    independent {!Model.prepare} context) and warm-started along the
+    [ftarget] columns within a row (each solve is seeded from the
+    previous feasible cell's interior optimum).  Rows are assembled by
+    index, and each row is a pure sequential function of its inputs,
+    so the table contents do not depend on the domain count. *)
 
 
 val default_tstarts : float array
@@ -22,6 +29,8 @@ type progress = {
 
 val sweep :
   ?options:Convex.Barrier.options ->
+  ?domains:int ->
+  ?warm_starts:bool ->
   ?tstarts:float array ->
   ?ftargets:float array ->
   ?on_progress:(progress -> unit) ->
@@ -29,6 +38,15 @@ val sweep :
   spec:Spec.t ->
   unit ->
   Table.t
+(** [domains] is the worker-pool size (default
+    {!Parallel.Pool.default_domains}, i.e. the [PROTEMP_DOMAINS]
+    environment variable or the hardware count); [1] runs the classic
+    sequential loop on the calling domain.  [warm_starts] (default
+    [true]) seeds each solve from the previous column's optimum; turn
+    it off to measure its effect.  With [domains > 1],
+    [on_progress] is invoked from worker domains — calls are
+    serialized under a mutex, but rows interleave, so expect
+    out-of-order cells. *)
 
 val frontier_point :
   ?options:Convex.Barrier.options ->

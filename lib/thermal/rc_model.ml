@@ -144,15 +144,19 @@ let discretize m ~dt =
   in
   { step; injection; drive; dt; ambient = m.prm.ambient }
 
-let step_temperature d t p =
+let step_temperature_into d t p ~dst =
   let n = Mat.rows d.step in
   if Vec.dim t <> n || Vec.dim p <> n then
     invalid_arg "Rc_model.step_temperature: dimension mismatch";
-  let t' = Mat.mul_vec d.step t in
+  Mat.mul_vec_into d.step t ~dst;
   for i = 0 to n - 1 do
-    t'.(i) <- t'.(i) +. (d.injection.(i) *. p.(i)) +. d.drive.(i)
-  done;
-  t'
+    dst.(i) <- dst.(i) +. (d.injection.(i) *. p.(i)) +. d.drive.(i)
+  done
+
+let step_temperature d t p =
+  let dst = Vec.zeros (Mat.rows d.step) in
+  step_temperature_into d t p ~dst;
+  dst
 
 let discrete_steady_state d p =
   let n = Mat.rows d.step in

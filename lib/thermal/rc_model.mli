@@ -83,6 +83,11 @@ val discretize : t -> dt:float -> discrete
 val step_temperature : discrete -> Vec.t -> Vec.t -> Vec.t
 (** [step_temperature d t p] is one application of the recurrence. *)
 
+val step_temperature_into : discrete -> Vec.t -> Vec.t -> dst:Vec.t -> unit
+(** Like {!step_temperature} but writes into [dst], which must not
+    alias the input temperature vector.  Lets step loops run
+    allocation-free with two ping-pong buffers. *)
+
 val discrete_steady_state : discrete -> Vec.t -> Vec.t
 (** Fixed point of the recurrence under constant [p]; equals
     {!steady_state} of the continuous model. *)

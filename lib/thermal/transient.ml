@@ -7,12 +7,17 @@ let simulate (d : Rc_model.discrete) ~t0 ~steps ~power =
   if Vec.dim t0 <> n then invalid_arg "Transient.simulate: bad t0";
   if steps < 0 then invalid_arg "Transient.simulate: negative steps";
   let temperatures = Mat.zeros (steps + 1) n in
+  (* Ping-pong between two buffers: the step loop allocates nothing. *)
   let t = ref (Vec.copy t0) in
+  let next = ref (Vec.zeros n) in
   for i = 0 to n - 1 do
     Mat.set temperatures 0 i t0.(i)
   done;
   for k = 1 to steps do
-    t := Rc_model.step_temperature d !t (power (k - 1));
+    Rc_model.step_temperature_into d !t (power (k - 1)) ~dst:!next;
+    let tmp = !t in
+    t := !next;
+    next := tmp;
     for i = 0 to n - 1 do
       Mat.set temperatures k i !t.(i)
     done
@@ -79,21 +84,36 @@ let exact_propagator model ~dt =
   in
   { e; response; drive = Mat.mul_vec response ambient_forcing; dt }
 
+let exact_step_into prop t p ~scratch ~dst =
+  Mat.mul_vec_into prop.e t ~dst;
+  Mat.mul_vec_into prop.response p ~dst:scratch;
+  for i = 0 to Vec.dim dst - 1 do
+    dst.(i) <- dst.(i) +. scratch.(i) +. prop.drive.(i)
+  done
+
 let exact_step prop t p =
-  let t' = Mat.mul_vec prop.e t in
-  let forced = Mat.mul_vec prop.response p in
-  Vec.init (Vec.dim t') (fun i -> t'.(i) +. forced.(i) +. prop.drive.(i))
+  let n = Vec.dim prop.drive in
+  let dst = Vec.zeros n in
+  exact_step_into prop t p ~scratch:(Vec.zeros n) ~dst;
+  dst
 
 let exact_simulate prop ~t0 ~steps ~power =
   let n = Vec.dim t0 in
   if steps < 0 then invalid_arg "Transient.exact_simulate: negative steps";
   let temperatures = Mat.zeros (steps + 1) n in
+  (* Same ping-pong scheme as {!simulate}: three fixed buffers,
+     nothing allocated per step. *)
   let t = ref (Vec.copy t0) in
+  let next = ref (Vec.zeros n) in
+  let scratch = Vec.zeros n in
   for i = 0 to n - 1 do
     Mat.set temperatures 0 i t0.(i)
   done;
   for k = 1 to steps do
-    t := exact_step prop !t (power (k - 1));
+    exact_step_into prop !t (power (k - 1)) ~scratch ~dst:!next;
+    let tmp = !t in
+    t := !next;
+    next := tmp;
     for i = 0 to n - 1 do
       Mat.set temperatures k i !t.(i)
     done

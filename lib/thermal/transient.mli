@@ -41,5 +41,11 @@ val exact_step : propagator -> Vec.t -> Vec.t -> Vec.t
 (** [exact_step prop t p]: the exact temperature after [dt] under
     constant power [p], from temperature [t]. *)
 
+val exact_step_into :
+  propagator -> Vec.t -> Vec.t -> scratch:Vec.t -> dst:Vec.t -> unit
+(** In-place {!exact_step}: writes the result into [dst] using
+    [scratch] as workspace.  [dst] and [scratch] must be distinct and
+    must not alias the input temperature vector. *)
+
 val exact_simulate :
   propagator -> t0:Vec.t -> steps:int -> power:(int -> Vec.t) -> trajectory

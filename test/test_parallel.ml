@@ -1,0 +1,208 @@
+(* Tests for the domain worker pool and the parallel, warm-started
+   offline sweep: pool semantics (ordering, reuse, exceptions), the
+   domain-count invariance of the table, and the thermal guarantee on
+   warm-started cells. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let machine = lazy (Sim.Machine.niagara ())
+
+(* Solver-bound tests below use a coarse constraint stride; the
+   guarantee audit re-checks every cell at full resolution. *)
+let fast_spec = { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 }
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_map_order () =
+  List.iter
+    (fun domains ->
+      let r = Parallel.Pool.map ~domains (fun i -> i * i) 64 in
+      check_int "length" 64 (Array.length r);
+      Array.iteri (fun i v -> check_int "slot" (i * i) v) r)
+    [ 1; 2; 4; 8 ]
+
+let test_pool_reuse_across_batches () =
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      check_int "size" 3 (Parallel.Pool.size pool);
+      let a = Parallel.Pool.map_rows pool (fun i -> i + 1) 10 in
+      let b = Parallel.Pool.map_rows pool (fun i -> i * 2) 5 in
+      check_bool "first batch" true (a = Array.init 10 (fun i -> i + 1));
+      check_bool "second batch" true (b = Array.init 5 (fun i -> i * 2)))
+
+let test_pool_edge_sizes () =
+  check_bool "empty" true (Parallel.Pool.map ~domains:4 (fun i -> i) 0 = [||]);
+  check_bool "single" true (Parallel.Pool.map ~domains:4 (fun i -> i) 1 = [| 0 |]);
+  (* Sizes below 1 clamp to a sequential pool. *)
+  check_bool "clamped" true
+    (Parallel.Pool.map ~domains:0 (fun i -> i) 3 = [| 0; 1; 2 |])
+
+let test_pool_propagates_first_exception () =
+  match
+    Parallel.Pool.map ~domains:4
+      (fun i -> if i = 2 || i = 5 then failwith (string_of_int i) else i)
+      8
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+      (* The batch drains fully, then the smallest failing index is
+         re-raised. *)
+      check_bool "first failure by index" true (msg = "2")
+
+let test_pool_sequential_when_size_one () =
+  (* A size-1 pool must run on the calling domain in index order. *)
+  let trace = ref [] in
+  let r =
+    Parallel.Pool.map ~domains:1
+      (fun i ->
+        trace := i :: !trace;
+        i)
+    4
+  in
+  check_bool "results" true (r = [| 0; 1; 2; 3 |]);
+  check_bool "in order on caller" true (!trace = [ 3; 2; 1; 0 ])
+
+let test_parse_domains () =
+  check_bool "plain" true (Parallel.Pool.parse_domains "4" = Some 4);
+  check_bool "padded" true (Parallel.Pool.parse_domains " 8 " = Some 8);
+  check_bool "zero" true (Parallel.Pool.parse_domains "0" = None);
+  check_bool "negative" true (Parallel.Pool.parse_domains "-2" = None);
+  check_bool "junk" true (Parallel.Pool.parse_domains "many" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep *)
+
+let tstarts = [| 40.0; 70.0; 100.0 |]
+let ftargets = [| 3e8; 6e8; 9e8 |]
+
+let sweep ?on_progress ~domains ~warm_starts () =
+  Protemp.Offline.sweep ~machine:(Lazy.force machine) ~spec:fast_spec ~domains
+    ~warm_starts ~tstarts ~ftargets ?on_progress ()
+
+let tables_equal a b =
+  let ta = Protemp.Table.tstarts a and fa = Protemp.Table.ftargets a in
+  Protemp.Table.tstarts b = ta
+  && Protemp.Table.ftargets b = fa
+  && Array.for_all
+       (fun i ->
+         Array.for_all
+           (fun j ->
+             match (Protemp.Table.cell a i j, Protemp.Table.cell b i j) with
+             | Protemp.Table.Infeasible, Protemp.Table.Infeasible -> true
+             | Protemp.Table.Frequencies x, Protemp.Table.Frequencies y ->
+                 Linalg.Vec.approx_equal ~tol:1e-9 x y
+             | Protemp.Table.Infeasible, Protemp.Table.Frequencies _
+             | Protemp.Table.Frequencies _, Protemp.Table.Infeasible -> false)
+           (Array.init (Array.length fa) Fun.id))
+       (Array.init (Array.length ta) Fun.id)
+
+let parallel_table = lazy (sweep ~domains:4 ~warm_starts:true ())
+
+let test_sweep_domain_count_invariant () =
+  let seq = sweep ~domains:1 ~warm_starts:true () in
+  check_bool "domains=4 equals domains=1" true
+    (tables_equal seq (Lazy.force parallel_table))
+
+let test_sweep_reports_every_cell () =
+  let count = ref 0 in
+  let m = Mutex.create () in
+  let _ =
+    sweep ~domains:4 ~warm_starts:true
+      ~on_progress:(fun _ ->
+        Mutex.lock m;
+        incr count;
+        Mutex.unlock m)
+      ()
+  in
+  check_int "one progress report per cell"
+    (Array.length tstarts * Array.length ftargets)
+    !count
+
+let test_sweep_warm_started_cells_keep_guarantee () =
+  let audit =
+    Protemp.Guarantee.audit_table ~machine:(Lazy.force machine) ~spec:fast_spec
+      (Lazy.force parallel_table)
+  in
+  check_bool "cells checked" true (audit.Protemp.Guarantee.cells_checked > 0);
+  check_bool
+    (Printf.sprintf "margin %.4f >= 0" audit.Protemp.Guarantee.worst_margin)
+    true
+    (audit.Protemp.Guarantee.worst_margin >= -1e-9)
+
+(* A direct warm-start exercise on a thermally tight row: solve a
+   column, seed the next solve with its interior optimum, and check
+   the warm-started solution still honours the cap and the floor. *)
+let test_warm_start_direct () =
+  let m = Lazy.force machine in
+  let prepared = Protemp.Model.prepare ~machine:m ~spec:fast_spec ~tstart:85.0 in
+  let first =
+    Protemp.Model.solve (Protemp.Model.instantiate prepared ~ftarget:5e8)
+  in
+  match first with
+  | Protemp.Model.Infeasible -> Alcotest.fail "cold cell expected feasible"
+  | Protemp.Model.Feasible s -> (
+      let warm = s.Protemp.Model.raw.Convex.Solve.x in
+      let built = Protemp.Model.instantiate prepared ~ftarget:6e8 in
+      match Protemp.Model.solve ~start:warm built with
+      | Protemp.Model.Infeasible ->
+          Alcotest.fail "warm-started cell expected feasible"
+      | Protemp.Model.Feasible w ->
+          let f = w.Protemp.Model.frequencies in
+          check_bool "floor met" true (Linalg.Vec.sum f >= 8.0 *. 6e8 -. 8e6);
+          let peak =
+            Protemp.Guarantee.window_peak ~machine:m
+              ~dfs_period:fast_spec.Protemp.Spec.dfs_period ~tstart:85.0
+              ~frequencies:f
+          in
+          check_bool
+            (Printf.sprintf "warm peak %.3f <= tmax" peak)
+            true
+            (peak <= fast_spec.Protemp.Spec.tmax +. 1e-9))
+
+(* Instantiating from a prepared context must yield the same problem
+   as a from-scratch build, so the same optimum. *)
+let test_instantiate_matches_build () =
+  let m = Lazy.force machine in
+  let prepared = Protemp.Model.prepare ~machine:m ~spec:fast_spec ~tstart:55.0 in
+  let a = Protemp.Model.solve (Protemp.Model.instantiate prepared ~ftarget:6e8) in
+  let b =
+    Protemp.Model.solve
+      (Protemp.Model.build ~machine:m ~spec:fast_spec ~tstart:55.0 ~ftarget:6e8)
+  in
+  match (a, b) with
+  | Protemp.Model.Feasible x, Protemp.Model.Feasible y ->
+      check_bool "same frequencies" true
+        (Linalg.Vec.approx_equal ~tol:1e-9 x.Protemp.Model.frequencies
+           y.Protemp.Model.frequencies)
+  | _, _ -> Alcotest.fail "expected both feasible"
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "reuse across batches" `Quick
+            test_pool_reuse_across_batches;
+          Alcotest.test_case "edge sizes" `Quick test_pool_edge_sizes;
+          Alcotest.test_case "first exception wins" `Quick
+            test_pool_propagates_first_exception;
+          Alcotest.test_case "sequential fallback" `Quick
+            test_pool_sequential_when_size_one;
+          Alcotest.test_case "PROTEMP_DOMAINS parsing" `Quick
+            test_parse_domains;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "domain-count invariant" `Slow
+            test_sweep_domain_count_invariant;
+          Alcotest.test_case "progress covers every cell" `Slow
+            test_sweep_reports_every_cell;
+          Alcotest.test_case "warm-started cells keep the guarantee" `Slow
+            test_sweep_warm_started_cells_keep_guarantee;
+          Alcotest.test_case "warm start direct" `Slow test_warm_start_direct;
+          Alcotest.test_case "instantiate matches build" `Slow
+            test_instantiate_matches_build;
+        ] );
+    ]

@@ -223,6 +223,21 @@ let test_exact_step_reaches_steady () =
   let t = Transient.exact_step prop (Vec.create 2 27.0) p_nodes in
   check_bool "steady" true (Vec.approx_equal ~tol:1e-6 t steady)
 
+let test_in_place_steps_match_allocating () =
+  (* The buffer-reusing step paths are exactly the allocating ones. *)
+  let m = Rc_model.build (two_block ()) in
+  let p_nodes = [| 0.8; 0.3 |] in
+  let t = [| 40.0; 35.0 |] in
+  let prop = Transient.exact_propagator m ~dt:0.05 in
+  let expected = Transient.exact_step prop t p_nodes in
+  let dst = Vec.zeros 2 and scratch = Vec.zeros 2 in
+  Transient.exact_step_into prop t p_nodes ~scratch ~dst;
+  check_bool "exact step" true (Vec.approx_equal ~tol:0.0 expected dst);
+  let d = Rc_model.discretize m ~dt:(0.5 *. Rc_model.max_monotone_dt m) in
+  let expected = Rc_model.step_temperature d t p_nodes in
+  Rc_model.step_temperature_into d t p_nodes ~dst;
+  check_bool "euler step" true (Vec.approx_equal ~tol:0.0 expected dst)
+
 (* ------------------------------------------------------------------ *)
 (* Hotspot3l *)
 
@@ -544,6 +559,8 @@ let () =
             test_exact_matches_euler_small_dt;
           Alcotest.test_case "exact long step" `Quick
             test_exact_step_reaches_steady;
+          Alcotest.test_case "in-place steps match" `Quick
+            test_in_place_steps_match_allocating;
         ] );
       ( "hotspot3l",
         [
