@@ -1,0 +1,21 @@
+.PHONY: ci build test bench clean
+
+# Everything the tier-1 gate runs: full build, then the test suites.
+# `dune runtest` also executes the sweep benchmark in fast mode
+# (PROTEMP_BENCH_FAST=1, see bench/dune), which cross-checks the
+# compiled vs reference barrier backends and the parallel vs
+# sequential tables on a tiny grid.
+ci: build test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full-grid benchmark; rewrites BENCH_sweep.json.
+bench:
+	dune exec bench/sweep_bench.exe
+
+clean:
+	dune clean

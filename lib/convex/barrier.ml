@@ -2,6 +2,8 @@ open Linalg
 
 type problem = { objective : Quad.t; constraints : Quad.t array }
 
+type backend = [ `Compiled | `Reference ]
+
 type options = {
   mu : float;
   gap_tol : float;
@@ -20,6 +22,25 @@ let default_options =
   { mu = 2.0; gap_tol = 1e-7; t0 = 1.0; max_outer = 120;
     newton = { Newton.default_options with tol = 1e-9; max_iter = 500 } }
 
+type stats = {
+  centering_steps : int;
+  newton_iterations : int;
+  backtracks : int;
+  factorizations : int;
+}
+
+let stats_zero =
+  { centering_steps = 0; newton_iterations = 0; backtracks = 0;
+    factorizations = 0 }
+
+let stats_add a b =
+  {
+    centering_steps = a.centering_steps + b.centering_steps;
+    newton_iterations = a.newton_iterations + b.newton_iterations;
+    backtracks = a.backtracks + b.backtracks;
+    factorizations = a.factorizations + b.factorizations;
+  }
+
 type result = {
   x : Vec.t;
   objective_value : float;
@@ -27,6 +48,7 @@ type result = {
   gap : float;
   outer_iterations : int;
   newton_iterations : int;
+  stats : stats;
   stopped_early : bool;
 }
 
@@ -51,89 +73,146 @@ let barrier_value p t x =
 let is_strictly_feasible p x =
   Array.for_all (fun c -> Quad.eval c x < 0.0) p.constraints
 
-(* Gradient and Hessian of the centering function
-   phi_t(x) = t f0 - sum log(-f_j):
+(* Everything the outer loop needs from a problem representation, so
+   the same path-following code drives both the compiled and the
+   reference oracle. *)
+type engine = {
+  e_n : int;
+  e_m : int;
+  e_feasible : Vec.t -> bool;
+  e_value : float -> Vec.t -> float option;
+  e_grad_hess : float -> Vec.t -> g:Vec.t -> h:Mat.t -> unit;
+  e_max_step : (Vec.t -> Vec.t -> float) option;
+  e_objective : Vec.t -> float;
+  e_duals : float -> Vec.t -> Vec.t;
+}
+
+(* Reference oracle: walk the constraints as Quad objects.  Gradient
+   and Hessian of phi_t(x) = t f0 - sum log(-f_j):
      grad = t grad_f0 + sum grad_f_j / (-f_j)
      hess = t P0 + sum [ grad_f_j grad_f_j^T / f_j^2 + P_j / (-f_j) ].
-   Must only be called at strictly feasible points. *)
-let grad_hess p t x =
-  let g = Vec.scale t (Quad.grad p.objective x) in
-  let h = Mat.scale t (Quad.hess p.objective) in
-  (* Rank-one terms accumulate into the upper triangle only; affine
-     constraints contribute their coefficient vector directly (no
-     gradient allocation). *)
-  Array.iter
-    (fun c ->
-      let fj = Quad.eval c x in
-      let inv = -1.0 /. fj in
-      if Quad.is_affine c then begin
-        let q = Quad.unsafe_linear_part c in
-        Vec.axpy_into ~dst:g inv q;
-        Mat.add_outer_upper_into h (inv *. inv) q
-      end
-      else begin
-        let gj = Quad.grad c x in
-        Vec.axpy_into ~dst:g inv gj;
-        Mat.add_outer_upper_into h (inv *. inv) gj;
-        Mat.add_into ~dst:h (Mat.scale inv (Quad.hess c))
-      end)
-    p.constraints;
-  Mat.mirror_upper h;
-  (g, h)
-
-let solve ?(options = default_options) ?stop_early p x0 =
+   Rank-one terms accumulate into the upper triangle only; affine
+   constraints contribute their coefficient vector directly. *)
+let reference_engine p =
   let n = check_problem p in
-  if Vec.dim x0 <> n then invalid_arg "Barrier.solve: x0 dimension mismatch";
-  if not (is_strictly_feasible p x0) then
-    invalid_arg "Barrier.solve: x0 not strictly feasible";
-  let m = Array.length p.constraints in
-  let duals t x =
-    Array.map (fun c -> 1.0 /. (t *. -.Quad.eval c x)) p.constraints
+  let scr = Vec.zeros n and gj = Vec.zeros n in
+  let value t x =
+    let rec go j acc =
+      if j >= Array.length p.constraints then Some acc
+      else
+        let g = Quad.eval_with p.constraints.(j) ~scratch:scr x in
+        if g >= 0.0 then None else go (j + 1) (acc -. log (-.g))
+    in
+    go 0 (t *. Quad.eval_with p.objective ~scratch:scr x)
   in
-  let finish ~t ~x ~outer ~inner ~stopped_early =
+  let grad_hess t x ~g ~h =
+    Quad.grad_into p.objective x ~dst:g;
+    Vec.scale_into ~dst:g t;
+    Mat.fill h 0.0;
+    Quad.add_scaled_hess_upper_into p.objective t ~dst:h;
+    Array.iter
+      (fun c ->
+        let fj = Quad.eval_with c ~scratch:scr x in
+        let inv = -1.0 /. fj in
+        if Quad.is_affine c then begin
+          let q = Quad.unsafe_linear_part c in
+          Vec.axpy_into ~dst:g inv q;
+          Mat.add_outer_upper_into h (inv *. inv) q
+        end
+        else begin
+          Quad.grad_into c x ~dst:gj;
+          Vec.axpy_into ~dst:g inv gj;
+          Mat.add_outer_upper_into h (inv *. inv) gj;
+          Quad.add_scaled_hess_upper_into c inv ~dst:h
+        end)
+      p.constraints;
+    Mat.mirror_upper h
+  in
+  {
+    e_n = n;
+    e_m = Array.length p.constraints;
+    e_feasible = is_strictly_feasible p;
+    e_value = value;
+    e_grad_hess = grad_hess;
+    e_max_step = None;
+    e_objective = (fun x -> Quad.eval_with p.objective ~scratch:scr x);
+    e_duals =
+      (fun t x ->
+        Array.map (fun c -> 1.0 /. (t *. -.Quad.eval c x)) p.constraints);
+  }
+
+let compiled_engine c =
+  let ws = Compiled.workspace c in
+  let scr = Vec.zeros (Compiled.dim c) in
+  {
+    e_n = Compiled.dim c;
+    e_m = Compiled.n_constraints c;
+    e_feasible = Compiled.is_strictly_feasible c ws;
+    e_value = (fun t x -> Compiled.value c ws ~t x);
+    e_grad_hess = (fun t x ~g ~h -> Compiled.grad_hess_into c ws ~t x ~g ~h);
+    e_max_step = Some (fun x d -> Compiled.max_step c ws x d);
+    e_objective =
+      (fun x -> Quad.eval_with (Compiled.objective c) ~scratch:scr x);
+    e_duals = (fun t x -> Compiled.duals c ws ~t x);
+  }
+
+let solve_engine ~options ?stop_early e x0 =
+  if Vec.dim x0 <> e.e_n then
+    invalid_arg "Barrier.solve: x0 dimension mismatch";
+  if not (e.e_feasible x0) then
+    invalid_arg "Barrier.solve: x0 not strictly feasible";
+  (* One Newton workspace serves every centering step of the solve. *)
+  let ws = Newton.workspace e.e_n in
+  let m = float_of_int e.e_m in
+  let inner = ref 0 and backtracks = ref 0 and factorizations = ref 0 in
+  let finish ~t ~x ~outer ~stopped_early =
     {
       x;
-      objective_value = Quad.eval p.objective x;
-      dual = duals t x;
-      gap = float_of_int m /. t;
+      objective_value = e.e_objective x;
+      dual = e.e_duals t x;
+      gap = m /. t;
       outer_iterations = outer;
-      newton_iterations = inner;
+      newton_iterations = !inner;
+      stats =
+        { centering_steps = outer; newton_iterations = !inner;
+          backtracks = !backtracks; factorizations = !factorizations };
       stopped_early;
     }
   in
-  if m = 0 then
-    (* Unconstrained: a single Newton run on f0. *)
+  let rec outer_loop t x outer =
     let oracle =
       {
-        Newton.value = (fun x -> Some (Quad.eval p.objective x));
-        grad_hess =
-          (fun x -> (Quad.grad p.objective x, Quad.hess p.objective));
+        Newton.value = (fun y -> e.e_value t y);
+        grad_hess_into = (fun y ~g ~h -> e.e_grad_hess t y ~g ~h);
+        max_step = e.e_max_step;
       }
     in
-    let r = Newton.minimize ~options:options.newton oracle x0 in
-    finish ~t:infinity ~x:r.Newton.x ~outer:1 ~inner:r.Newton.iterations
-      ~stopped_early:false
-  else begin
-    let rec outer_loop t x outer inner =
-      let oracle =
-        {
-          Newton.value = (fun y -> barrier_value p t y);
-          grad_hess = (fun y -> grad_hess p t y);
-        }
-      in
-      let r = Newton.minimize ~options:options.newton oracle x in
-      let x = r.Newton.x in
-      let inner = inner + r.Newton.iterations in
-      let gap = float_of_int m /. t in
-      let early =
-        match stop_early with Some f -> f x | None -> false
-      in
-      if early then finish ~t ~x ~outer ~inner ~stopped_early:true
-      else if gap <= options.gap_tol then
-        finish ~t ~x ~outer ~inner ~stopped_early:false
-      else if outer >= options.max_outer then
-        finish ~t ~x ~outer ~inner ~stopped_early:false
-      else outer_loop (t *. options.mu) x (outer + 1) inner
-    in
-    outer_loop options.t0 (Vec.copy x0) 1 0
-  end
+    let r = Newton.minimize ~options:options.newton ~workspace:ws oracle x in
+    let x = r.Newton.x in
+    inner := !inner + r.Newton.iterations;
+    backtracks := !backtracks + r.Newton.backtracks;
+    factorizations := !factorizations + r.Newton.factorizations;
+    let gap = m /. t in
+    let early = match stop_early with Some f -> f x | None -> false in
+    if early then finish ~t ~x ~outer ~stopped_early:true
+    else if gap <= options.gap_tol then
+      finish ~t ~x ~outer ~stopped_early:false
+    else if outer >= options.max_outer then
+      finish ~t ~x ~outer ~stopped_early:false
+    else outer_loop (t *. options.mu) x (outer + 1)
+  in
+  outer_loop options.t0 x0 1
+
+let solve ?(options = default_options) ?(backend = `Compiled) ?stop_early p
+    x0 =
+  let e =
+    match backend with
+    | `Compiled ->
+        compiled_engine
+          (Compiled.make ~objective:p.objective ~constraints:p.constraints)
+    | `Reference -> reference_engine p
+  in
+  solve_engine ~options ?stop_early e x0
+
+let solve_compiled ?(options = default_options) ?stop_early c x0 =
+  solve_engine ~options ?stop_early (compiled_engine c) x0

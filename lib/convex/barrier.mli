@@ -6,12 +6,22 @@
     with damped Newton ({!Newton}) and increase [t] by [mu] until the
     guaranteed duality gap [m/t] is below tolerance.  This is the
     algorithm class CVX applied to the paper's models (Boyd &
-    Vandenberghe, ch. 11). *)
+    Vandenberghe, ch. 11).
+
+    Two barrier oracles are available.  The default [`Compiled]
+    backend packs all affine constraints into one dense Jacobian
+    ({!Compiled}) and evaluates residuals, gradients and Hessians with
+    three dense kernels; the [`Reference] backend walks the
+    constraints as {!Quad.t} objects.  They compute the same
+    mathematical quantities — the reference path exists for
+    differential testing and as readable documentation of the math. *)
 
 open Linalg
 
 type problem = { objective : Quad.t; constraints : Quad.t array }
 (** All functions must share the same dimension. *)
+
+type backend = [ `Compiled | `Reference ]
 
 type options = {
   mu : float;
@@ -28,6 +38,18 @@ type options = {
 
 val default_options : options
 
+type stats = {
+  centering_steps : int;  (** Outer (centering) iterations. *)
+  newton_iterations : int;  (** Total inner Newton steps. *)
+  backtracks : int;  (** Total rejected line-search trial steps. *)
+  factorizations : int;  (** Total Cholesky factorization attempts. *)
+}
+(** Work counters for one solve; aggregate across solves with
+    {!stats_add}. *)
+
+val stats_zero : stats
+val stats_add : stats -> stats -> stats
+
 type result = {
   x : Vec.t;  (** Final (approximately optimal) primal point. *)
   objective_value : float;
@@ -36,6 +58,7 @@ type result = {
   gap : float;  (** Guaranteed duality-gap bound [m/t]. *)
   outer_iterations : int;
   newton_iterations : int;  (** Total inner Newton steps. *)
+  stats : stats;  (** Full work counters for this solve. *)
   stopped_early : bool;  (** [true] if [stop_early] fired. *)
 }
 
@@ -47,10 +70,24 @@ val is_strictly_feasible : problem -> Vec.t -> bool
 
 val solve :
   ?options:options ->
+  ?backend:backend ->
   ?stop_early:(Vec.t -> bool) ->
   problem ->
   Vec.t ->
   result
 (** [solve p x0] requires strictly feasible [x0]
     ([Invalid_argument] otherwise).  [stop_early] is checked after each
-    centering step; used by phase-I feasibility searches. *)
+    centering step; used by phase-I feasibility searches.  [backend]
+    defaults to [`Compiled]; when solving the same constraint
+    structure many times, compile once and use {!solve_compiled}
+    instead. *)
+
+val solve_compiled :
+  ?options:options ->
+  ?stop_early:(Vec.t -> bool) ->
+  Compiled.t ->
+  Vec.t ->
+  result
+(** Like {!solve} with [`Compiled], but on an already-compiled problem
+    — the packed Jacobian is reused, so per-solve setup is one
+    workspace allocation.  This is the sweep's hot path. *)

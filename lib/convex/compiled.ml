@@ -1,0 +1,203 @@
+open Linalg
+
+type t = {
+  n : int;
+  objective : Quad.t;
+  constraints : Quad.t array;
+  (* Affine constraints packed as one dense row-major Jacobian plus an
+     offset vector: constraint [affine_of.(i)] is [row_i(a) . x + b_i]. *)
+  a : Mat.t;
+  b : Vec.t;
+  affine_of : int array;
+  (* The genuinely quadratic constraints, kept as objects. *)
+  quads : Quad.t array;
+  quad_of : int array;
+}
+
+let make ~objective ~constraints =
+  let n = Quad.dim objective in
+  Array.iter
+    (fun c ->
+      if Quad.dim c <> n then
+        invalid_arg "Compiled.make: constraint dimension mismatch")
+    constraints;
+  let affine = ref [] and quads = ref [] in
+  Array.iteri
+    (fun j c ->
+      if Quad.is_affine c then affine := (j, c) :: !affine
+      else quads := (j, c) :: !quads)
+    constraints;
+  let affine = Array.of_list (List.rev !affine) in
+  let quads = Array.of_list (List.rev !quads) in
+  let m_aff = Array.length affine in
+  let a = Mat.zeros m_aff n in
+  let b = Vec.zeros m_aff in
+  Array.iteri
+    (fun i (_, c) ->
+      let q = Quad.unsafe_linear_part c in
+      for j = 0 to n - 1 do
+        Mat.set a i j q.(j)
+      done;
+      b.(i) <- Quad.constant_part c)
+    affine;
+  {
+    n;
+    objective;
+    constraints;
+    a;
+    b;
+    affine_of = Array.map fst affine;
+    quads = Array.map snd quads;
+    quad_of = Array.map fst quads;
+  }
+
+let of_problem ~objective ~constraints = make ~objective ~constraints
+
+let dim c = c.n
+let n_constraints c = Array.length c.constraints
+let n_affine c = Vec.dim c.b
+let objective c = c.objective
+let constraints c = c.constraints
+
+let with_constant c ~index value =
+  if index < 0 || index >= Array.length c.constraints then
+    invalid_arg "Compiled.with_constant: index out of range";
+  if not (Quad.is_affine c.constraints.(index)) then
+    invalid_arg "Compiled.with_constant: constraint is not affine";
+  let row = ref (-1) in
+  Array.iteri (fun i j -> if j = index then row := i) c.affine_of;
+  let b = Vec.copy c.b in
+  b.(!row) <- value;
+  let constraints = Array.copy c.constraints in
+  constraints.(index) <-
+    Quad.affine (Quad.linear_part c.constraints.(index)) value;
+  { c with b; constraints }
+
+type workspace = {
+  resid : Vec.t;  (* one residual per packed affine row *)
+  w : Vec.t;  (* barrier weights, then their squares (syrk input) *)
+  ad : Vec.t;  (* A d, the per-row slopes along a search direction *)
+  qg : Vec.t;  (* gradient scratch for one quadratic constraint *)
+  scr : Vec.t;  (* Quad.eval_with scratch *)
+  xd : Vec.t;  (* x + d, for sampling a quadratic along the ray *)
+}
+
+let workspace c =
+  let m_aff = Vec.dim c.b in
+  { resid = Vec.zeros m_aff; w = Vec.zeros m_aff; ad = Vec.zeros m_aff;
+    qg = Vec.zeros c.n; scr = Vec.zeros c.n; xd = Vec.zeros c.n }
+
+(* resid := A x + b — one gemv for all affine constraints. *)
+let residuals_into c ws x =
+  Mat.gemv_into c.a x ~dst:ws.resid;
+  Vec.add_into ~dst:ws.resid c.b
+
+let is_strictly_feasible c ws x =
+  residuals_into c ws x;
+  let ok = ref true in
+  let m_aff = Vec.dim ws.resid in
+  for i = 0 to m_aff - 1 do
+    if ws.resid.(i) >= 0.0 then ok := false
+  done;
+  !ok
+  && Array.for_all (fun q -> Quad.eval_with q ~scratch:ws.scr x < 0.0) c.quads
+
+let value c ws ~t x =
+  residuals_into c ws x;
+  let m_aff = Vec.dim ws.resid in
+  let acc = ref (t *. Quad.eval_with c.objective ~scratch:ws.scr x) in
+  let ok = ref true in
+  (let i = ref 0 in
+   while !ok && !i < m_aff do
+     let r = ws.resid.(!i) in
+     if r >= 0.0 then ok := false else acc := !acc -. log (-.r);
+     incr i
+   done);
+  (let j = ref 0 in
+   while !ok && !j < Array.length c.quads do
+     let fj = Quad.eval_with c.quads.(!j) ~scratch:ws.scr x in
+     if fj >= 0.0 then ok := false else acc := !acc -. log (-.fj);
+     incr j
+   done);
+  if !ok then Some !acc else None
+
+(* Gradient and Hessian of phi_t(x) = t f0 - sum log(-f_j):
+     grad = t grad_f0 + A^T w + sum_quads grad_f_j / (-f_j)
+     hess = t P0 + A^T diag(w^2) A
+            + sum_quads [ grad_f_j grad_f_j^T / f_j^2 + P_j / (-f_j) ]
+   with w_i = 1 / (-resid_i).  Three dense kernels (gemv, transposed
+   gemv, blocked scaled syrk) replace the per-constraint object walk.
+   Must only be called at strictly feasible points. *)
+let grad_hess_into c ws ~t x ~g ~h =
+  residuals_into c ws x;
+  Quad.grad_into c.objective x ~dst:g;
+  Vec.scale_into ~dst:g t;
+  Mat.fill h 0.0;
+  Quad.add_scaled_hess_upper_into c.objective t ~dst:h;
+  let m_aff = Vec.dim ws.resid in
+  for i = 0 to m_aff - 1 do
+    ws.w.(i) <- -1.0 /. ws.resid.(i)
+  done;
+  Mat.gemv_into ~trans:true ~beta:1.0 c.a ws.w ~dst:g;
+  for i = 0 to m_aff - 1 do
+    ws.w.(i) <- ws.w.(i) *. ws.w.(i)
+  done;
+  Mat.syrk_scaled_into c.a ws.w ~dst:h;
+  Array.iter
+    (fun q ->
+      let fj = Quad.eval_with q ~scratch:ws.scr x in
+      let inv = -1.0 /. fj in
+      Quad.grad_into q x ~dst:ws.qg;
+      Vec.axpy_into ~dst:g inv ws.qg;
+      Mat.add_outer_upper_into h (inv *. inv) ws.qg;
+      Quad.add_scaled_hess_upper_into q inv ~dst:h)
+    c.quads;
+  Mat.mirror_upper h
+
+(* Largest [s] keeping [x + s*d] strictly feasible.  Affine rows need
+   one gemv: the row constraint along the ray is [resid_i + s*(A d)_i
+   < 0].  Each quadratic [f] restricted to the ray is the scalar
+   quadratic [a2 s^2 + a1 s + a0] with [a0 = f(x) < 0], [a1 = grad
+   f(x).d] and [a2] recovered from a sample at [s = 1]; its smallest
+   positive root is the wall.  [x] must be strictly feasible. *)
+let max_step c ws x d =
+  residuals_into c ws x;
+  Mat.gemv_into c.a d ~dst:ws.ad;
+  let m_aff = Vec.dim ws.resid in
+  let s = ref infinity in
+  for i = 0 to m_aff - 1 do
+    let slope = ws.ad.(i) in
+    if slope > 0.0 then s := Float.min !s (-.ws.resid.(i) /. slope)
+  done;
+  Array.iter
+    (fun q ->
+      let a0 = Quad.eval_with q ~scratch:ws.scr x in
+      Quad.grad_into q x ~dst:ws.qg;
+      let a1 = Vec.dot ws.qg d in
+      Vec.blit ~src:x ~dst:ws.xd;
+      Vec.add_into ~dst:ws.xd d;
+      let a2 = Quad.eval_with q ~scratch:ws.scr ws.xd -. a0 -. a1 in
+      let bound =
+        if a2 > 0.0 then
+          (* a0 < 0 makes the discriminant positive: the ray always
+             exits a proper convex quadratic region in one direction. *)
+          let disc = (a1 *. a1) -. (4.0 *. a2 *. a0) in
+          (-.a1 +. sqrt disc) /. (2.0 *. a2)
+        else if a1 > 0.0 then -.a0 /. a1
+        else infinity
+      in
+      if bound > 0.0 then s := Float.min !s bound)
+    c.quads;
+  !s
+
+let duals c ws ~t x =
+  residuals_into c ws x;
+  let dual = Vec.zeros (Array.length c.constraints) in
+  Array.iteri
+    (fun i j -> dual.(j) <- 1.0 /. (t *. -.ws.resid.(i)))
+    c.affine_of;
+  Array.iteri
+    (fun i j ->
+      dual.(j) <- 1.0 /. (t *. -.Quad.eval_with c.quads.(i) ~scratch:ws.scr x))
+    c.quad_of;
+  dual

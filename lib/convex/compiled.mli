@@ -1,0 +1,75 @@
+(** Compiled problem representation for the barrier solver's hot path.
+
+    A {!Barrier.problem}-shaped instance is partitioned once into (a)
+    all affine constraints, packed as one dense row-major Jacobian [A]
+    (m_affine x n) plus an offset vector [b], and (b) the few genuinely
+    quadratic constraints, kept as {!Quad.t} objects.  The barrier
+    oracle then computes every affine residual with a single
+    {!Mat.gemv_into}, the gradient contribution as [A^T w] (one
+    transposed gemv) and the Hessian contribution as [A^T D A] via the
+    blocked {!Mat.syrk_scaled_into} — three cache-friendly dense
+    kernels instead of an O(m) object-dispatch loop, and no allocation
+    per evaluation.
+
+    For Pro-Temp's thermal models (thousands of affine rows, one
+    quadratic power-law row per core) this is the entire inner loop;
+    the {!Quad}-walking reference path in {!Barrier} remains available
+    for differential testing. *)
+
+open Linalg
+
+type t
+(** The packed, immutable form.  Safe to share across cells, solves
+    and domains; all mutable state lives in {!workspace}. *)
+
+val make : objective:Quad.t -> constraints:Quad.t array -> t
+(** One pass over the constraints: affine rows are copied into the
+    packed Jacobian, quadratic ones retained.  All functions must
+    share one dimension ([Invalid_argument] otherwise). *)
+
+val of_problem : objective:Quad.t -> constraints:Quad.t array -> t
+(** Alias of {!make}. *)
+
+val dim : t -> int
+val n_constraints : t -> int
+val n_affine : t -> int
+val objective : t -> Quad.t
+val constraints : t -> Quad.t array
+(** The constraints in their original order (do not mutate). *)
+
+val with_constant : t -> index:int -> float -> t
+(** [with_constant c ~index v] is [c] with the constant term of the
+    affine constraint [index] replaced by [v].  The packed Jacobian
+    and index maps are shared — only the offset vector is copied — so
+    a prepared sweep row compiles once and re-offsets the throughput
+    floor per cell.  [Invalid_argument] if the constraint is not
+    affine. *)
+
+type workspace
+(** Per-solve mutable buffers (residuals, barrier weights, scratch).
+    Not safe to share across concurrent solves. *)
+
+val workspace : t -> workspace
+
+val is_strictly_feasible : t -> workspace -> Vec.t -> bool
+
+val value : t -> workspace -> t:float -> Vec.t -> float option
+(** Barrier value [t*f0(x) - sum log(-f_j(x))]; [None] when [x] is not
+    strictly feasible. *)
+
+val grad_hess_into :
+  t -> workspace -> t:float -> Vec.t -> g:Vec.t -> h:Mat.t -> unit
+(** Gradient and Hessian of the centering function, written into the
+    caller's buffers.  Must only be called at strictly feasible
+    points. *)
+
+val max_step : t -> workspace -> Vec.t -> Vec.t -> float
+(** [max_step c ws x d] is the largest [s] such that [x + s*d] stays
+    strictly feasible (possibly [infinity]), for strictly feasible
+    [x].  The Newton line search caps its first trial at a fraction of
+    this, eliminating the domain-violation backtracks that otherwise
+    dominate barrier centering. *)
+
+val duals : t -> workspace -> t:float -> Vec.t -> Vec.t
+(** Approximate dual multipliers [1/(t * -f_j(x))], indexed in the
+    original constraint order. *)

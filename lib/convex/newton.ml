@@ -2,7 +2,8 @@ open Linalg
 
 type oracle = {
   value : Vec.t -> float option;
-  grad_hess : Vec.t -> Vec.t * Mat.t;
+  grad_hess_into : Vec.t -> g:Vec.t -> h:Mat.t -> unit;
+  max_step : (Vec.t -> Vec.t -> float) option;
 }
 
 type options = { tol : float; max_iter : int; alpha : float; beta : float }
@@ -16,10 +17,40 @@ type result = {
   value : float;
   decrement : float;
   iterations : int;
+  backtracks : int;
+  factorizations : int;
   outcome : outcome;
 }
 
-let minimize ?(options = default_options) (oracle : oracle) x0 =
+type workspace = {
+  w_n : int;
+  w_g : Vec.t;
+  w_h : Mat.t;
+  w_d : Vec.t;
+  w_cand : Vec.t;
+  w_fact : Chol.t;
+}
+
+let workspace n =
+  {
+    w_n = n;
+    w_g = Vec.zeros n;
+    w_h = Mat.zeros n n;
+    w_d = Vec.zeros n;
+    w_cand = Vec.zeros n;
+    w_fact = Chol.preallocate n;
+  }
+
+let minimize ?(options = default_options) ?workspace:ws (oracle : oracle) x0 =
+  let n = Vec.dim x0 in
+  let ws =
+    match ws with
+    | Some w ->
+        if w.w_n <> n then
+          invalid_arg "Newton.minimize: workspace dimension mismatch";
+        w
+    | None -> workspace n
+  in
   let f0 =
     match oracle.value x0 with
     | Some v -> v
@@ -27,43 +58,90 @@ let minimize ?(options = default_options) (oracle : oracle) x0 =
   in
   let x = Vec.copy x0 in
   let fx = ref f0 in
+  let backtracks = ref 0 in
+  let factorizations = ref 0 in
+  let finish k decrement outcome =
+    { x; value = !fx; decrement; iterations = k;
+      backtracks = !backtracks; factorizations = !factorizations; outcome }
+  in
   let rec iterate k =
-    if k >= options.max_iter then
-      { x; value = !fx; decrement = infinity; iterations = k;
-        outcome = Iteration_limit }
+    if k >= options.max_iter then finish k infinity Iteration_limit
     else begin
-      let g, h = oracle.grad_hess x in
+      oracle.grad_hess_into x ~g:ws.w_g ~h:ws.w_h;
       (* Newton direction: H d = -g, via jittered Cholesky so that a
          numerically semidefinite Hessian still yields a descent
-         direction. *)
-      let d =
-        let fact, _jitter = Chol.factorize_jittered h in
-        Vec.neg (Chol.solve_factorized fact g)
-      in
-      let decrement = -0.5 *. Vec.dot g d in
-      if decrement <= options.tol then
-        { x; value = !fx; decrement; iterations = k; outcome = Converged }
+         direction.  The factor, direction and line-search candidate
+         all live in the preallocated workspace. *)
+      let _jitter, tries = Chol.factorize_jittered_into ws.w_fact ws.w_h in
+      factorizations := !factorizations + tries;
+      Chol.solve_factorized_into ws.w_fact ws.w_g ~dst:ws.w_d;
+      Vec.scale_into ~dst:ws.w_d (-1.0);
+      let decrement = -0.5 *. Vec.dot ws.w_g ws.w_d in
+      if decrement <= options.tol then finish k decrement Converged
       else begin
-        (* Backtracking: shrink until inside the domain and the Armijo
-           condition holds. *)
-        let gd = Vec.dot g d in
-        let rec search step tries =
-          if tries > 60 then None
-          else
-            let candidate = Vec.axpy step d x in
-            match oracle.value candidate with
-            | Some v when v <= !fx +. (options.alpha *. step *. gd) ->
-                Some (candidate, v)
-            | Some _ | None -> search (step *. options.beta) (tries + 1)
+        let accept v' =
+          Vec.blit ~src:ws.w_cand ~dst:x;
+          fx := v';
+          iterate (k + 1)
         in
-        match search 1.0 0 with
+        (* Pure Newton phase: inside the quadratic-convergence region
+           of a self-concordant function (lambda^2/2 < 1/4, hence
+           lambda < 1) the full step stays in the domain and needs no
+           damping, so skip the Armijo test — near the optimum of a
+           barrier with a huge t the guaranteed decrease is below the
+           floating-point resolution of the value and the test can
+           reject every step.  The domain check stays as a guard
+           against the theory/fp gap. *)
+        let pure =
+          if decrement >= 0.25 then None
+          else begin
+            Vec.blit ~src:x ~dst:ws.w_cand;
+            Vec.axpy_into ~dst:ws.w_cand 1.0 ws.w_d;
+            oracle.value ws.w_cand
+          end
+        in
+        match pure with
+        | Some v' -> accept v'
         | None ->
-            { x; value = !fx; decrement; iterations = k;
-              outcome = Line_search_failed }
-        | Some (x', v') ->
-            Vec.blit ~src:x' ~dst:x;
-            fx := v';
-            iterate (k + 1)
+            (* Backtracking: shrink until inside the domain and the
+               Armijo condition holds.  When the oracle can bound the
+               distance to its domain boundary, every trial is clamped
+               just inside it (fraction-to-boundary), so steps the
+               bound proves infeasible are never evaluated; with an
+               unbound wall the classic {1, beta, beta^2, ...} grid is
+               unchanged. *)
+            let gd = Vec.dot ws.w_g ws.w_d in
+            let cap =
+              match oracle.max_step with
+              | None -> infinity
+              | Some f -> 0.99 *. f x ws.w_d
+            in
+            let rec search step tries =
+              if tries > 60 then None
+              else begin
+                let trial = Float.min step cap in
+                Vec.blit ~src:x ~dst:ws.w_cand;
+                Vec.axpy_into ~dst:ws.w_cand trial ws.w_d;
+                match oracle.value ws.w_cand with
+                | Some v when v <= !fx +. (options.alpha *. trial *. gd) ->
+                    Some v
+                | Some _ | None ->
+                    incr backtracks;
+                    (* Shrink on the unclamped grid so the trial
+                       sequence rejoins {beta^k} once below the cap,
+                       keeping the path independent of whether a wall
+                       bound was available. *)
+                    let next =
+                      if step *. options.beta < cap then
+                        step *. options.beta
+                      else trial *. options.beta
+                    in
+                    search next (tries + 1)
+              end
+            in
+            (match search 1.0 0 with
+            | None -> finish k decrement Line_search_failed
+            | Some v' -> accept v')
       end
     end
   in

@@ -5,15 +5,31 @@
     (e.g. where a log-barrier argument would be non-positive), and the
     line search never leaves the domain.  Termination is by the Newton
     decrement [lambda^2 / 2 <= tol], the standard criterion for
-    self-concordant functions (Boyd & Vandenberghe, ch. 9). *)
+    self-concordant functions (Boyd & Vandenberghe, ch. 9).
+
+    The inner loop is allocation-free: gradient, Hessian, direction,
+    line-search candidate and Cholesky factor live in a {!workspace}
+    that callers may preallocate once and reuse across many
+    minimizations of the same dimension (the barrier solver reuses one
+    workspace across all its centering steps). *)
 
 open Linalg
 
 type oracle = {
   value : Vec.t -> float option;
       (** Function value, [None] outside the domain. *)
-  grad_hess : Vec.t -> Vec.t * Mat.t;
-      (** Gradient and Hessian at a domain point. *)
+  grad_hess_into : Vec.t -> g:Vec.t -> h:Mat.t -> unit;
+      (** Write the gradient and Hessian at a domain point into the
+          caller-provided buffers (no allocation).  Only the values
+          written are read back; stale buffer contents must be
+          overwritten, not accumulated into. *)
+  max_step : (Vec.t -> Vec.t -> float) option;
+      (** [max_step x d]: an upper bound on [s] keeping [x + s*d] in
+          the domain (may be [infinity]).  When provided, the line
+          search caps its first trial at [0.99] of it
+          (fraction-to-boundary) instead of locating the wall by
+          repeated halving — on barrier centering this removes nearly
+          all domain-violation backtracks. *)
 }
 
 type options = {
@@ -38,9 +54,20 @@ type result = {
   value : float;
   decrement : float;  (** Last Newton decrement [lambda^2 / 2]. *)
   iterations : int;
+  backtracks : int;  (** Total rejected line-search trial steps. *)
+  factorizations : int;
+      (** Total Cholesky factorization attempts (jitter retries
+          included). *)
   outcome : outcome;
 }
 
-val minimize : ?options:options -> oracle -> Vec.t -> result
+type workspace
+(** Preallocated buffers for one problem dimension. *)
+
+val workspace : int -> workspace
+
+val minimize : ?options:options -> ?workspace:workspace -> oracle -> Vec.t -> result
 (** [minimize oracle x0] runs damped Newton from [x0], which must lie
-    in the domain ([Invalid_argument] otherwise). *)
+    in the domain ([Invalid_argument] otherwise).  A supplied
+    [workspace] must match [x0]'s dimension ([Invalid_argument]
+    otherwise); without one a fresh workspace is allocated. *)

@@ -2,7 +2,7 @@ open Linalg
 
 type verdict = Strictly_feasible of Vec.t | Infeasible of float
 
-let find ?options ?(margin = 1e-8) constraints x0 =
+let find ?options ?backend ?stats_into ?(margin = 1e-8) constraints x0 =
   let n = Vec.dim x0 in
   Array.iter
     (fun c ->
@@ -71,7 +71,10 @@ let find ?options ?(margin = 1e-8) constraints x0 =
               /. (s0 +. 1.0));
         }
     in
-    let r = Barrier.solve ?options ~stop_early problem start in
+    let r = Barrier.solve ?options ?backend ~stop_early problem start in
+    (match stats_into with
+    | Some acc -> acc := Barrier.stats_add !acc r.Barrier.stats
+    | None -> ());
     let x = Vec.slice r.Barrier.x 0 n in
     let worst =
       Array.fold_left

@@ -18,10 +18,14 @@ type verdict =
 
 val find :
   ?options:Barrier.options ->
+  ?backend:Barrier.backend ->
+  ?stats_into:Barrier.stats ref ->
   ?margin:float ->
   Quad.t array ->
   Vec.t ->
   verdict
 (** [find constraints x0] runs phase I from [x0].  [margin]
     (default [1e-8]) is how negative [s] must get before we stop early
-    and declare strict feasibility. *)
+    and declare strict feasibility.  [backend] selects the barrier
+    oracle for the auxiliary solve; [stats_into] accumulates its work
+    counters. *)

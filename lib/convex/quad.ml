@@ -84,6 +84,39 @@ let grad f x =
   | None -> Vec.copy f.q
   | Some p -> Vec.add (Mat.mul_vec p x) f.q
 
+let eval_with f ~scratch x =
+  if Vec.dim x <> f.n then invalid_arg "Quad.eval_with: dimension mismatch";
+  if Vec.dim scratch <> f.n then invalid_arg "Quad.eval_with: bad scratch";
+  let quad_term =
+    match f.p with
+    | None -> 0.0
+    | Some p ->
+        Mat.mul_vec_into p x ~dst:scratch;
+        0.5 *. Vec.dot x scratch
+  in
+  quad_term +. Vec.dot f.q x +. f.r
+
+let grad_into f x ~dst =
+  if Vec.dim x <> f.n then invalid_arg "Quad.grad_into: dimension mismatch";
+  if Vec.dim dst <> f.n then invalid_arg "Quad.grad_into: bad destination";
+  match f.p with
+  | None -> Vec.blit ~src:f.q ~dst
+  | Some p ->
+      Mat.mul_vec_into p x ~dst;
+      Vec.add_into ~dst f.q
+
+let add_scaled_hess_upper_into f c ~dst =
+  match f.p with
+  | None -> ()
+  | Some p ->
+      if Mat.rows dst <> f.n || Mat.cols dst <> f.n then
+        invalid_arg "Quad.add_scaled_hess_upper_into: bad destination";
+      for i = 0 to f.n - 1 do
+        for j = i to f.n - 1 do
+          Mat.set dst i j (Mat.get dst i j +. (c *. Mat.get p i j))
+        done
+      done
+
 let hess f =
   match f.p with None -> Mat.zeros f.n f.n | Some p -> Mat.copy p
 

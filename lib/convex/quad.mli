@@ -50,6 +50,18 @@ val eval : t -> Vec.t -> float
 
 val grad : t -> Vec.t -> Vec.t
 
+val eval_with : t -> scratch:Vec.t -> Vec.t -> float
+(** {!eval} without allocating: [scratch] (dimension [dim f],
+    clobbered) holds the intermediate [P x].  For hot solver loops. *)
+
+val grad_into : t -> Vec.t -> dst:Vec.t -> unit
+(** {!grad} written into [dst] ([dst] must not alias [x]). *)
+
+val add_scaled_hess_upper_into : t -> float -> dst:Mat.t -> unit
+(** [add_scaled_hess_upper_into f c ~dst] updates
+    [dst := dst + c * P] on the upper triangle only ([P] is symmetric);
+    a no-op for affine functions.  Pair with {!Mat.mirror_upper}. *)
+
 val hess : t -> Mat.t
 (** The (constant) Hessian [P]; the zero matrix for affine functions. *)
 

@@ -8,13 +8,16 @@ type solution = {
   kkt : Kkt.residuals;
   outer_iterations : int;
   newton_iterations : int;
+  stats : Barrier.stats;
 }
 
 type status = Optimal of solution | Infeasible of float
 
-let solve ?(options = Barrier.default_options) ?start (p : Barrier.problem) =
+let solve ?(options = Barrier.default_options) ?backend ?compiled ?stats_into
+    ?start (p : Barrier.problem) =
   let n = Quad.dim p.Barrier.objective in
   let x0 = match start with Some x -> Vec.copy x | None -> Vec.zeros n in
+  let acc = ref Barrier.stats_zero in
   (* Phase I only needs the sign of the auxiliary optimum, so a much
      looser duality gap suffices; borderline cells are conservatively
      reported infeasible. *)
@@ -24,7 +27,10 @@ let solve ?(options = Barrier.default_options) ?start (p : Barrier.problem) =
   let feasible_start =
     if Barrier.is_strictly_feasible p x0 then `Found x0
     else
-      match Phase1.find ~options:phase1_options p.Barrier.constraints x0 with
+      match
+        Phase1.find ~options:phase1_options ?backend ~stats_into:acc
+          p.Barrier.constraints x0
+      with
       | Phase1.Strictly_feasible x -> `Found x
       | Phase1.Infeasible worst
         when Vec.norm_inf x0 = 0.0 || worst > 1e-2 ->
@@ -36,16 +42,29 @@ let solve ?(options = Barrier.default_options) ?start (p : Barrier.problem) =
              analytic center can stall; retry once from the origin
              before giving up. *)
           match
-            Phase1.find ~options:phase1_options p.Barrier.constraints
-              (Vec.zeros n)
+            Phase1.find ~options:phase1_options ?backend ~stats_into:acc
+              p.Barrier.constraints (Vec.zeros n)
           with
           | Phase1.Strictly_feasible x -> `Found x
           | Phase1.Infeasible worst -> `Infeasible worst)
   in
+  let record () =
+    match stats_into with
+    | Some dst -> dst := Barrier.stats_add !dst !acc
+    | None -> ()
+  in
   match feasible_start with
-  | `Infeasible worst -> Infeasible worst
+  | `Infeasible worst ->
+      record ();
+      Infeasible worst
   | `Found x0 ->
-      let r = Barrier.solve ~options p x0 in
+      let r =
+        match compiled with
+        | Some c -> Barrier.solve_compiled ~options c x0
+        | None -> Barrier.solve ~options ?backend p x0
+      in
+      acc := Barrier.stats_add !acc r.Barrier.stats;
+      record ();
       Optimal
         {
           x = r.Barrier.x;
@@ -55,6 +74,7 @@ let solve ?(options = Barrier.default_options) ?start (p : Barrier.problem) =
           kkt = Kkt.residuals p r.Barrier.x r.Barrier.dual;
           outer_iterations = r.Barrier.outer_iterations;
           newton_iterations = r.Barrier.newton_iterations;
+          stats = !acc;
         }
 
 let pp_status ppf = function

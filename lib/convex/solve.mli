@@ -16,6 +16,8 @@ type solution = {
   kkt : Kkt.residuals;
   outer_iterations : int;
   newton_iterations : int;
+  stats : Barrier.stats;
+      (** Total work counters, phase I included. *)
 }
 
 type status =
@@ -25,8 +27,18 @@ type status =
           the best achieved [max_j f_j]. *)
 
 val solve :
-  ?options:Barrier.options -> ?start:Vec.t -> Barrier.problem -> status
+  ?options:Barrier.options ->
+  ?backend:Barrier.backend ->
+  ?compiled:Compiled.t ->
+  ?stats_into:Barrier.stats ref ->
+  ?start:Vec.t ->
+  Barrier.problem ->
+  status
 (** [solve p] solves [p].  [start] is a hint (defaults to the origin);
-    it need not be feasible. *)
+    it need not be feasible.  [backend] selects the barrier oracle
+    (default [`Compiled]); [compiled] supplies an already-compiled
+    form of [p] for the main solve, skipping recompilation (the caller
+    must ensure it matches [p]).  [stats_into] accumulates work
+    counters across calls, covering infeasible cells too. *)
 
 val pp_status : Format.formatter -> status -> unit

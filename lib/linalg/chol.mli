@@ -26,6 +26,28 @@ val factorize_jittered :
     the factorization and the jitter that succeeded ([0.0] if none was
     needed).  Raises {!Not_positive_definite} if all attempts fail. *)
 
+val preallocate : int -> t
+(** An [n x n] factor workspace for the in-place entry points below;
+    its contents are meaningless until the first
+    {!factorize_jittered_into}. *)
+
+val dim : t -> int
+
+val factorize_jittered_into :
+  ?initial:float -> ?growth:float -> ?max_tries:int -> t -> Mat.t -> float * int
+(** [factorize_jittered_into f a] overwrites the factor [f] with the
+    (jittered) Cholesky factorization of [a], allocating nothing: the
+    jitter is added to the diagonal on the fly rather than by copying
+    [a].  Same retry schedule as {!factorize_jittered}.  Returns the
+    jitter that succeeded and the number of factorization attempts
+    (>= 1 — the solver's factorization counter).  Raises
+    {!Not_positive_definite} if all attempts fail, leaving [f]'s
+    contents unspecified. *)
+
+val solve_factorized_into : t -> Vec.t -> dst:Vec.t -> unit
+(** Like {!solve_factorized} but writes into [dst] without allocating.
+    [dst] may be [b] itself (the substitution runs in place). *)
+
 val solve_factorized : t -> Vec.t -> Vec.t
 
 val solve : Mat.t -> Vec.t -> Vec.t

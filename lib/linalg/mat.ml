@@ -98,6 +98,83 @@ let matmul a b =
   done;
   c
 
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+
+let gemv_into ?(trans = false) ?(alpha = 1.0) ?(beta = 0.0) a x ~dst =
+  let m = a.rows and n = a.cols in
+  let data = a.data in
+  if trans then begin
+    if Vec.dim x <> m then invalid_arg "Mat.gemv_into: dimension mismatch";
+    if Vec.dim dst <> n then invalid_arg "Mat.gemv_into: bad destination";
+    if beta = 0.0 then Vec.fill dst 0.0
+    else if beta <> 1.0 then Vec.scale_into ~dst beta;
+    for i = 0 to m - 1 do
+      let xi = alpha *. x.(i) in
+      if xi <> 0.0 then begin
+        let base = i * n in
+        for j = 0 to n - 1 do
+          dst.(j) <- dst.(j) +. (xi *. data.(base + j))
+        done
+      end
+    done
+  end
+  else begin
+    if Vec.dim x <> n then invalid_arg "Mat.gemv_into: dimension mismatch";
+    if Vec.dim dst <> m then invalid_arg "Mat.gemv_into: bad destination";
+    for i = 0 to m - 1 do
+      let acc = ref 0.0 in
+      let base = i * n in
+      for j = 0 to n - 1 do
+        acc := !acc +. (data.(base + j) *. x.(j))
+      done;
+      dst.(i) <-
+        (if beta = 0.0 then alpha *. !acc
+         else (alpha *. !acc) +. (beta *. dst.(i)))
+    done
+  end
+
+(* dst (upper triangle) += A^T diag(d) A, accumulated two rows of A at
+   a time so each pass over the n x n destination amortizes twice the
+   row data — the barrier Hessian kernel, replacing m rank-one
+   updates. *)
+let syrk_scaled_into a d ~dst =
+  let m = a.rows and n = a.cols in
+  if Vec.dim d <> m then invalid_arg "Mat.syrk_scaled_into: weight mismatch";
+  if dst.rows <> n || dst.cols <> n then
+    invalid_arg "Mat.syrk_scaled_into: bad destination";
+  let ad = a.data and hd = dst.data in
+  let rank1 i0 =
+    let base = i0 * n in
+    let di = d.(i0) in
+    for j = 0 to n - 1 do
+      let c = di *. ad.(base + j) in
+      if c <> 0.0 then begin
+        let hbase = j * n in
+        for k = j to n - 1 do
+          hd.(hbase + k) <- hd.(hbase + k) +. (c *. ad.(base + k))
+        done
+      end
+    done
+  in
+  let i = ref 0 in
+  while !i + 1 < m do
+    let i0 = !i in
+    let b0 = i0 * n and b1 = (i0 + 1) * n in
+    let d0 = d.(i0) and d1 = d.(i0 + 1) in
+    for j = 0 to n - 1 do
+      let c0 = d0 *. ad.(b0 + j) and c1 = d1 *. ad.(b1 + j) in
+      if c0 <> 0.0 || c1 <> 0.0 then begin
+        let hbase = j * n in
+        for k = j to n - 1 do
+          hd.(hbase + k) <-
+            hd.(hbase + k) +. (c0 *. ad.(b0 + k)) +. (c1 *. ad.(b1 + k))
+        done
+      end
+    done;
+    i := i0 + 2
+  done;
+  if !i < m then rank1 !i
+
 let mul_vec_into a x ~dst =
   if a.cols <> Vec.dim x then
     invalid_arg "Mat.mul_vec_into: dimension mismatch";

@@ -45,6 +45,26 @@ val scale : float -> t -> t
 val transpose : t -> t
 val matmul : t -> t -> t
 
+val fill : t -> float -> unit
+(** Set every entry to the given value in place. *)
+
+val gemv_into :
+  ?trans:bool -> ?alpha:float -> ?beta:float -> t -> Vec.t -> dst:Vec.t -> unit
+(** [gemv_into ~trans ~alpha ~beta a x ~dst] updates
+    [dst := alpha * op(a) * x + beta * dst] in place, where [op] is the
+    identity ([trans = false], the default) or the transpose
+    ([trans = true], computed without forming it).  Defaults
+    [alpha = 1.0], [beta = 0.0] (plain overwrite; [dst]'s prior
+    contents are then ignored entirely).  [dst] must not alias [x]. *)
+
+val syrk_scaled_into : t -> Vec.t -> dst:t -> unit
+(** [syrk_scaled_into a d ~dst] updates
+    [dst := dst + a^T * diag(d) * a] on the {e upper triangle only}
+    (pair with {!mirror_upper}).  [d] has one weight per row of [a].
+    Rows are processed in pairs so the destination traffic is halved
+    relative to [Vec.dim d] rank-one updates — the barrier solver's
+    Hessian kernel. *)
+
 val mul_vec : t -> Vec.t -> Vec.t
 (** [mul_vec a x] is [a * x]. *)
 

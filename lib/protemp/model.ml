@@ -20,6 +20,8 @@ type built = {
   steps : int;
   machine : Sim.Machine.t;
   frontier_problem : Convex.Barrier.problem Lazy.t;
+  compiled : Convex.Compiled.t Lazy.t;
+  frontier_compiled : Convex.Compiled.t Lazy.t;
 }
 
 let make_layout (spec : Spec.t) ~n_cores =
@@ -77,6 +79,12 @@ type prepared = {
   p_t0 : Vec.t;
   p_steps : int;
   p_frontier : Convex.Barrier.problem Lazy.t;
+  (* Compiled (packed-Jacobian) forms, shared by every cell of the
+     row.  [p_compiled] is the power problem with a floor constant of
+     0; {!instantiate} re-offsets it per [ftarget] without repacking
+     the Jacobian. *)
+  p_compiled : Convex.Compiled.t Lazy.t;
+  p_frontier_compiled : Convex.Compiled.t Lazy.t;
 }
 
 let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
@@ -257,6 +265,17 @@ let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
           Convex.Barrier.objective = Quad.affine total_f_coeffs 0.0;
           constraints = Array.append pre_floor post_floor;
         };
+    p_compiled =
+      lazy
+        (Convex.Compiled.make ~objective:power_objective
+           ~constraints:
+             (Array.concat
+                [ pre_floor; [| Quad.affine total_f_coeffs 0.0 |]; post_floor ]));
+    p_frontier_compiled =
+      lazy
+        (Convex.Compiled.make
+           ~objective:(Quad.affine total_f_coeffs 0.0)
+           ~constraints:(Array.append pre_floor post_floor));
   }
 
 let uniform_t0 machine tstart =
@@ -272,10 +291,8 @@ let instantiate p ~ftarget =
   let fmax = p.p_machine.Sim.Machine.fmax in
   if ftarget < 0.0 || ftarget > fmax then
     invalid_arg "Model.build: ftarget outside [0, fmax]";
-  let floor =
-    Quad.affine p.total_f_coeffs
-      (float_of_int p.p_layout.n_cores *. (ftarget /. fmax))
-  in
+  let floor_const = float_of_int p.p_layout.n_cores *. (ftarget /. fmax) in
+  let floor = Quad.affine p.total_f_coeffs floor_const in
   {
     problem =
       {
@@ -290,6 +307,12 @@ let instantiate p ~ftarget =
     steps = p.p_steps;
     machine = p.p_machine;
     frontier_problem = p.p_frontier;
+    compiled =
+      lazy
+        (Convex.Compiled.with_constant
+           (Lazy.force p.p_compiled)
+           ~index:(Array.length p.pre_floor) floor_const);
+    frontier_compiled = p.p_frontier_compiled;
   }
 
 let frontier_of_prepared p =
@@ -302,6 +325,8 @@ let frontier_of_prepared p =
     steps = p.p_steps;
     machine = p.p_machine;
     frontier_problem = p.p_frontier;
+    compiled = p.p_frontier_compiled;
+    frontier_compiled = p.p_frontier_compiled;
   }
 
 let build ~machine ~spec ~tstart ~ftarget =
@@ -393,14 +418,32 @@ let total_fhat built x =
   | Spec.Variable -> !acc
   | Spec.Uniform -> float_of_int layout.n_cores *. !acc
 
-let solve_frontier ?options built =
+let add_stats stats_into s =
+  match stats_into with
+  | Some acc -> acc := Convex.Barrier.stats_add !acc s
+  | None -> ()
+
+(* Solve [built.problem] directly (no phase I) with the selected
+   backend; the compiled form is forced on first use and shared by
+   every solve of the same instance. *)
+let barrier_solve ?options ?stop_early ~backend built x0 =
+  match backend with
+  | `Compiled ->
+      Convex.Barrier.solve_compiled ?options ?stop_early
+        (Lazy.force built.compiled) x0
+  | `Reference ->
+      Convex.Barrier.solve ?options ~backend:`Reference ?stop_early
+        built.problem x0
+
+let solve_frontier ?options ?(backend = `Compiled) ?stats_into built =
   let start = trivial_start built in
   if not (Convex.Barrier.is_strictly_feasible built.problem start) then
     (* Even (near-)zero frequencies overheat: the start temperature is
        already out of the envelope. *)
     Infeasible
   else
-    let r = Convex.Barrier.solve ?options built.problem start in
+    let r = barrier_solve ?options ~backend built start in
+    add_stats stats_into r.Convex.Barrier.stats;
     let raw =
       {
         Convex.Solve.x = r.Convex.Barrier.x;
@@ -412,6 +455,7 @@ let solve_frontier ?options built =
             r.Convex.Barrier.dual;
         outer_iterations = r.Convex.Barrier.outer_iterations;
         newton_iterations = r.Convex.Barrier.newton_iterations;
+        stats = r.Convex.Barrier.stats;
       }
     in
     Feasible (solution_of_x built raw)
@@ -426,34 +470,56 @@ let solve_frontier ?options built =
    interior, so the previous column's optimum — which already sits at
    its own (lower) floor — is strictly feasible for the floor-free
    frontier problem, and the climb only has to cover the gap between
-   consecutive floors instead of starting from zero frequency. *)
-let feasible_start_via_frontier ?options ?start built =
+   consecutive floors instead of starting from zero frequency.  The
+   warm point is first pulled a quarter of the way toward the
+   well-centered trivial start: a neighbouring optimum hugs its
+   binding wall, and centering the log barrier from a near-boundary
+   point costs many damped Newton steps — more than the shortcut
+   saves.  A convex combination of strictly feasible points is
+   strictly feasible, so the blend keeps the warm information while
+   restoring interior margin. *)
+let frontier_barrier_solve ?options ?stop_early ~backend built x0 =
+  match backend with
+  | `Compiled ->
+      Convex.Barrier.solve_compiled ?options ?stop_early
+        (Lazy.force built.frontier_compiled) x0
+  | `Reference ->
+      Convex.Barrier.solve ?options ~backend:`Reference ?stop_early
+        (Lazy.force built.frontier_problem) x0
+
+let feasible_start_via_frontier ?options ?(backend = `Compiled) ?stats_into
+    ?start built =
   let needed =
     float_of_int built.layout.n_cores *. built.ftarget
     /. built.machine.Sim.Machine.fmax
   in
   let problem = Lazy.force built.frontier_problem in
+  let feasible x = Convex.Barrier.is_strictly_feasible problem x in
+  let from_trivial () =
+    let triv = trivial_start built in
+    if feasible triv then Some triv else None
+  in
   let x0 =
     match start with
-    | Some x
-      when Vec.dim x = built.layout.dim
-           && Convex.Barrier.is_strictly_feasible problem x ->
-        Some x
-    | Some _ | None ->
+    | Some x when Vec.dim x = built.layout.dim ->
         let triv = trivial_start built in
-        if Convex.Barrier.is_strictly_feasible problem triv then Some triv
-        else None
+        let blend = Vec.add (Vec.scale 0.75 x) (Vec.scale 0.25 triv) in
+        if feasible blend then Some blend
+        else if feasible x then Some x
+        else from_trivial ()
+    | Some _ | None -> from_trivial ()
   in
   match x0 with
   | None -> None
   | Some x0 ->
       let stop_early x = total_fhat built x > needed +. 1e-7 in
-      let r = Convex.Barrier.solve ?options ~stop_early problem x0 in
+      let r = frontier_barrier_solve ?options ~stop_early ~backend built x0 in
+      add_stats stats_into r.Convex.Barrier.stats;
       if total_fhat built r.Convex.Barrier.x > needed then
         Some r.Convex.Barrier.x
       else None
 
-let solve ?options ?start built =
+let solve ?options ?(backend = `Compiled) ?stats_into ?start built =
   let strictly_ok x =
     Vec.dim x = built.layout.dim
     && Convex.Barrier.is_strictly_feasible built.problem x
@@ -464,12 +530,21 @@ let solve ?options ?start built =
     | Some _ | None ->
         let hint = start_hint built in
         if strictly_ok hint then Some hint
-        else feasible_start_via_frontier ?options ?start built
+        else feasible_start_via_frontier ?options ~backend ?stats_into ?start
+            built
   in
   match chosen with
   | None -> Infeasible
   | Some s -> (
-      match Convex.Solve.solve ?options ~start:s built.problem with
+      let compiled =
+        match backend with
+        | `Compiled -> Some (Lazy.force built.compiled)
+        | `Reference -> None
+      in
+      match
+        Convex.Solve.solve ?options ~backend ?compiled ?stats_into ~start:s
+          built.problem
+      with
       | Convex.Solve.Optimal raw -> Feasible (solution_of_x built raw)
       | Convex.Solve.Infeasible _ -> Infeasible)
 

@@ -57,6 +57,14 @@ type built = {
           used as a structural phase I by {!solve}.  Shared — and
           forced at most once — by every instance made from the same
           {!prepared} context. *)
+  compiled : Convex.Compiled.t Lazy.t;
+      (** Packed-Jacobian form of [problem].  Instances made from one
+          {!prepared} context share the packed matrix — only the
+          throughput-floor offset differs — so a sweep row compiles
+          once. *)
+  frontier_compiled : Convex.Compiled.t Lazy.t;
+      (** Packed form of the frontier problem, shared like
+          [frontier_problem]. *)
 }
 
 type prepared
@@ -127,7 +135,12 @@ type solution = {
 type outcome = Feasible of solution | Infeasible
 
 val solve :
-  ?options:Convex.Barrier.options -> ?start:Vec.t -> built -> outcome
+  ?options:Convex.Barrier.options ->
+  ?backend:Convex.Barrier.backend ->
+  ?stats_into:Convex.Barrier.stats ref ->
+  ?start:Vec.t ->
+  built ->
+  outcome
 (** Solve an Eq. 3/5 instance.  Feasibility is established
     structurally: if the start point is not strictly feasible, the
     frontier problem is driven until the throughput floor is cleared
@@ -135,14 +148,24 @@ val solve :
 
     [start] is a warm-start point, typically the previous column's
     [raw.x] when sweeping [ftarget] upward.  It is used directly when
-    strictly feasible; otherwise it seeds the frontier climb (barrier
-    iterates are strictly interior, so a neighbouring cell's optimum
-    is always strictly feasible for the floor-free frontier problem).
-    Points of the wrong dimension are ignored.  Warm starts change
-    only the path taken, not the model: every returned solution
-    satisfies the same constraints to the same duality gap. *)
+    strictly feasible; otherwise it seeds the frontier climb after
+    being blended toward {!trivial_start} to restore interior margin
+    (barrier iterates are strictly interior, so a neighbouring cell's
+    optimum is always strictly feasible for the floor-free frontier
+    problem).  Points of the wrong dimension are ignored.  Warm starts
+    change only the path taken, not the model: every returned solution
+    satisfies the same constraints to the same duality gap.
 
-val solve_frontier : ?options:Convex.Barrier.options -> built -> outcome
+    [backend] selects the barrier oracle (default [`Compiled], which
+    reuses the row's packed Jacobian); [stats_into] accumulates solver
+    work counters across calls, frontier climbs included. *)
+
+val solve_frontier :
+  ?options:Convex.Barrier.options ->
+  ?backend:Convex.Barrier.backend ->
+  ?stats_into:Convex.Barrier.stats ref ->
+  built ->
+  outcome
 (** Solve a {!build_frontier} instance; the returned solution's
     [frequencies] sum to the maximal supportable total. *)
 

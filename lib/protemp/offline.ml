@@ -10,8 +10,38 @@ type progress = {
   seconds : float;
 }
 
-let solve_point ?options ~machine ~spec ~tstart ~ftarget () =
-  Model.solve ?options (Model.build ~machine ~spec ~tstart ~ftarget)
+type sweep_stats = {
+  solves : int;
+  centering_steps : int;
+  newton_iterations : int;
+  backtracks : int;
+  factorizations : int;
+}
+
+let sweep_stats_zero =
+  { solves = 0; centering_steps = 0; newton_iterations = 0; backtracks = 0;
+    factorizations = 0 }
+
+let sweep_stats_add a b =
+  {
+    solves = a.solves + b.solves;
+    centering_steps = a.centering_steps + b.centering_steps;
+    newton_iterations = a.newton_iterations + b.newton_iterations;
+    backtracks = a.backtracks + b.backtracks;
+    factorizations = a.factorizations + b.factorizations;
+  }
+
+let sweep_stats_of_barrier ~solves (s : Convex.Barrier.stats) =
+  {
+    solves;
+    centering_steps = s.Convex.Barrier.centering_steps;
+    newton_iterations = s.Convex.Barrier.newton_iterations;
+    backtracks = s.Convex.Barrier.backtracks;
+    factorizations = s.Convex.Barrier.factorizations;
+  }
+
+let solve_point ?options ?backend ~machine ~spec ~tstart ~ftarget () =
+  Model.solve ?options ?backend (Model.build ~machine ~spec ~tstart ~ftarget)
 
 (* One table row: prepare the [(machine, spec, tstart)] context once,
    then walk the [ftarget] columns upward, seeding each solve from the
@@ -20,36 +50,52 @@ let solve_point ?options ~machine ~spec ~tstart ~ftarget () =
    [ftarget]).  The row is a pure function of its inputs — column
    order is sequential within the row — so the table is the same
    whichever domain runs it, and however many domains run at once. *)
-let sweep_row ?options ~machine ~spec ~ftargets ~warm_starts ~report tstart =
+let sweep_row ?options ?backend ~machine ~spec ~ftargets ~warm_starts ~report
+    tstart =
   let prepared = Model.prepare ~machine ~spec ~tstart in
   let infeasible_from = ref None in
   let warm = ref None in
-  Array.map
-    (fun ftarget ->
-      match !infeasible_from with
-      | Some f0 when ftarget >= f0 ->
-          report { tstart; ftarget; outcome = `Pruned; seconds = 0.0 };
-          Table.Infeasible
-      | Some _ | None -> (
-          let t0 = Unix.gettimeofday () in
-          let built = Model.instantiate prepared ~ftarget in
-          match Model.solve ?options ?start:!warm built with
-          | Model.Feasible s ->
-              if warm_starts then warm := Some s.Model.raw.Convex.Solve.x;
-              report
-                { tstart; ftarget; outcome = `Feasible;
-                  seconds = Unix.gettimeofday () -. t0 };
-              Table.Frequencies s.Model.frequencies
-          | Model.Infeasible ->
-              infeasible_from := Some ftarget;
-              report
-                { tstart; ftarget; outcome = `Infeasible;
-                  seconds = Unix.gettimeofday () -. t0 };
-              Table.Infeasible))
-    ftargets
+  let stats = ref Convex.Barrier.stats_zero in
+  let solves = ref 0 in
+  let cells =
+    Array.map
+      (fun ftarget ->
+        match !infeasible_from with
+        | Some f0 when ftarget >= f0 ->
+            report { tstart; ftarget; outcome = `Pruned; seconds = 0.0 };
+            Table.Infeasible
+        | Some _ | None -> (
+            let t0 = Unix.gettimeofday () in
+            let built = Model.instantiate prepared ~ftarget in
+            incr solves;
+            match
+              Model.solve ?options ?backend ~stats_into:stats ?start:!warm
+                built
+            with
+            | Model.Feasible s ->
+                if warm_starts then warm := Some s.Model.raw.Convex.Solve.x;
+                report
+                  { tstart; ftarget; outcome = `Feasible;
+                    seconds = Unix.gettimeofday () -. t0 };
+                Table.Frequencies s.Model.frequencies
+            | Model.Infeasible ->
+                infeasible_from := Some ftarget;
+                report
+                  { tstart; ftarget; outcome = `Infeasible;
+                    seconds = Unix.gettimeofday () -. t0 };
+                Table.Infeasible))
+      ftargets
+  in
+  (cells, sweep_stats_of_barrier ~solves:!solves !stats)
 
-let sweep ?options ?domains ?(warm_starts = true) ?(tstarts = default_tstarts)
-    ?(ftargets = default_ftargets) ?on_progress ~machine ~spec () =
+(* Warm starts default off: with the boundary-aware line search and
+   the blended frontier-climb seeding, a BENCH_sweep comparison shows
+   the warm and cold paths within measurement noise of each other
+   (the start hint already skips phase I on almost every cell), and
+   the cold path does marginally fewer Newton iterations. *)
+let sweep_with_stats ?options ?backend ?domains ?(warm_starts = false)
+    ?(tstarts = default_tstarts) ?(ftargets = default_ftargets) ?on_progress
+    ~machine ~spec () =
   let domains =
     match domains with Some d -> d | None -> Parallel.Pool.default_domains ()
   in
@@ -67,20 +113,32 @@ let sweep ?options ?domains ?(warm_starts = true) ?(tstarts = default_tstarts)
             Mutex.lock m;
             Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f p)
   in
-  let cells =
+  let rows =
     Parallel.Pool.map ~domains
       (fun i ->
-        sweep_row ?options ~machine ~spec ~ftargets ~warm_starts ~report
-          tstarts.(i))
+        sweep_row ?options ?backend ~machine ~spec ~ftargets ~warm_starts
+          ~report tstarts.(i))
       (Array.length tstarts)
   in
-  Table.make ~tstarts ~ftargets cells
+  let stats =
+    Array.fold_left
+      (fun acc (_, s) -> sweep_stats_add acc s)
+      sweep_stats_zero rows
+  in
+  (Table.make ~tstarts ~ftargets (Array.map fst rows), stats)
 
-let frontier_point ?options ~machine ~spec ~tstart () =
-  Model.solve_frontier ?options (Model.build_frontier ~machine ~spec ~tstart)
+let sweep ?options ?backend ?domains ?warm_starts ?tstarts ?ftargets
+    ?on_progress ~machine ~spec () =
+  fst
+    (sweep_with_stats ?options ?backend ?domains ?warm_starts ?tstarts
+       ?ftargets ?on_progress ~machine ~spec ())
 
-let max_feasible_ftarget ?options ~machine ~spec ~tstart () =
-  match frontier_point ?options ~machine ~spec ~tstart () with
+let frontier_point ?options ?backend ~machine ~spec ~tstart () =
+  Model.solve_frontier ?options ?backend
+    (Model.build_frontier ~machine ~spec ~tstart)
+
+let max_feasible_ftarget ?options ?backend ~machine ~spec ~tstart () =
+  match frontier_point ?options ?backend ~machine ~spec ~tstart () with
   | Model.Feasible s ->
       Some (Linalg.Vec.mean s.Model.frequencies)
   | Model.Infeasible -> None

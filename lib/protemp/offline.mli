@@ -27,8 +27,23 @@ type progress = {
   seconds : float;
 }
 
+type sweep_stats = {
+  solves : int;  (** Cells actually solved (pruned cells excluded). *)
+  centering_steps : int;
+  newton_iterations : int;
+  backtracks : int;
+  factorizations : int;
+}
+(** Aggregated solver work counters for a whole sweep — frontier
+    climbs and phase-I runs included.  Deterministic for fixed inputs
+    (independent of the domain count). *)
+
+val sweep_stats_zero : sweep_stats
+val sweep_stats_add : sweep_stats -> sweep_stats -> sweep_stats
+
 val sweep :
   ?options:Convex.Barrier.options ->
+  ?backend:Convex.Barrier.backend ->
   ?domains:int ->
   ?warm_starts:bool ->
   ?tstarts:float array ->
@@ -42,14 +57,33 @@ val sweep :
     {!Parallel.Pool.default_domains}, i.e. the [PROTEMP_DOMAINS]
     environment variable or the hardware count); [1] runs the classic
     sequential loop on the calling domain.  [warm_starts] (default
-    [true]) seeds each solve from the previous column's optimum; turn
-    it off to measure its effect.  With [domains > 1],
-    [on_progress] is invoked from worker domains — calls are
-    serialized under a mutex, but rows interleave, so expect
-    out-of-order cells. *)
+    [false]) seeds each solve from the previous column's optimum,
+    blended toward the interior; benchmarking shows it within noise of
+    the cold path — the start hint already skips phase I on almost
+    every cell — so it stays off by default and exists for
+    measurement.  [backend] selects the barrier
+    oracle (default [`Compiled]); the [`Reference] path exists for
+    differential testing.  With [domains > 1], [on_progress] is
+    invoked from worker domains — calls are serialized under a mutex,
+    but rows interleave, so expect out-of-order cells. *)
+
+val sweep_with_stats :
+  ?options:Convex.Barrier.options ->
+  ?backend:Convex.Barrier.backend ->
+  ?domains:int ->
+  ?warm_starts:bool ->
+  ?tstarts:float array ->
+  ?ftargets:float array ->
+  ?on_progress:(progress -> unit) ->
+  machine:Sim.Machine.t ->
+  spec:Spec.t ->
+  unit ->
+  Table.t * sweep_stats
+(** {!sweep} plus the aggregated solver work counters. *)
 
 val frontier_point :
   ?options:Convex.Barrier.options ->
+  ?backend:Convex.Barrier.backend ->
   machine:Sim.Machine.t ->
   spec:Spec.t ->
   tstart:float ->
@@ -60,6 +94,7 @@ val frontier_point :
 
 val max_feasible_ftarget :
   ?options:Convex.Barrier.options ->
+  ?backend:Convex.Barrier.backend ->
   machine:Sim.Machine.t ->
   spec:Spec.t ->
   tstart:float ->
@@ -71,6 +106,7 @@ val max_feasible_ftarget :
 
 val solve_point :
   ?options:Convex.Barrier.options ->
+  ?backend:Convex.Barrier.backend ->
   machine:Sim.Machine.t ->
   spec:Spec.t ->
   tstart:float ->

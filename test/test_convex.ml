@@ -133,7 +133,13 @@ let quad_bowl_oracle p q =
   let f = Quad.quadratic p q 0.0 in
   {
     Newton.value = (fun x -> Some (Quad.eval f x));
-    grad_hess = (fun x -> (Quad.grad f x, Quad.hess f));
+    max_step = None;
+    grad_hess_into =
+      (fun x ~g ~h ->
+        Vec.blit ~src:(Quad.grad f x) ~dst:g;
+        Mat.fill h 0.0;
+        Quad.add_scaled_hess_upper_into f 1.0 ~dst:h;
+        Mat.mirror_upper h);
   }
 
 let test_newton_quadratic_one_step () =
@@ -155,10 +161,11 @@ let test_newton_respects_domain () =
     {
       Newton.value =
         (fun x -> if x.(0) <= 0.0 then None else Some (x.(0) -. log x.(0)));
-      grad_hess =
-        (fun x ->
-          ([| 1.0 -. (1.0 /. x.(0)) |],
-           Mat.of_diag [| 1.0 /. (x.(0) *. x.(0)) |]));
+      grad_hess_into =
+        (fun x ~g ~h ->
+          g.(0) <- 1.0 -. (1.0 /. x.(0));
+          Mat.set h 0 0 (1.0 /. (x.(0) *. x.(0))));
+      max_step = None;
     }
   in
   let r = Newton.minimize oracle [| 0.01 |] in
@@ -169,7 +176,11 @@ let test_newton_rejects_bad_start () =
   let oracle =
     {
       Newton.value = (fun x -> if x.(0) <= 0.0 then None else Some x.(0));
-      grad_hess = (fun _ -> ([| 1.0 |], Mat.of_diag [| 1.0 |]));
+      grad_hess_into =
+        (fun _ ~g ~h ->
+          g.(0) <- 1.0;
+          Mat.set h 0 0 1.0);
+      max_step = None;
     }
   in
   check_bool "raises" true
@@ -245,6 +256,243 @@ let test_barrier_unconstrained () =
   let obj = Quad.square_of_affine [| 1.0 |] (-3.0) in
   let r = Barrier.solve { Barrier.objective = obj; constraints = [||] } [| 0.0 |] in
   check_float 1e-6 "optimum" 3.0 r.Barrier.x.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled backend: the packed-Jacobian oracle must match a naive
+   barrier oracle computed straight from the Quad definitions, and the
+   two barrier backends must reach the same optimum. *)
+
+let quad_hess f n =
+  let h = Mat.zeros n n in
+  Quad.add_scaled_hess_upper_into f 1.0 ~dst:h;
+  Mat.mirror_upper h;
+  h
+
+(* Naive t*f0 - sum log(-f_j) oracle, allocating freely. *)
+let naive_barrier_value ~t obj constraints x =
+  if Array.exists (fun f -> Quad.eval f x >= 0.0) constraints then None
+  else
+    Some
+      (Array.fold_left
+         (fun acc f -> acc -. log (-.Quad.eval f x))
+         (t *. Quad.eval obj x)
+         constraints)
+
+let naive_barrier_grad_hess ~t obj constraints x =
+  let n = Vec.dim x in
+  let g = Vec.scale t (Quad.grad obj x) in
+  let h = ref (Mat.scale t (quad_hess obj n)) in
+  Array.iter
+    (fun f ->
+      let fv = Quad.eval f x in
+      let gf = Quad.grad f x in
+      Vec.axpy_into ~dst:g (-1.0 /. fv) gf;
+      let h' = Mat.add !h (Mat.scale (-1.0 /. fv) (quad_hess f n)) in
+      Mat.add_outer_into h' (1.0 /. (fv *. fv)) gf;
+      h := h')
+    constraints;
+  (g, !h)
+
+(* Random QCQP, strictly feasible at the origin: box rows, a few extra
+   affine rows, and one or two quadratic balls. *)
+let random_qcqp st n =
+  let obj = Quad.quadratic (random_spd st n) (random_vec st n) 0.0 in
+  let boxes =
+    Array.init (2 * n) (fun k ->
+        let i = k / 2 in
+        if k mod 2 = 0 then
+          Quad.add_constant (Quad.linear_coord n i (-1.0)) (-1.0)
+        else Quad.add_constant (Quad.linear_coord n i 1.0) (-1.0))
+  in
+  let extra =
+    Array.init
+      (1 + Random.State.int st 3)
+      (fun _ ->
+        Quad.affine (random_vec st n) (-.(1.5 +. Random.State.float st 1.0)))
+  in
+  let balls =
+    Array.init
+      (1 + Random.State.int st 2)
+      (fun _ ->
+        let rad = 0.8 +. Random.State.float st 1.0 in
+        Quad.quadratic
+          (Mat.scale 2.0 (Mat.identity n))
+          (Vec.zeros n)
+          (-.(rad *. rad)))
+  in
+  (obj, Array.concat [ boxes; extra; balls ])
+
+let rel_close tol a b = Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.abs b)
+
+(* Shared generator for the randomized solver tests: a dimension and a
+   PRNG seed. *)
+let qp_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 5 in
+    let* seed = int_range 0 1_000_000 in
+    return (n, seed))
+
+let prop_compiled_oracle_matches_naive =
+  QCheck2.Test.make
+    ~name:"compiled: oracle matches naive barrier to 1e-10" ~count:60 qp_gen
+    (fun (n, seed) ->
+      let st = mk_rand seed in
+      let obj, constraints = random_qcqp st n in
+      let c = Compiled.make ~objective:obj ~constraints in
+      let ws = Compiled.workspace c in
+      let g = Vec.zeros n and h = Mat.zeros n n in
+      let ok = ref true in
+      (* The origin is strictly feasible by construction; other sample
+         points are used only when they are. *)
+      let points =
+        Vec.zeros n
+        :: List.filteri
+             (fun _ x -> Compiled.is_strictly_feasible c ws x)
+             (List.init 5 (fun _ ->
+                  Vec.init n (fun _ -> Random.State.float st 0.6 -. 0.3)))
+      in
+      List.iter
+        (fun x ->
+          List.iter
+            (fun t ->
+              (match
+                 ( Compiled.value c ws ~t x,
+                   naive_barrier_value ~t obj constraints x )
+               with
+              | Some a, Some b -> if not (rel_close 1e-10 a b) then ok := false
+              | None, None -> ()
+              | _ -> ok := false);
+              Compiled.grad_hess_into c ws ~t x ~g ~h;
+              let g', h' = naive_barrier_grad_hess ~t obj constraints x in
+              for i = 0 to n - 1 do
+                if not (rel_close 1e-10 g.(i) g'.(i)) then ok := false;
+                for j = 0 to n - 1 do
+                  if not (rel_close 1e-10 (Mat.get h i j) (Mat.get h' i j))
+                  then ok := false
+                done
+              done)
+            [ 1.0; 100.0; 1e6 ])
+        points;
+      !ok)
+
+let prop_compiled_max_step_is_the_wall =
+  QCheck2.Test.make ~name:"compiled: max_step is the feasibility wall"
+    ~count:100 qp_gen (fun (n, seed) ->
+      let st = mk_rand seed in
+      let obj, constraints = random_qcqp st n in
+      let c = Compiled.make ~objective:obj ~constraints in
+      let ws = Compiled.workspace c in
+      let x = Vec.zeros n in
+      let d = random_vec st n in
+      let s = Compiled.max_step c ws x d in
+      if s = infinity then
+        (* Recession direction: any step stays feasible. *)
+        Compiled.is_strictly_feasible c ws (Vec.axpy 1e6 d x)
+      else
+        s > 0.0
+        && Compiled.is_strictly_feasible c ws (Vec.axpy (0.99 *. s) d x)
+        && not (Compiled.is_strictly_feasible c ws (Vec.axpy (1.01 *. s) d x)))
+
+let prop_compiled_backend_same_optimum =
+  QCheck2.Test.make ~name:"barrier: both backends reach the same optimum"
+    ~count:40 qp_gen (fun (n, seed) ->
+      let st = mk_rand seed in
+      let obj, constraints = random_qcqp st n in
+      let p = { Barrier.objective = obj; constraints } in
+      let rc = Barrier.solve ~backend:`Compiled p (Vec.zeros n) in
+      let rr = Barrier.solve ~backend:`Reference p (Vec.zeros n) in
+      rel_close 1e-6 rc.Barrier.objective_value rr.Barrier.objective_value
+      && Vec.approx_equal ~tol:1e-4 rc.Barrier.x rr.Barrier.x
+      && Vec.approx_equal ~tol:1e-4 rc.Barrier.dual rr.Barrier.dual)
+
+let test_compiled_partition () =
+  let st = mk_rand 71 in
+  let n = 4 in
+  let obj, constraints = random_qcqp st n in
+  let c = Compiled.make ~objective:obj ~constraints in
+  check_int "dim" n (Compiled.dim c);
+  check_int "constraint count" (Array.length constraints)
+    (Compiled.n_constraints c);
+  check_int "affine count"
+    (Array.length (Array.of_seq
+       (Seq.filter Quad.is_affine (Array.to_seq constraints))))
+    (Compiled.n_affine c);
+  (* Original order preserved. *)
+  let x = random_vec st n in
+  Array.iteri
+    (fun j f ->
+      check_float 1e-12 "order preserved" (Quad.eval f x)
+        (Quad.eval (Compiled.constraints c).(j) x))
+    constraints
+
+let test_compiled_with_constant () =
+  let n = 3 in
+  let obj = Quad.affine [| 1.0; 1.0; 1.0 |] 0.0 in
+  let base = Quad.add_constant (Quad.linear_coord n 0 1.0) (-1.0) in
+  let others =
+    Array.init n (fun i -> Quad.add_constant (Quad.linear_coord n i (-1.0)) (-1.0))
+  in
+  let constraints = Array.append [| base |] others in
+  let c = Compiled.make ~objective:obj ~constraints in
+  let ws = Compiled.workspace c in
+  (* Replace the first row's constant: must equal compiling the edited
+     problem from scratch, and must not disturb the original. *)
+  let c' = Compiled.with_constant c ~index:0 (-2.0) in
+  let edited =
+    Array.append [| Quad.add_constant (Quad.linear_coord n 0 1.0) (-2.0) |] others
+  in
+  let fresh = Compiled.make ~objective:obj ~constraints:edited in
+  let ws' = Compiled.workspace c' in
+  let wsf = Compiled.workspace fresh in
+  let g1 = Vec.zeros n and h1 = Mat.zeros n n in
+  let g2 = Vec.zeros n and h2 = Mat.zeros n n in
+  List.iter
+    (fun x ->
+      (match (Compiled.value c' ws' ~t:10.0 x, Compiled.value fresh wsf ~t:10.0 x) with
+      | Some a, Some b -> check_float 1e-12 "value matches fresh" b a
+      | None, None -> ()
+      | _ -> Alcotest.fail "feasibility disagrees");
+      if Compiled.is_strictly_feasible c' ws' x then begin
+        Compiled.grad_hess_into c' ws' ~t:10.0 x ~g:g1 ~h:h1;
+        Compiled.grad_hess_into fresh wsf ~t:10.0 x ~g:g2 ~h:h2;
+        check_bool "grad matches fresh" true
+          (Vec.approx_equal ~tol:1e-12 g1 g2);
+        check_bool "hess matches fresh" true
+          (Mat.approx_equal ~tol:1e-12 h1 h2)
+      end)
+    [ [| 0.5; 0.0; 0.0 |]; [| 1.5; 0.2; -0.3 |]; [| -0.5; 0.5; 0.5 |] ];
+  (* The original is untouched (the Jacobian is shared, offsets are
+     not): x0 = 1.5 violates the original x0 <= 1 but satisfies the
+     relaxed x0 <= 2. *)
+  check_bool "original still x0 <= 1" true
+    (Compiled.value c ws ~t:10.0 [| 1.5; 0.2; -0.3 |] = None);
+  check_bool "copy relaxed to x0 <= 2" true
+    (Compiled.value c' ws' ~t:10.0 [| 1.5; 0.2; -0.3 |] <> None);
+  (* Replacing the constant of a quadratic constraint is rejected. *)
+  let ball =
+    Quad.quadratic (Mat.scale 2.0 (Mat.identity n)) (Vec.zeros n) (-1.0)
+  in
+  let cq = Compiled.make ~objective:obj ~constraints:[| ball |] in
+  check_bool "quadratic index rejected" true
+    (match Compiled.with_constant cq ~index:0 (-2.0) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_barrier_stats () =
+  (* The instrumentation counters must be populated and consistent. *)
+  let st = mk_rand 73 in
+  let obj, constraints = random_qcqp st 3 in
+  let p = { Barrier.objective = obj; constraints } in
+  let r = Barrier.solve p (Vec.zeros 3) in
+  let s = r.Barrier.stats in
+  check_bool "centerings > 0" true (s.Barrier.centering_steps > 0);
+  check_bool "newton > 0" true (s.Barrier.newton_iterations > 0);
+  check_bool "factorizations >= newton" true
+    (s.Barrier.factorizations >= s.Barrier.newton_iterations);
+  check_int "outer matches stats" r.Barrier.outer_iterations
+    s.Barrier.centering_steps;
+  check_int "newton matches stats" r.Barrier.newton_iterations
+    s.Barrier.newton_iterations
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1 and two-phase Solve *)
@@ -389,12 +637,6 @@ let test_bisect_all_feasible () =
 
 (* Random convex QP with box constraints: the barrier optimum must
    satisfy the KKT conditions and beat random feasible points. *)
-let qp_gen =
-  QCheck2.Gen.(
-    let* n = int_range 1 5 in
-    let* seed = int_range 0 1_000_000 in
-    return (n, seed))
-
 let random_box_qp st n =
   let p = random_spd st n in
   let q = random_vec st n in
@@ -553,7 +795,9 @@ let props =
     [ prop_barrier_kkt; prop_barrier_beats_random_feasible;
       prop_phase1_consistent; prop_simplex_matches_barrier;
       prop_expr_eval_matches_quad; prop_expr_square_is_square;
-      prop_expr_curvature_closed ]
+      prop_expr_curvature_closed; prop_compiled_oracle_matches_naive;
+      prop_compiled_max_step_is_the_wall;
+      prop_compiled_backend_same_optimum ]
 
 let () =
   Alcotest.run "convex"
@@ -599,6 +843,12 @@ let () =
           Alcotest.test_case "rejects infeasible start" `Quick
             test_barrier_rejects_infeasible_start;
           Alcotest.test_case "unconstrained" `Quick test_barrier_unconstrained;
+          Alcotest.test_case "work counters" `Quick test_barrier_stats;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "partition" `Quick test_compiled_partition;
+          Alcotest.test_case "with_constant" `Quick test_compiled_with_constant;
         ] );
       ( "phase1",
         [

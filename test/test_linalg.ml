@@ -140,6 +140,67 @@ let test_mat_upper_accumulation () =
   Mat.mirror_upper upper;
   check_bool "matches full update" true (Mat.approx_equal ~tol:1e-12 full upper)
 
+let test_mat_gemv_into () =
+  let st = mk_rand 59 in
+  let a = random_mat st 4 6 in
+  let x = random_vec st 6 and y = random_vec st 4 in
+  let dst = Vec.zeros 4 in
+  Mat.gemv_into a x ~dst;
+  check_bool "plain overwrite" true
+    (Vec.approx_equal ~tol:1e-12 dst (Mat.mul_vec a x));
+  let dst_t = Vec.zeros 6 in
+  Mat.gemv_into ~trans:true a y ~dst:dst_t;
+  check_bool "transposed" true
+    (Vec.approx_equal ~tol:1e-12 dst_t (Mat.tmul_vec a y));
+  (* alpha/beta accumulate: dst := alpha A x + beta dst0. *)
+  let dst0 = random_vec st 4 in
+  let dst = Vec.copy dst0 in
+  Mat.gemv_into ~alpha:2.5 ~beta:(-0.5) a x ~dst;
+  let expect = Vec.axpy 2.5 (Mat.mul_vec a x) (Vec.scale (-0.5) dst0) in
+  check_bool "alpha/beta" true (Vec.approx_equal ~tol:1e-12 dst expect);
+  (* beta = 0 must ignore garbage in dst, including NaN. *)
+  let dst = Vec.init 4 (fun _ -> Float.nan) in
+  Mat.gemv_into a x ~dst;
+  check_bool "beta=0 ignores dst" true
+    (Vec.approx_equal ~tol:1e-12 dst (Mat.mul_vec a x))
+
+(* Naive A^T diag(d) A for checking the blocked kernel. *)
+let naive_atda a d =
+  let m = Mat.rows a and n = Mat.cols a in
+  Mat.init n n (fun i j ->
+      let s = ref 0.0 in
+      for r = 0 to m - 1 do
+        s := !s +. (d.(r) *. Mat.get a r i *. Mat.get a r j)
+      done;
+      !s)
+
+let test_mat_syrk_scaled_into () =
+  let st = mk_rand 61 in
+  (* Odd and even row counts both exercised (the kernel processes rows
+     in pairs, with a tail row when the count is odd). *)
+  List.iter
+    (fun m ->
+      let a = random_mat st m 4 in
+      let d = random_vec st m in
+      let dst = Mat.zeros 4 4 in
+      Mat.syrk_scaled_into a d ~dst;
+      Mat.mirror_upper dst;
+      check_bool
+        (Printf.sprintf "matches naive (m=%d)" m)
+        true
+        (Mat.approx_equal ~tol:1e-12 dst (naive_atda a d)))
+    [ 1; 4; 5 ];
+  (* Accumulation: two calls add both contributions. *)
+  let a1 = random_mat st 3 4 and a2 = random_mat st 5 4 in
+  let d1 = random_vec st 3 and d2 = random_vec st 5 in
+  let dst = Mat.zeros 4 4 in
+  Mat.syrk_scaled_into a1 d1 ~dst;
+  Mat.syrk_scaled_into a2 d2 ~dst;
+  Mat.mirror_upper dst;
+  check_bool "accumulates" true
+    (Mat.approx_equal ~tol:1e-12 dst
+       (Mat.add (naive_atda a1 d1) (naive_atda a2 d2)))
+
 let test_mat_symmetry () =
   let st = mk_rand 11 in
   let a = random_mat st 5 5 in
@@ -217,6 +278,42 @@ let test_chol_jitter () =
   let a = Mat.of_rows [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
   let _f, jitter = Chol.factorize_jittered a in
   check_bool "jitter used" true (jitter > 0.0)
+
+let test_chol_into_matches () =
+  let st = mk_rand 67 in
+  let f = Chol.preallocate 8 in
+  (* Reuse one preallocated factor across several systems. *)
+  for _ = 1 to 3 do
+    let a = random_spd st 8 in
+    let b = random_vec st 8 in
+    let jitter, attempts = Chol.factorize_jittered_into f a in
+    check_float "no jitter on SPD" 0.0 jitter;
+    check_int "one attempt" 1 attempts;
+    let x = Vec.zeros 8 in
+    Chol.solve_factorized_into f b ~dst:x;
+    check_bool "matches Chol.solve" true
+      (Vec.approx_equal ~tol:1e-9 x (Chol.solve a b));
+    (* In-place solve: dst aliasing b. *)
+    let b' = Vec.copy b in
+    Chol.solve_factorized_into f b' ~dst:b';
+    check_bool "in-place solve" true (Vec.approx_equal ~tol:1e-12 b' x)
+  done
+
+let test_chol_into_jitter () =
+  (* Singular PSD matrix: the in-place path must jitter and retry,
+     reporting the attempt count, without corrupting the workspace for
+     later factorizations. *)
+  let f = Chol.preallocate 2 in
+  let singular = Mat.of_rows [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let jitter, attempts = Chol.factorize_jittered_into f singular in
+  check_bool "jitter used" true (jitter > 0.0);
+  check_bool "several attempts" true (attempts > 1);
+  let spd = Mat.of_rows [| [| 2.0; 0.0 |]; [| 0.0; 3.0 |] |] in
+  let jitter, _ = Chol.factorize_jittered_into f spd in
+  check_float "workspace reusable" 0.0 jitter;
+  let x = Vec.zeros 2 in
+  Chol.solve_factorized_into f [| 4.0; 9.0 |] ~dst:x;
+  check_bool "diag solve" true (Vec.approx_equal ~tol:1e-12 x [| 2.0; 3.0 |])
 
 let test_chol_logdet () =
   let a = Mat.of_diag [| 2.0; 3.0; 4.0 |] in
@@ -482,6 +579,9 @@ let () =
           Alcotest.test_case "outer products" `Quick test_mat_outer;
           Alcotest.test_case "upper-triangle accumulation" `Quick
             test_mat_upper_accumulation;
+          Alcotest.test_case "gemv_into" `Quick test_mat_gemv_into;
+          Alcotest.test_case "syrk_scaled_into" `Quick
+            test_mat_syrk_scaled_into;
           Alcotest.test_case "symmetry" `Quick test_mat_symmetry;
         ] );
       ( "lu",
@@ -499,6 +599,10 @@ let () =
           Alcotest.test_case "rejects indefinite" `Quick
             test_chol_rejects_indefinite;
           Alcotest.test_case "jittered factorization" `Quick test_chol_jitter;
+          Alcotest.test_case "in-place factorize and solve" `Quick
+            test_chol_into_matches;
+          Alcotest.test_case "in-place jitter retry" `Quick
+            test_chol_into_jitter;
           Alcotest.test_case "log det" `Quick test_chol_logdet;
         ] );
       ( "qr",

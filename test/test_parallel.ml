@@ -80,7 +80,7 @@ let sweep ?on_progress ~domains ~warm_starts () =
   Protemp.Offline.sweep ~machine:(Lazy.force machine) ~spec:fast_spec ~domains
     ~warm_starts ~tstarts ~ftargets ?on_progress ()
 
-let tables_equal a b =
+let tables_equal ?(tol = 1e-9) a b =
   let ta = Protemp.Table.tstarts a and fa = Protemp.Table.ftargets a in
   Protemp.Table.tstarts b = ta
   && Protemp.Table.ftargets b = fa
@@ -91,7 +91,7 @@ let tables_equal a b =
              match (Protemp.Table.cell a i j, Protemp.Table.cell b i j) with
              | Protemp.Table.Infeasible, Protemp.Table.Infeasible -> true
              | Protemp.Table.Frequencies x, Protemp.Table.Frequencies y ->
-                 Linalg.Vec.approx_equal ~tol:1e-9 x y
+                 Linalg.Vec.approx_equal ~tol x y
              | Protemp.Table.Infeasible, Protemp.Table.Frequencies _
              | Protemp.Table.Frequencies _, Protemp.Table.Infeasible -> false)
            (Array.init (Array.length fa) Fun.id))
@@ -160,6 +160,49 @@ let test_warm_start_direct () =
             true
             (peak <= fast_spec.Protemp.Spec.tmax +. 1e-9))
 
+(* The compiled barrier backend must produce the same offline table as
+   the reference Quad-walking oracle (to 1e-6 of full scale — the two
+   walk different floating-point paths to the same optimum), and the
+   reference table must pass the same thermal audit. *)
+let test_sweep_backends_agree () =
+  let m = Lazy.force machine in
+  let run backend =
+    Protemp.Offline.sweep ~machine:m ~spec:fast_spec ~domains:1 ~backend
+      ~tstarts ~ftargets ()
+  in
+  let reference = run `Reference and compiled = run `Compiled in
+  check_bool "tables agree to 1e-6 fmax" true
+    (tables_equal ~tol:(1e-6 *. m.Sim.Machine.fmax) reference compiled);
+  let audit =
+    Protemp.Guarantee.audit_table ~machine:m ~spec:fast_spec reference
+  in
+  check_bool "cells checked" true (audit.Protemp.Guarantee.cells_checked > 0);
+  check_bool
+    (Printf.sprintf "reference margin %.4f >= 0"
+       audit.Protemp.Guarantee.worst_margin)
+    true
+    (audit.Protemp.Guarantee.worst_margin >= -1e-9)
+
+(* The aggregated work counters are a pure function of the grid — the
+   same whichever domain count runs it. *)
+let test_sweep_stats_domain_invariant () =
+  let run domains =
+    snd
+      (Protemp.Offline.sweep_with_stats ~machine:(Lazy.force machine)
+         ~spec:fast_spec ~domains ~tstarts ~ftargets ())
+  in
+  let s1 = run 1 and s4 = run 4 in
+  check_int "solves" s1.Protemp.Offline.solves s4.Protemp.Offline.solves;
+  check_int "centerings" s1.Protemp.Offline.centering_steps
+    s4.Protemp.Offline.centering_steps;
+  check_int "newton" s1.Protemp.Offline.newton_iterations
+    s4.Protemp.Offline.newton_iterations;
+  check_int "backtracks" s1.Protemp.Offline.backtracks
+    s4.Protemp.Offline.backtracks;
+  check_int "factorizations" s1.Protemp.Offline.factorizations
+    s4.Protemp.Offline.factorizations;
+  check_bool "non-trivial" true (s1.Protemp.Offline.newton_iterations > 0)
+
 (* Instantiating from a prepared context must yield the same problem
    as a from-scratch build, so the same optimum. *)
 let test_instantiate_matches_build () =
@@ -202,6 +245,9 @@ let () =
           Alcotest.test_case "warm-started cells keep the guarantee" `Slow
             test_sweep_warm_started_cells_keep_guarantee;
           Alcotest.test_case "warm start direct" `Slow test_warm_start_direct;
+          Alcotest.test_case "backends agree" `Slow test_sweep_backends_agree;
+          Alcotest.test_case "stats domain-count invariant" `Slow
+            test_sweep_stats_domain_invariant;
           Alcotest.test_case "instantiate matches build" `Slow
             test_instantiate_matches_build;
         ] );
