@@ -119,7 +119,16 @@ let run ?(config = default_config) (machine : Machine.t) controller assignment
       let f = controller.Policy.decide obs in
       if Vec.dim f <> n_cores then
         invalid_arg "Engine.run: controller returned a bad frequency vector";
-      frequencies := Vec.map (fun x -> Float.max 0.0 x) f;
+      for c = 0 to n_cores - 1 do
+        if Float.is_nan f.(c) then
+          invalid_arg "Engine.run: controller returned a NaN frequency"
+      done;
+      (* Clamp on both sides: a buggy controller must not be able to
+         run cores past the hardware ceiling any more than below 0. *)
+      frequencies :=
+        Vec.map
+          (fun x -> Float.min machine.Machine.fmax (Float.max 0.0 x))
+          f;
       Array.fill busy_acc 0 n_cores 0.0;
       if config.record_series then begin
         series :=

@@ -51,3 +51,7 @@ val run :
   Policy.assignment ->
   Workload.Trace.t ->
   result
+(** Controller output is validated every epoch: a frequency vector of
+    the wrong dimension or containing NaN raises [Invalid_argument];
+    finite entries are clamped into [[0, fmax]], so a buggy controller
+    can neither overclock the cores nor drive them negative. *)

@@ -238,6 +238,42 @@ let test_engine_coolest_first_reduces_gradient () =
     (Printf.sprintf "gradient %.2f < %.2f" g_cool g_first)
     true (g_cool < g_first)
 
+let test_engine_clamps_overdriven_controller () =
+  (* A controller demanding 3x fmax must behave exactly like one
+     pinned at fmax: the engine clamps to the hardware ceiling. *)
+  let m = Lazy.force machine in
+  let trace = small_trace 500 in
+  let overdriven =
+    {
+      Sim.Policy.controller_name = "overdriven";
+      decide =
+        (fun obs -> Vec.create (Vec.dim obs.Sim.Policy.core_temperatures) 3e9);
+    }
+  in
+  let run ctrl =
+    let r = Sim.Engine.run m ctrl Sim.Policy.first_idle trace in
+    ( Sim.Stats.peak_temperature r.Sim.Engine.stats,
+      Sim.Stats.energy r.Sim.Engine.stats,
+      Sim.Stats.simulated_time r.Sim.Engine.stats )
+  in
+  check_bool "identical to fmax run" true
+    (run overdriven = run (Lazy.force fast_controller))
+
+let test_engine_rejects_nan_frequency () =
+  let m = Lazy.force machine in
+  let trace = small_trace 10 in
+  let nan_controller =
+    {
+      Sim.Policy.controller_name = "nan";
+      decide =
+        (fun obs -> Vec.create (Vec.dim obs.Sim.Policy.core_temperatures) Float.nan);
+    }
+  in
+  check_bool "NaN rejected" true
+    (match Sim.Engine.run m nan_controller Sim.Policy.first_idle trace with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let test_engine_migration_rescues_stalled_tasks () =
   (* A controller that permanently stops core 0 but runs the others:
      without migration, a task stuck on core 0 never finishes; with
@@ -355,6 +391,10 @@ let () =
             test_engine_temperatures_stay_physical;
           Alcotest.test_case "coolest-first lowers gradient" `Quick
             test_engine_coolest_first_reduces_gradient;
+          Alcotest.test_case "overdriven controller clamped to fmax" `Quick
+            test_engine_clamps_overdriven_controller;
+          Alcotest.test_case "NaN frequency rejected" `Quick
+            test_engine_rejects_nan_frequency;
           Alcotest.test_case "migration rescues stalled tasks" `Quick
             test_engine_migration_rescues_stalled_tasks;
         ] );
