@@ -54,4 +54,23 @@ val run :
 (** Controller output is validated every epoch: a frequency vector of
     the wrong dimension or containing NaN raises [Invalid_argument];
     finite entries are clamped into [[0, fmax]], so a buggy controller
-    can neither overclock the cores nor drive them negative. *)
+    can neither overclock the cores nor drive them negative.
+
+    The step loop is allocation-free in the steady state: temperature
+    ping-pong buffers, power and core-temperature scratch vectors and
+    per-core run state are all preallocated, and the thermal
+    recurrence runs through {!Thermal.Rc_model.compile_stepper}.
+    Allocation only happens at cold edges (arrivals, epoch
+    boundaries, dispatch). *)
+
+val run_reference :
+  ?config:config ->
+  Machine.t ->
+  Policy.controller ->
+  Policy.assignment ->
+  Workload.Trace.t ->
+  result
+(** The straightforward implementation {!run} was refactored from; it
+    allocates freely in the step loop but is semantically identical —
+    a golden test asserts both produce bit-for-bit equal {!Stats.t}.
+    Kept as the differential-testing oracle and benchmark baseline. *)

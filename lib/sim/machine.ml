@@ -64,7 +64,44 @@ let power_vector m ~frequencies ~busy =
     m.core_nodes;
   p
 
+let refresh_core_power m ~frequencies ~busy ~dst =
+  if Vec.dim frequencies <> m.n_cores then
+    invalid_arg "Machine.refresh_core_power: frequency vector length mismatch";
+  if Array.length busy <> m.n_cores then
+    invalid_arg "Machine.refresh_core_power: busy array length mismatch";
+  if Vec.dim dst <> m.n_nodes then
+    invalid_arg "Machine.refresh_core_power: destination length mismatch";
+  let fmax = m.fmax and core_pmax = m.core_pmax in
+  let idle_activity = m.idle_activity in
+  let core_nodes = m.core_nodes in
+  for c = 0 to m.n_cores - 1 do
+    (* Inlined [core_power]: same arithmetic, but no boxed calls in
+       the step loop. *)
+    let f = Array.unsafe_get frequencies c in
+    let f = if f < 0.0 then 0.0 else f in
+    let dynamic = core_pmax *. (f /. fmax) *. (f /. fmax) in
+    Array.unsafe_set dst
+      (Array.unsafe_get core_nodes c)
+      (if Array.unsafe_get busy c then dynamic else idle_activity *. dynamic)
+  done
+
+let power_vector_into m ~frequencies ~busy ~dst =
+  if Vec.dim dst <> m.n_nodes then
+    invalid_arg "Machine.power_vector_into: destination length mismatch";
+  Array.blit m.fixed_power 0 dst 0 m.n_nodes;
+  refresh_core_power m ~frequencies ~busy ~dst
+
 let core_temperatures m t =
   if Vec.dim t <> m.n_nodes then
     invalid_arg "Machine.core_temperatures: temperature length mismatch";
   Array.map (fun node -> t.(node)) m.core_nodes
+
+let core_temperatures_into m t ~dst =
+  if Vec.dim t <> m.n_nodes then
+    invalid_arg "Machine.core_temperatures_into: temperature length mismatch";
+  if Vec.dim dst <> m.n_cores then
+    invalid_arg "Machine.core_temperatures_into: destination length mismatch";
+  let core_nodes = m.core_nodes in
+  for c = 0 to m.n_cores - 1 do
+    Array.unsafe_set dst c (Array.unsafe_get t (Array.unsafe_get core_nodes c))
+  done

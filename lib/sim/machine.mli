@@ -46,6 +46,22 @@ val core_power : t -> frequency:float -> busy:bool -> float
 val power_vector : t -> frequencies:Vec.t -> busy:bool array -> Vec.t
 (** Full node power vector for one thermal step. *)
 
+val power_vector_into :
+  t -> frequencies:Vec.t -> busy:bool array -> dst:Vec.t -> unit
+(** Like {!power_vector} but writes into [dst] (length [n_nodes])
+    without allocating; produces bit-identical values. *)
+
+val refresh_core_power :
+  t -> frequencies:Vec.t -> busy:bool array -> dst:Vec.t -> unit
+(** Rewrite only the core entries of [dst], assuming its non-core
+    entries already hold [fixed_power] (they never change).  The
+    allocation-free stepping loop initializes [dst] once and calls
+    this on frequency or busy-state changes. *)
+
 val core_temperatures : t -> Vec.t -> Vec.t
 (** Extract the core temperatures from a full node temperature
     vector. *)
+
+val core_temperatures_into : t -> Vec.t -> dst:Vec.t -> unit
+(** Like {!core_temperatures} but writes into [dst] (length
+    [n_cores]) without allocating. *)

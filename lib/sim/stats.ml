@@ -10,119 +10,232 @@ let paper_bands =
     { lo = 100.0; hi = infinity };
   ]
 
-type t = {
-  bands : band array;
-  n_cores : int;
-  tmax : float;
-  band_time : float array;  (* core-seconds accumulated per band *)
+(* The float accumulators live in their own all-float record: OCaml
+   stores such records flat (unboxed fields), so the per-step mutable
+   writes below do not allocate.  Mixing them with the int and array
+   fields of [t] would box every float field and allocate a fresh box
+   on every [<-]. *)
+type acc = {
   mutable above_time : float;  (* core-seconds above tmax *)
-  mutable violation_steps : int;
-  mutable total_steps : int;
   mutable sim_time : float;
   mutable peak : float;
   mutable peak_gradient : float;
   mutable gradient_sum : float;
   mutable waiting_sum : float;
   mutable waiting_max : float;
+  mutable energy : float;
+}
+
+type t = {
+  bands : band array;
+  band_lo : float array;  (* bands.(b).lo, unboxed for the hot loop *)
+  band_hi : float array;
+  n_cores : int;
+  tmax : float;
+  band_time : float array;  (* core-seconds accumulated per band *)
+  acc : acc;
+  mutable violation_steps : int;
+  mutable total_steps : int;
   mutable dispatched : int;
   mutable completed : int;
-  mutable energy : float;
 }
 
 let create ?(bands = paper_bands) ~n_cores ~tmax () =
   if n_cores <= 0 then invalid_arg "Stats.create: non-positive cores";
   {
     bands = Array.of_list bands;
+    band_lo = Array.of_list (List.map (fun b -> b.lo) bands);
+    band_hi = Array.of_list (List.map (fun b -> b.hi) bands);
     n_cores;
     tmax;
     band_time = Array.make (List.length bands) 0.0;
-    above_time = 0.0;
+    acc =
+      {
+        above_time = 0.0;
+        sim_time = 0.0;
+        peak = neg_infinity;
+        peak_gradient = 0.0;
+        gradient_sum = 0.0;
+        waiting_sum = 0.0;
+        waiting_max = 0.0;
+        energy = 0.0;
+      };
     violation_steps = 0;
     total_steps = 0;
-    sim_time = 0.0;
-    peak = neg_infinity;
-    peak_gradient = 0.0;
-    gradient_sum = 0.0;
-    waiting_sum = 0.0;
-    waiting_max = 0.0;
     dispatched = 0;
     completed = 0;
-    energy = 0.0;
   }
 
+(* The whole recording path runs once per thermal step, so it is
+   written with plain [for] loops and inlined min/max: no closures,
+   no boxed [Float.max] calls, zero heap allocation. *)
 let record_step s ~dt ~core_temperatures =
-  if Vec.dim core_temperatures <> s.n_cores then
+  let n = Vec.dim core_temperatures in
+  if n <> s.n_cores then
     invalid_arg "Stats.record_step: temperature vector length mismatch";
-  let hottest = Vec.max core_temperatures in
-  let coldest = Vec.min core_temperatures in
+  let a = s.acc in
+  let hottest = ref (Array.unsafe_get core_temperatures 0)
+  and coldest = ref (Array.unsafe_get core_temperatures 0) in
+  for i = 1 to n - 1 do
+    let x = Array.unsafe_get core_temperatures i in
+    if x > !hottest then hottest := x;
+    if x < !coldest then coldest := x
+  done;
+  let hottest = !hottest and coldest = !coldest in
   s.total_steps <- s.total_steps + 1;
-  s.sim_time <- s.sim_time +. dt;
-  s.peak <- Float.max s.peak hottest;
+  a.sim_time <- a.sim_time +. dt;
+  if hottest > a.peak then a.peak <- hottest;
   let spread = hottest -. coldest in
-  s.peak_gradient <- Float.max s.peak_gradient spread;
-  s.gradient_sum <- s.gradient_sum +. spread;
+  if spread > a.peak_gradient then a.peak_gradient <- spread;
+  a.gradient_sum <- a.gradient_sum +. spread;
   if hottest > s.tmax then s.violation_steps <- s.violation_steps + 1;
-  Array.iter
-    (fun temp ->
-      if temp > s.tmax then s.above_time <- s.above_time +. dt;
-      Array.iteri
-        (fun b { lo; hi } ->
-          if temp >= lo && temp < hi then
-            s.band_time.(b) <- s.band_time.(b) +. dt)
-        s.bands)
-    core_temperatures
+  let band_lo = s.band_lo
+  and band_hi = s.band_hi
+  and band_time = s.band_time in
+  let n_bands = Array.length band_lo in
+  for i = 0 to n - 1 do
+    let temp = Array.unsafe_get core_temperatures i in
+    if temp > s.tmax then a.above_time <- a.above_time +. dt;
+    (* Bands partition the line, so at most one matches; stopping at
+       the first hit changes which comparisons run but not a single
+       float operation. *)
+    let b = ref 0 in
+    let continue = ref true in
+    while !continue && !b < n_bands do
+      if
+        temp >= Array.unsafe_get band_lo !b
+        && temp < Array.unsafe_get band_hi !b
+      then begin
+        Array.unsafe_set band_time !b (Array.unsafe_get band_time !b +. dt);
+        continue := false
+      end
+      else incr b
+    done
+  done
+
+let record_step_nodes s ~dt ~temperatures ~nodes =
+  let n = Array.length nodes in
+  if n <> s.n_cores then
+    invalid_arg "Stats.record_step_nodes: node index array length mismatch";
+  let a = s.acc in
+  let band_lo = s.band_lo
+  and band_hi = s.band_hi
+  and band_time = s.band_time in
+  let n_bands = Array.length band_lo in
+  let tmax = s.tmax in
+  (* Single fused pass over the gather [temperatures.(nodes.(i))].
+     The reference [record_step] runs a min/max pass and then a band
+     pass; each accumulator below sees exactly the same operand
+     sequence as there (the accumulators are independent), so the
+     result is bit-identical to extracting the core temperatures and
+     calling [record_step] — without the scratch extraction. *)
+  let t0 = temperatures.(Array.unsafe_get nodes 0) in
+  let hottest = ref t0
+  and coldest = ref t0 in
+  for i = 0 to n - 1 do
+    let temp = temperatures.(Array.unsafe_get nodes i) in
+    if i > 0 then begin
+      if temp > !hottest then hottest := temp;
+      if temp < !coldest then coldest := temp
+    end;
+    if temp > tmax then a.above_time <- a.above_time +. dt;
+    let b = ref 0 in
+    let continue = ref true in
+    while !continue && !b < n_bands do
+      if
+        temp >= Array.unsafe_get band_lo !b
+        && temp < Array.unsafe_get band_hi !b
+      then begin
+        Array.unsafe_set band_time !b (Array.unsafe_get band_time !b +. dt);
+        continue := false
+      end
+      else incr b
+    done
+  done;
+  let hottest = !hottest and coldest = !coldest in
+  s.total_steps <- s.total_steps + 1;
+  a.sim_time <- a.sim_time +. dt;
+  if hottest > a.peak then a.peak <- hottest;
+  let spread = hottest -. coldest in
+  if spread > a.peak_gradient then a.peak_gradient <- spread;
+  a.gradient_sum <- a.gradient_sum +. spread;
+  if hottest > tmax then s.violation_steps <- s.violation_steps + 1
 
 let record_power s ~dt power =
   if power < 0.0 then invalid_arg "Stats.record_power: negative power";
-  s.energy <- s.energy +. (power *. dt)
+  s.acc.energy <- s.acc.energy +. (power *. dt)
+
+let record_power_vector s ~dt p =
+  (* Summing here instead of taking a float argument keeps the step
+     loop free of the boxed return a [Vec.sum] call would allocate.
+     The ascending-index sum matches [Vec.sum]'s fold order, so the
+     accumulated energy is bit-identical to
+     [record_power ~dt (Vec.sum p)]. *)
+  let total = ref 0.0 in
+  for i = 0 to Vec.dim p - 1 do
+    total := !total +. Array.unsafe_get p i
+  done;
+  if !total < 0.0 then invalid_arg "Stats.record_power_vector: negative power";
+  s.acc.energy <- s.acc.energy +. (!total *. dt)
+
+let record_energy s j =
+  if j < 0.0 then invalid_arg "Stats.record_energy: negative energy";
+  s.acc.energy <- s.acc.energy +. j
 
 let record_waiting s w =
   if w < 0.0 then invalid_arg "Stats.record_waiting: negative waiting time";
-  s.waiting_sum <- s.waiting_sum +. w;
-  s.waiting_max <- Float.max s.waiting_max w;
+  let a = s.acc in
+  a.waiting_sum <- a.waiting_sum +. w;
+  if w > a.waiting_max then a.waiting_max <- w;
   s.dispatched <- s.dispatched + 1
 
 let record_completion s = s.completed <- s.completed + 1
 
-let core_time s = s.sim_time *. float_of_int s.n_cores
+let equal (a : t) (b : t) =
+  (* Structural equality over every accumulated figure; floats compare
+     numerically (no tolerance), which is what the engine's golden
+     regression test relies on. *)
+  a = b
+
+let core_time s = s.acc.sim_time *. float_of_int s.n_cores
 
 let band_residency s =
   let total = Float.max 1e-300 (core_time s) in
   Array.to_list
     (Array.mapi (fun b band -> (band, s.band_time.(b) /. total)) s.bands)
 
-let time_above s = s.above_time /. Float.max 1e-300 (core_time s)
+let time_above s = s.acc.above_time /. Float.max 1e-300 (core_time s)
 let violation_steps s = s.violation_steps
 let total_steps s = s.total_steps
-let peak_temperature s = s.peak
-let peak_gradient s = s.peak_gradient
+let peak_temperature s = s.acc.peak
+let peak_gradient s = s.acc.peak_gradient
 
 let mean_gradient s =
-  s.gradient_sum /. float_of_int (Stdlib.max 1 s.total_steps)
+  s.acc.gradient_sum /. float_of_int (Stdlib.max 1 s.total_steps)
 
 let mean_waiting s =
   if s.dispatched = 0 then 0.0
-  else s.waiting_sum /. float_of_int s.dispatched
+  else s.acc.waiting_sum /. float_of_int s.dispatched
 
-let max_waiting s = s.waiting_max
+let max_waiting s = s.acc.waiting_max
 let completed s = s.completed
-let simulated_time s = s.sim_time
-let energy s = s.energy
-let average_power s = s.energy /. Float.max 1e-300 s.sim_time
+let simulated_time s = s.acc.sim_time
+let energy s = s.acc.energy
+let average_power s = s.acc.energy /. Float.max 1e-300 s.acc.sim_time
 
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>%d tasks completed in %.1f s@,peak %.1f C, %.2f%% of core-time \
      above %.0f C (%d violating steps)@,mean waiting %.2f ms (max %.1f \
      ms)@,gradient: mean %.2f C, peak %.2f C"
-    s.completed s.sim_time s.peak
+    s.completed s.acc.sim_time s.acc.peak
     (100.0 *. time_above s)
     s.tmax s.violation_steps
     (mean_waiting s *. 1e3)
-    (s.waiting_max *. 1e3)
-    (mean_gradient s) s.peak_gradient;
-  Format.fprintf ppf "@,energy %.1f J (average power %.2f W)@,bands:" s.energy
-    (average_power s);
+    (s.acc.waiting_max *. 1e3)
+    (mean_gradient s) s.acc.peak_gradient;
+  Format.fprintf ppf "@,energy %.1f J (average power %.2f W)@,bands:"
+    s.acc.energy (average_power s);
   List.iter
     (fun ({ lo; hi }, frac) ->
       Format.fprintf ppf "@,  [%6.1f, %6.1f): %5.1f%%" lo hi (100.0 *. frac))

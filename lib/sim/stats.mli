@@ -20,13 +20,35 @@ val create : ?bands:band list -> n_cores:int -> tmax:float -> unit -> t
 
 val record_step : t -> dt:float -> core_temperatures:Vec.t -> unit
 
+val record_step_nodes :
+  t -> dt:float -> temperatures:Vec.t -> nodes:int array -> unit
+(** Like {!record_step} on the gather [temperatures.(nodes.(i))]:
+    reads the core temperatures straight out of the full node vector,
+    sparing the caller a scratch extraction.  Bit-identical to
+    extracting and calling {!record_step}. *)
+
 val record_power : t -> dt:float -> float -> unit
 (** Accumulate the chip power drawn over one step (Watts). *)
+
+val record_power_vector : t -> dt:float -> Vec.t -> unit
+(** [record_power_vector s ~dt p] equals
+    [record_power s ~dt (Vec.sum p)] bit-for-bit, but sums internally
+    so the caller's step loop stays allocation-free. *)
+
+val record_energy : t -> float -> unit
+(** Add already-integrated Joules in one call.  A loop that keeps the
+    running sum [e += power*dt] in a local (unboxed) accumulator and
+    flushes it here once produces the same energy bit-for-bit as
+    per-step {!record_power} calls, without the per-step call. *)
 
 val record_waiting : t -> float -> unit
 (** One completed dispatch: time the task spent queued. *)
 
 val record_completion : t -> unit
+
+val equal : t -> t -> bool
+(** Exact (no-tolerance) equality of every accumulated figure — the
+    predicate behind the engine's golden regression tests. *)
 
 (** {1 Reading} *)
 

@@ -158,6 +158,120 @@ let step_temperature d t p =
   step_temperature_into d t p ~dst;
   dst
 
+type stepper = {
+  n : int;
+  row_start : int array;
+  cols : int array;
+  vals : float array;
+  s_injection : float array;
+  s_drive : float array;
+  s_dt : float;
+  injp : float array;
+      (* cached injection.(i) *. p.(i) for the last loaded power *)
+}
+
+let compile_stepper d =
+  let n = Mat.rows d.step in
+  let nnz = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Mat.get d.step i j <> 0.0 then incr nnz
+    done
+  done;
+  let row_start = Array.make (n + 1) 0 in
+  let cols = Array.make (Stdlib.max 1 !nnz) 0 in
+  let vals = Array.make (Stdlib.max 1 !nnz) 0.0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    row_start.(i) <- !k;
+    (* Ascending column order within each row: the accumulation visits
+       the surviving terms in the same order as the dense matvec, and
+       the skipped products are exact zeros added to a nonnegative
+       accumulator, so the result is bit-for-bit identical to
+       [step_temperature_into]. *)
+    for j = 0 to n - 1 do
+      let a = Mat.get d.step i j in
+      if a <> 0.0 then begin
+        cols.(!k) <- j;
+        vals.(!k) <- a;
+        incr k
+      end
+    done
+  done;
+  row_start.(n) <- !k;
+  {
+    n;
+    row_start;
+    cols;
+    vals;
+    s_injection = Vec.copy d.injection;
+    s_drive = Vec.copy d.drive;
+    s_dt = d.dt;
+    injp = Array.make n 0.0;
+  }
+
+let stepper_dt s = s.s_dt
+
+let stepper_load_power s p =
+  if Vec.dim p <> s.n then
+    invalid_arg "Rc_model.stepper_load_power: dimension mismatch";
+  for i = 0 to s.n - 1 do
+    Array.unsafe_set s.injp i
+      (Array.unsafe_get s.s_injection i *. Array.unsafe_get p i)
+  done
+
+let stepper_reload_power_at s p idx =
+  if Vec.dim p <> s.n then
+    invalid_arg "Rc_model.stepper_reload_power_at: dimension mismatch";
+  for k = 0 to Array.length idx - 1 do
+    let i = Array.unsafe_get idx k in
+    s.injp.(i) <- s.s_injection.(i) *. p.(i)
+  done
+
+let stepper_step_loaded_into s t ~dst =
+  if Vec.dim t <> s.n || Vec.dim dst <> s.n then
+    invalid_arg "Rc_model.stepper_step_loaded_into: dimension mismatch";
+  let row_start = s.row_start
+  and cols = s.cols
+  and vals = s.vals
+  and injp = s.injp
+  and drive = s.s_drive in
+  for i = 0 to s.n - 1 do
+    let acc = ref 0.0 in
+    for k = Array.unsafe_get row_start i to Array.unsafe_get row_start (i + 1) - 1 do
+      acc :=
+        !acc
+        +. Array.unsafe_get vals k
+           *. Array.unsafe_get t (Array.unsafe_get cols k)
+    done;
+    (* Same association as [step_temperature_into]:
+       (acc + injection*p) + drive, with the product precomputed by
+       {!stepper_load_power} — bit-identical. *)
+    Array.unsafe_set dst i
+      (!acc +. Array.unsafe_get injp i +. Array.unsafe_get drive i)
+  done
+
+let stepper_step_into s t p ~dst =
+  if Vec.dim t <> s.n || Vec.dim p <> s.n || Vec.dim dst <> s.n then
+    invalid_arg "Rc_model.stepper_step_into: dimension mismatch";
+  let row_start = s.row_start
+  and cols = s.cols
+  and vals = s.vals
+  and injection = s.s_injection
+  and drive = s.s_drive in
+  for i = 0 to s.n - 1 do
+    let acc = ref 0.0 in
+    for k = Array.unsafe_get row_start i to Array.unsafe_get row_start (i + 1) - 1 do
+      acc :=
+        !acc
+        +. Array.unsafe_get vals k
+           *. Array.unsafe_get t (Array.unsafe_get cols k)
+    done;
+    Array.unsafe_set dst i
+      (!acc +. (Array.unsafe_get injection i *. Array.unsafe_get p i)
+      +. Array.unsafe_get drive i)
+  done
+
 let discrete_steady_state d p =
   let n = Mat.rows d.step in
   if Vec.dim p <> n then

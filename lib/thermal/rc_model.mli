@@ -91,3 +91,45 @@ val step_temperature_into : discrete -> Vec.t -> Vec.t -> dst:Vec.t -> unit
 val discrete_steady_state : discrete -> Vec.t -> Vec.t
 (** Fixed point of the recurrence under constant [p]; equals
     {!steady_state} of the continuous model. *)
+
+(** {1 Compiled stepper}
+
+    The step matrix of a physical floorplan is sparse (each node only
+    touches its few lateral neighbours), so simulation loops that
+    apply the recurrence millions of times should not stream the
+    dense [A].  A {!stepper} is the CSR form of [A] bundled with the
+    injection and drive vectors. *)
+
+type stepper
+
+val compile_stepper : discrete -> stepper
+(** One-time compilation of the recurrence into CSR form.  Nonzeros
+    are stored in ascending column order per row, so
+    {!stepper_step_into} produces results bit-for-bit identical to
+    {!step_temperature_into} (the products it skips are exact
+    zeros). *)
+
+val stepper_dt : stepper -> float
+
+val stepper_step_into : stepper -> Vec.t -> Vec.t -> dst:Vec.t -> unit
+(** Like {!step_temperature_into} on the compiled form; performs no
+    heap allocation.  [dst] must not alias the input temperature
+    vector. *)
+
+val stepper_load_power : stepper -> Vec.t -> unit
+(** Cache the power vector's injection products inside the stepper.
+    Simulation loops whose power changes rarely (only when a core
+    starts/stops or frequencies move) load it once per change and
+    step with {!stepper_step_loaded_into} in between. *)
+
+val stepper_reload_power_at : stepper -> Vec.t -> int array -> unit
+(** Recompute the cached injection products only at the given node
+    indexes.  Equivalent to {!stepper_load_power} when every other
+    entry of the power vector is unchanged since the last load —
+    the case for a stepping loop whose power moves only on the core
+    nodes. *)
+
+val stepper_step_loaded_into : stepper -> Vec.t -> dst:Vec.t -> unit
+(** One recurrence application against the last loaded power;
+    bit-identical to {!stepper_step_into} with that power, and
+    allocation-free. *)

@@ -306,6 +306,141 @@ let test_engine_migration_rescues_stalled_tasks () =
   check_int "all complete with migration" 0 with_migration.Sim.Engine.unfinished;
   check_bool "migrations counted" true (with_migration.Sim.Engine.migrations > 0)
 
+let test_engine_cool_headroom_defers_dispatch () =
+  (* Engine-level deferral: a machine started at 95 C with a
+     cool-headroom@90 policy must hold the queued task (all idle cores
+     are too hot), then dispatch it once the idle cores cool below the
+     threshold — so the task completes but with a non-zero wait. *)
+  let m = Lazy.force machine in
+  let task =
+    { Workload.Task.id = 0; arrival = 0.0; work = 1e-3; benchmark = Web }
+  in
+  let trace =
+    { Workload.Trace.tasks = [| task |]; mix_name = "single"; horizon = 0.0 }
+  in
+  let config =
+    { Sim.Engine.default_config with Sim.Engine.t_initial = Some 95.0 }
+  in
+  let ctrl = Lazy.force fast_controller in
+  let hot =
+    Sim.Engine.run ~config m ctrl
+      (Sim.Policy.cool_headroom ~threshold:90.0)
+      trace
+  in
+  check_int "completes after cooling" 0 hot.Sim.Engine.unfinished;
+  check_bool "dispatch deferred while hot" true
+    (Sim.Stats.max_waiting hot.Sim.Engine.stats > 0.0);
+  let eager = Sim.Engine.run ~config m ctrl Sim.Policy.first_idle trace in
+  check_float 1e-12 "immediate without headroom" 0.0
+    (Sim.Stats.max_waiting eager.Sim.Engine.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Golden regression: allocation-free engine vs the reference path *)
+
+let protemp_table () =
+  let freqs v = Protemp.Table.Frequencies (Vec.create 8 v) in
+  Protemp.Table.make ~tstarts:[| 50.0; 80.0; 100.0 |]
+    ~ftargets:[| 2e8; 5e8; 8e8 |]
+    [|
+      [| freqs 2e8; freqs 5e8; freqs 8e8 |];
+      [| freqs 2e8; freqs 5e8; Protemp.Table.Infeasible |];
+      [| freqs 2e8; Protemp.Table.Infeasible; Protemp.Table.Infeasible |];
+    |]
+
+let check_matches_reference name config mk_controller assignment trace =
+  let m = Lazy.force machine in
+  (* Controllers may be stateful (Basic-DFS keeps a reading history),
+     so each run gets a fresh one. *)
+  let fresh = Sim.Engine.run ~config m (mk_controller ()) assignment trace in
+  let oracle =
+    Sim.Engine.run_reference ~config m (mk_controller ()) assignment trace
+  in
+  check_bool (name ^ ": stats bit-for-bit") true
+    (Sim.Stats.equal fresh.Sim.Engine.stats oracle.Sim.Engine.stats);
+  check_int (name ^ ": unfinished") oracle.Sim.Engine.unfinished
+    fresh.Sim.Engine.unfinished;
+  check_int (name ^ ": migrations") oracle.Sim.Engine.migrations
+    fresh.Sim.Engine.migrations;
+  check_int (name ^ ": series length")
+    (Array.length oracle.Sim.Engine.series)
+    (Array.length fresh.Sim.Engine.series);
+  fresh.Sim.Engine.migrations
+
+let test_engine_matches_reference_golden () =
+  let trace = small_trace 1000 in
+  let config = Sim.Engine.default_config in
+  ignore
+    (check_matches_reference "no-tc" config
+       (fun () -> Sim.Policy.workload_following ~fmax:1e9)
+       Sim.Policy.first_idle trace);
+  ignore
+    (check_matches_reference "basic-dfs" config
+       (fun () -> Protemp.Basic_dfs.create ~fmax:1e9 ())
+       Sim.Policy.coolest_first trace);
+  ignore
+    (check_matches_reference "pro-temp" config
+       (fun () -> Protemp.Controller.create ~table:(protemp_table ()))
+       Sim.Policy.coolest_first trace)
+
+let test_engine_matches_reference_with_migration () =
+  let stop_core0 =
+    {
+      Sim.Policy.controller_name = "stop-core0";
+      decide =
+        (fun obs ->
+          Vec.init (Vec.dim obs.Sim.Policy.core_temperatures) (fun c ->
+              if c = 0 then 0.0 else 1e9));
+    }
+  in
+  let config =
+    {
+      Sim.Engine.default_config with
+      Sim.Engine.drain_limit = 2.0;
+      migration = true;
+    }
+  in
+  let migrations =
+    check_matches_reference "migration" config
+      (fun () -> stop_core0)
+      Sim.Policy.first_idle (small_trace 200)
+  in
+  check_bool "migration path exercised" true (migrations > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation discipline *)
+
+let test_engine_zero_alloc_steady_state () =
+  (* Two runs that differ only in how many steady-state steps they
+     take (one long-running task, one epoch at step 0, no arrivals or
+     dispatches after the start) must allocate exactly the same number
+     of minor-heap words: the per-step path allocates nothing. *)
+  let m = Lazy.force machine in
+  let config =
+    {
+      Sim.Engine.default_config with
+      Sim.Engine.dfs_period = 100.0;
+      drain_limit = 0.0;
+      record_series = false;
+    }
+  in
+  let ctrl = Lazy.force fast_controller in
+  let words horizon =
+    let task =
+      { Workload.Task.id = 0; arrival = 0.0; work = 100.0; benchmark = Web }
+    in
+    let trace =
+      { Workload.Trace.tasks = [| task |]; mix_name = "synthetic"; horizon }
+    in
+    (* Warm-up run forces any one-time lazy initialization. *)
+    ignore (Sim.Engine.run ~config m ctrl Sim.Policy.first_idle trace);
+    let before = Gc.minor_words () in
+    ignore (Sim.Engine.run ~config m ctrl Sim.Policy.first_idle trace);
+    Gc.minor_words () -. before
+  in
+  let short = words 0.2 and long = words 0.4 in
+  (* 0.2 s more simulated time = 500 more thermal steps. *)
+  check_float 0.0 "extra minor words for 500 extra steps" 0.0 (long -. short)
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -397,6 +532,17 @@ let () =
             test_engine_rejects_nan_frequency;
           Alcotest.test_case "migration rescues stalled tasks" `Quick
             test_engine_migration_rescues_stalled_tasks;
+          Alcotest.test_case "cool-headroom defers dispatch" `Quick
+            test_engine_cool_headroom_defers_dispatch;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "matches reference (no-tc, basic, pro)" `Quick
+            test_engine_matches_reference_golden;
+          Alcotest.test_case "matches reference with migration" `Quick
+            test_engine_matches_reference_with_migration;
+          Alcotest.test_case "steady-state step allocates nothing" `Quick
+            test_engine_zero_alloc_steady_state;
         ] );
       ("properties", props);
     ]
