@@ -88,14 +88,31 @@ let sim key ?assignment controller trace =
       Hashtbl.add runs key r;
       r
 
+(* Per-epoch temperature series for the time-series figures, gathered
+   by a recorder probe (runs are cheap enough to redo per figure). *)
+let recorded : (string, Sim.Probe.sample array) Hashtbl.t = Hashtbl.create 4
+
+let sim_series key ?(assignment = Sim.Policy.first_idle) controller trace =
+  match Hashtbl.find_opt recorded key with
+  | Some s -> s
+  | None ->
+      let probe, series = Sim.Probe.recorder () in
+      let _ : Sim.Engine.result =
+        Sim.Engine.run ~probes:[ probe ] machine (controller ()) assignment
+          trace
+      in
+      let s = series () in
+      Hashtbl.add recorded key s;
+      s
+
 (* ------------------------------------------------------------------ *)
 (* Figs. 1 and 2: temperature snapshot of processor P1 over time. *)
 
-let hottest_series result =
+let hottest_series series =
   Array.map
-    (fun s ->
-      (s.Sim.Engine.at, s.Sim.Engine.core_temperatures.(0)))
-    result.Sim.Engine.series
+    (fun (s : Sim.Probe.sample) ->
+      (s.Sim.Probe.at, s.Sim.Probe.core_temperatures.(0)))
+    series
 
 let print_series name series =
   Printf.printf "%s (time in 100s of ms, temperature of P1 in C):\n" name;
@@ -113,7 +130,7 @@ let print_series name series =
 let fig1 () =
   section "Fig. 1 — thermal snapshot under traditional (Basic-) DFS";
   let r = sim "basic/compute" basic_dfs trace_compute in
-  print_series "Basic-DFS" (hottest_series r);
+  print_series "Basic-DFS" (hottest_series (sim_series "basic/compute" basic_dfs trace_compute));
   let peak = Sim.Stats.peak_temperature r.Sim.Engine.stats in
   Printf.printf "  peak %.1f C; violations of the 100 C limit: %d steps\n" peak
     (Sim.Stats.violation_steps r.Sim.Engine.stats);
@@ -123,7 +140,7 @@ let fig1 () =
 let fig2 () =
   section "Fig. 2 — thermal snapshot under Pro-Temp";
   let r = sim "protemp/compute" pro_temp trace_compute in
-  print_series "Pro-Temp" (hottest_series r);
+  print_series "Pro-Temp" (hottest_series (sim_series "protemp/compute" pro_temp trace_compute));
   let peak = Sim.Stats.peak_temperature r.Sim.Engine.stats in
   Printf.printf "  peak %.1f C; violations: %d steps\n" peak
     (Sim.Stats.violation_steps r.Sim.Engine.stats);
@@ -199,19 +216,18 @@ let fig7 () =
 
 let fig8 () =
   section "Fig. 8 — temperatures of P1 and P2 over time (Pro-Temp)";
-  let r = sim "protemp/mix" pro_temp trace_mix in
-  let series = r.Sim.Engine.series in
+  let series = sim_series "protemp/mix" pro_temp trace_mix in
   let n = Array.length series in
   let stride = Stdlib.max 1 (n / 25) in
   Printf.printf "  %8s %8s %8s %8s\n" "t (s)" "P1 (C)" "P2 (C)" "|P1-P2|";
   let worst = ref 0.0 in
   Array.iteri
     (fun k s ->
-      let p1 = s.Sim.Engine.core_temperatures.(0)
-      and p2 = s.Sim.Engine.core_temperatures.(1) in
+      let p1 = s.Sim.Probe.core_temperatures.(0)
+      and p2 = s.Sim.Probe.core_temperatures.(1) in
       worst := Float.max !worst (Float.abs (p1 -. p2));
       if k mod stride = 0 && k / stride < 25 then
-        Printf.printf "  %8.1f %8.2f %8.2f %8.2f\n" s.Sim.Engine.at p1 p2
+        Printf.printf "  %8.1f %8.2f %8.2f %8.2f\n" s.Sim.Probe.at p1 p2
           (Float.abs (p1 -. p2)))
     series;
   Printf.printf "  worst |P1 - P2| over the whole run: %.2f C\n%!" !worst;

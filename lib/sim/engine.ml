@@ -5,7 +5,6 @@ type config = {
   tmax : float;
   t_initial : float option;
   drain_limit : float;
-  record_series : bool;
   migration : bool;
 }
 
@@ -15,16 +14,11 @@ let default_config =
     tmax = 100.0;
     t_initial = None;
     drain_limit = 60.0;
-    record_series = true;
     migration = false;
   }
 
-type sample = { at : float; core_temperatures : Vec.t }
-
 type result = {
   stats : Stats.t;
-  series : sample array;
-  frequency_log : (float * Vec.t) array;
   unfinished : int;
   migrations : int;
   wall_clock : float;
@@ -41,9 +35,11 @@ type result = {
    straightforward allocating implementation is kept below as
    [run_reference]; a golden test checks both produce bit-identical
    statistics. *)
-let run ?(config = default_config) (machine : Machine.t) controller assignment
-    trace =
+let run ?(config = default_config) ?(probes = []) (machine : Machine.t)
+    controller assignment trace =
   let started = Unix.gettimeofday () in
+  let epoch_fns = Array.of_list (List.filter_map (fun p -> p.Probe.on_epoch) probes) in
+  let step_fns = Array.of_list (List.filter_map (fun p -> p.Probe.on_step) probes) in
   let thermal = machine.Machine.thermal in
   let dt = thermal.Thermal.Rc_model.dt in
   let steps_per_epoch =
@@ -102,10 +98,20 @@ let run ?(config = default_config) (machine : Machine.t) controller assignment
   let q_tail = ref 0 in
   let completed = ref 0 in
   let stats = Stats.create ~n_cores ~tmax:config.tmax () in
-  let series = ref [] in
-  let freq_log = ref [] in
   let migrations = ref 0 in
   let deadline = trace.Workload.Trace.horizon +. config.drain_limit in
+  (* One mutable view refilled in place each step keeps attached
+     probes cheap; with no step probes the loop never touches it. *)
+  let have_step = Array.length step_fns > 0 in
+  let step_view =
+    {
+      Probe.at = 0.0;
+      dt;
+      temperatures = !temp;
+      core_nodes = machine.Machine.core_nodes;
+      chip_power = 0.0;
+    }
+  in
   let queued_work () =
     (* Same fold order as the reference's front-to-back queue walk. *)
     let acc = ref 0.0 in
@@ -216,11 +222,9 @@ let run ?(config = default_config) (machine : Machine.t) controller assignment
       done;
       power_dirty := true;
       Array.fill busy_acc 0 n_cores 0.0;
-      if config.record_series then begin
-        series :=
-          { at = time; core_temperatures = obs.Policy.core_temperatures }
-          :: !series;
-        freq_log := (time, Vec.copy frequencies) :: !freq_log
+      if Array.length epoch_fns > 0 then begin
+        let view = { Probe.time; observation = obs; frequencies } in
+        Array.iter (fun f -> f view) epoch_fns
       end;
       (* Optional task migration (a policy the paper composes with):
          a task stuck on a stopped core moves to the coolest idle core
@@ -292,6 +296,14 @@ let run ?(config = default_config) (machine : Machine.t) controller assignment
     energy_acc := !energy_acc +. (!chip_power *. dt);
     Stats.record_step_nodes stats ~dt ~temperatures:!temp
       ~nodes:machine.Machine.core_nodes;
+    if have_step then begin
+      step_view.Probe.at <- time;
+      step_view.Probe.temperatures <- !temp;
+      step_view.Probe.chip_power <- !chip_power;
+      for i = 0 to Array.length step_fns - 1 do
+        (Array.unsafe_get step_fns i) step_view
+      done
+    end;
     decr epoch_countdown;
     incr step
     end
@@ -299,10 +311,9 @@ let run ?(config = default_config) (machine : Machine.t) controller assignment
   (* [0.0 +. e] is bitwise [e] for the nonnegative chip energy, so the
      one-shot flush matches the reference's per-step accumulation. *)
   Stats.record_energy stats !energy_acc;
+  List.iter (fun p -> Option.iter (fun f -> f ()) p.Probe.on_finish) probes;
   {
     stats;
-    series = Array.of_list (List.rev !series);
-    frequency_log = Array.of_list (List.rev !freq_log);
     unfinished = n_tasks - !completed;
     migrations = !migrations;
     wall_clock = Unix.gettimeofday () -. started;
@@ -339,8 +350,6 @@ let run_reference ?(config = default_config) (machine : Machine.t) controller
   let completed = ref 0 in
   let busy_acc = Array.make n_cores 0.0 in
   let stats = Stats.create ~n_cores ~tmax:config.tmax () in
-  let series = ref [] in
-  let freq_log = ref [] in
   let migrations = ref 0 in
   let deadline = trace.Workload.Trace.horizon +. config.drain_limit in
   let idle_cores () =
@@ -405,12 +414,6 @@ let run_reference ?(config = default_config) (machine : Machine.t) controller
           (fun x -> Float.min machine.Machine.fmax (Float.max 0.0 x))
           f;
       Array.fill busy_acc 0 n_cores 0.0;
-      if config.record_series then begin
-        series :=
-          { at = time; core_temperatures = obs.Policy.core_temperatures }
-          :: !series;
-        freq_log := (time, Vec.copy !frequencies) :: !freq_log
-      end;
       if config.migration then begin
         let core_temperatures = Machine.core_temperatures machine !temp in
         Array.iteri
@@ -483,9 +486,18 @@ let run_reference ?(config = default_config) (machine : Machine.t) controller
   done;
   {
     stats;
-    series = Array.of_list (List.rev !series);
-    frequency_log = Array.of_list (List.rev !freq_log);
     unfinished = n_tasks - !completed;
     migrations = !migrations;
     wall_clock = Unix.gettimeofday () -. started;
   }
+
+(* Convenience for the common "give me the paper's time series"
+   shape: a run with a recorder and a frequency-log probe attached. *)
+let run_recorded ?config machine controller assignment trace =
+  let rec_probe, series = Probe.recorder () in
+  let log_probe, frequency_log = Probe.frequency_log () in
+  let result =
+    run ?config ~probes:[ rec_probe; log_probe ] machine controller assignment
+      trace
+  in
+  (result, series (), frequency_log ())

@@ -18,9 +18,6 @@ type config = {
   drain_limit : float;
       (** Extra simulated seconds allowed after the last arrival
           before giving up on stragglers. *)
-  record_series : bool;
-      (** Record per-epoch core temperatures and frequencies (the
-          Figs. 1-2, 8 time series). *)
   migration : bool;
       (** Move tasks off stopped cores onto the coolest idle running
           core at each DFS boundary — the task-migration policy class
@@ -30,15 +27,10 @@ type config = {
 
 val default_config : config
 (** [dfs_period = 0.1], [tmax = 100.0], ambient start,
-    [drain_limit = 60.0], series recording on, migration off. *)
-
-type sample = { at : float; core_temperatures : Vec.t }
+    [drain_limit = 60.0], migration off. *)
 
 type result = {
   stats : Stats.t;
-  series : sample array;  (** One per DFS epoch (empty if disabled). *)
-  frequency_log : (float * Vec.t) array;
-      (** Controller decisions per epoch (empty if disabled). *)
   unfinished : int;  (** Tasks not completed by the drain deadline. *)
   migrations : int;  (** Tasks moved between cores (0 unless enabled). *)
   wall_clock : float;  (** Host seconds spent simulating. *)
@@ -46,6 +38,7 @@ type result = {
 
 val run :
   ?config:config ->
+  ?probes:Probe.t list ->
   Machine.t ->
   Policy.controller ->
   Policy.assignment ->
@@ -61,7 +54,23 @@ val run :
     per-core run state are all preallocated, and the thermal
     recurrence runs through {!Thermal.Rc_model.compile_stepper}.
     Allocation only happens at cold edges (arrivals, epoch
-    boundaries, dispatch). *)
+    boundaries, dispatch).
+
+    [probes] observe the run ({!Probe.t}): each epoch callback fires
+    at every DFS boundary with what the controller saw and decided,
+    each step callback after every thermal step, and finish callbacks
+    once at the end, in probe order. *)
+
+val run_recorded :
+  ?config:config ->
+  Machine.t ->
+  Policy.controller ->
+  Policy.assignment ->
+  Workload.Trace.t ->
+  result * Probe.sample array * (float * Vec.t) array
+(** {!run} with a {!Probe.recorder} and a {!Probe.frequency_log}
+    attached: the per-epoch temperature series and controller
+    decisions that the paper's time-series figures plot. *)
 
 val run_reference :
   ?config:config ->

@@ -200,15 +200,93 @@ let test_engine_zero_frequency_never_finishes () =
 let test_engine_series_recorded () =
   let m = Lazy.force machine in
   let trace = small_trace 500 in
-  let r =
-    Sim.Engine.run m (Lazy.force fast_controller) Sim.Policy.first_idle trace
+  let _, series, frequency_log =
+    Sim.Engine.run_recorded m (Lazy.force fast_controller)
+      Sim.Policy.first_idle trace
   in
-  check_bool "series non-empty" true (Array.length r.Sim.Engine.series > 0);
+  check_bool "series non-empty" true (Array.length series > 0);
   check_bool "one sample per epoch" true
-    (Array.length r.Sim.Engine.series = Array.length r.Sim.Engine.frequency_log);
+    (Array.length series = Array.length frequency_log);
   (* Samples are 100 ms apart. *)
-  let s = r.Sim.Engine.series in
-  check_float 1e-9 "epoch spacing" 0.1 (s.(1).Sim.Engine.at -. s.(0).Sim.Engine.at)
+  check_float 1e-9 "epoch spacing" 0.1
+    (series.(1).Sim.Probe.at -. series.(0).Sim.Probe.at)
+
+let test_probe_stats_matches_engine () =
+  (* The stats probe sees the same steps as the engine's internal
+     accumulator, in the same order, so the thermal and energy fields
+     must agree bit-for-bit. *)
+  let m = Lazy.force machine in
+  let trace = small_trace 500 in
+  let probe, s =
+    Sim.Probe.stats ~n_cores:m.Sim.Machine.n_cores
+      ~tmax:Sim.Engine.default_config.Sim.Engine.tmax ()
+  in
+  let r =
+    Sim.Engine.run ~probes:[ probe ] m (Lazy.force fast_controller)
+      Sim.Policy.first_idle trace
+  in
+  let e = r.Sim.Engine.stats in
+  check_int "steps" (Sim.Stats.total_steps e) (Sim.Stats.total_steps s);
+  check_int "violations" (Sim.Stats.violation_steps e)
+    (Sim.Stats.violation_steps s);
+  check_bool "peak identical" true
+    (Sim.Stats.peak_temperature e = Sim.Stats.peak_temperature s);
+  check_bool "energy identical" true
+    (Sim.Stats.energy e = Sim.Stats.energy s)
+
+let test_probe_thermal_audit_agrees () =
+  let m = Lazy.force machine in
+  let trace = small_trace 500 in
+  let tmax = 60.0 in
+  let config = { Sim.Engine.default_config with Sim.Engine.tmax } in
+  let probe, audit = Sim.Probe.thermal_audit ~tmax () in
+  let r =
+    Sim.Engine.run ~config ~probes:[ probe ] m (Lazy.force fast_controller)
+      Sim.Policy.first_idle trace
+  in
+  let a = audit () in
+  check_int "audited every step"
+    (Sim.Stats.total_steps r.Sim.Engine.stats)
+    a.Sim.Probe.audited_steps;
+  check_int "violations agree"
+    (Sim.Stats.violation_steps r.Sim.Engine.stats)
+    a.Sim.Probe.violating_steps;
+  (if a.Sim.Probe.violating_steps > 0 then
+     match a.Sim.Probe.first_violation with
+     | None -> Alcotest.fail "violations but no first-violation time"
+     | Some t -> check_bool "first violation in range" true (t >= 0.0));
+  check_bool "worst excess sane" true (a.Sim.Probe.worst_excess >= 0.0)
+
+let test_probe_jsonl_streams () =
+  let m = Lazy.force machine in
+  let trace = small_trace 200 in
+  let path = Filename.temp_file "protemp_probe" ".jsonl" in
+  let oc = open_out path in
+  let every = 50 in
+  let r =
+    Sim.Engine.run ~probes:[ Sim.Probe.jsonl ~every oc ] m
+      (Lazy.force fast_controller) Sim.Policy.first_idle trace
+  in
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       ignore line;
+       incr lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let steps = Sim.Stats.total_steps r.Sim.Engine.stats in
+  check_int "one line per [every] steps" ((steps + every - 1) / every) !lines
+
+let test_probe_requires_callback () =
+  check_bool "empty probe rejected" true
+    (match Sim.Probe.make "empty" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 let test_engine_temperatures_stay_physical () =
   let m = Lazy.force machine in
@@ -361,9 +439,6 @@ let check_matches_reference name config mk_controller assignment trace =
     fresh.Sim.Engine.unfinished;
   check_int (name ^ ": migrations") oracle.Sim.Engine.migrations
     fresh.Sim.Engine.migrations;
-  check_int (name ^ ": series length")
-    (Array.length oracle.Sim.Engine.series)
-    (Array.length fresh.Sim.Engine.series);
   fresh.Sim.Engine.migrations
 
 let test_engine_matches_reference_golden () =
@@ -420,7 +495,6 @@ let test_engine_zero_alloc_steady_state () =
       Sim.Engine.default_config with
       Sim.Engine.dfs_period = 100.0;
       drain_limit = 0.0;
-      record_series = false;
     }
   in
   let ctrl = Lazy.force fast_controller in
@@ -534,6 +608,17 @@ let () =
             test_engine_migration_rescues_stalled_tasks;
           Alcotest.test_case "cool-headroom defers dispatch" `Quick
             test_engine_cool_headroom_defers_dispatch;
+        ] );
+      ( "probes",
+        [
+          Alcotest.test_case "stats probe matches engine" `Quick
+            test_probe_stats_matches_engine;
+          Alcotest.test_case "thermal audit agrees with stats" `Quick
+            test_probe_thermal_audit_agrees;
+          Alcotest.test_case "jsonl sink streams" `Quick
+            test_probe_jsonl_streams;
+          Alcotest.test_case "probe needs a callback" `Quick
+            test_probe_requires_callback;
         ] );
       ( "golden",
         [
