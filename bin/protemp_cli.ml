@@ -305,9 +305,101 @@ let simulate_cmd =
       const run $ controller $ table_file $ mix $ tasks $ seed $ coolest
       $ ladder $ migration)
 
+(* ----- campaign ----- *)
+
+let campaign_cmd =
+  let table_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "table" ] ~docv:"FILE"
+          ~doc:"Table CSV; when given, Pro-Temp joins the controller grid.")
+  in
+  let mixes =
+    Arg.(
+      value
+      & opt (list string) [ "mix" ]
+      & info [ "mixes" ] ~docv:"NAME1,NAME2,..."
+          ~doc:"Workload scenarios: web, multimedia, compute or mix.")
+  in
+  let tasks =
+    Arg.(
+      value & opt int 20000
+      & info [ "tasks" ] ~docv:"N" ~doc:"Tasks per scenario trace.")
+  in
+  let seed =
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"N" ~doc:"Trace seed.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Run grid cells on N domains (default: PROTEMP_DOMAINS or the \
+             machine's core count; 1 = sequential).")
+  in
+  let run table_file mixes tasks seed domains =
+    let machine = Lazy.force machine in
+    let fmax = machine.Sim.Machine.fmax in
+    let controllers =
+      [
+        ("no-tc", fun () -> Protemp.No_tc.create ~fmax);
+        ("basic-dfs", fun () -> Protemp.Basic_dfs.create ~fmax ());
+      ]
+      @
+      match table_file with
+      | None -> []
+      | Some f ->
+          let table = load_table f in
+          [ ("pro-temp", fun () -> Protemp.Controller.create ~table) ]
+    in
+    let scenarios =
+      List.map
+        (fun name ->
+          let mix =
+            try Workload.Mix.by_name name
+            with Not_found -> failwith ("unknown mix " ^ name)
+          in
+          Sim.Campaign.scenario ~seed:(Int64.of_int seed) ~n_tasks:tasks ~name
+            mix)
+        mixes
+    in
+    let spec =
+      {
+        Sim.Campaign.controllers;
+        assignments = [ Sim.Policy.first_idle; Sim.Policy.coolest_first ];
+        scenarios;
+        config = Sim.Engine.default_config;
+      }
+    in
+    Printf.eprintf "%d cells on %d domain(s)\n%!" (Sim.Campaign.cells spec)
+      (match domains with
+      | Some d -> d
+      | None -> Parallel.Pool.default_domains ());
+    let t0 = Unix.gettimeofday () in
+    let cells =
+      Sim.Campaign.run ?domains
+        ~on_cell:(fun c ->
+          Printf.eprintf "  %-12s %-14s %-10s %.2fs\n%!"
+            c.Sim.Campaign.controller_name c.Sim.Campaign.assignment_name
+            c.Sim.Campaign.scenario_name
+            c.Sim.Campaign.result.Sim.Engine.wall_clock)
+        ~machine spec
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Format.printf "%a" Sim.Campaign.pp_summary cells;
+    Printf.printf "%d cells in %.1f s\n" (Array.length cells) wall;
+    0
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Fan a controller x assignment x workload grid across domains.")
+    Term.(const run $ table_file $ mixes $ tasks $ seed $ domains)
+
 let () =
   let doc = "Pro-Temp: convex-optimization thermal control of multi-cores" in
   let info = Cmd.info "protemp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ solve_cmd; frontier_cmd; table_cmd; validate_cmd;
-                       simulate_cmd ]))
+                       simulate_cmd; campaign_cmd ]))

@@ -5,12 +5,15 @@
    table of the paper's Fig. 4 — then audit every entry against the
    thermal simulator.
 
-   Phase 2 (run time): drive a 20,000-task mixed-benchmark trace
-   through the simulator under the table-driven controller and report
-   the statistics the paper reports.
+   Phase 2 (run time): fan the paper's evaluation grid — No-TC vs
+   Basic-DFS vs Pro-Temp, crossed with the simple and the
+   temperature-aware assignment policies, over the mixed-benchmark
+   trace — across domains with Sim.Campaign, and report the
+   statistics the paper reports for every cell.
 
    Run with:  dune exec examples/niagara_campaign.exe
-   (Phase 1 solves ~60 convex programs; expect a couple of minutes.) *)
+   (Phase 1 solves ~60 convex programs; expect a couple of minutes.
+   Set PROTEMP_DOMAINS to spread both phases over more domains.) *)
 
 let () =
   let machine = Sim.Machine.niagara () in
@@ -53,15 +56,45 @@ let () =
     audit.Protemp.Guarantee.cells_checked
     audit.Protemp.Guarantee.worst_margin;
 
-  print_endline "=== Phase 2: run-time control ===";
-  let trace =
-    Workload.Trace.generate ~seed:2008L ~n_tasks:20000 Workload.Mix.paper_mix
+  print_endline "=== Phase 2: run-time campaign ===";
+  let fmax = machine.Sim.Machine.fmax in
+  let campaign =
+    {
+      Sim.Campaign.controllers =
+        [
+          ("no-tc", fun () -> Protemp.No_tc.create ~fmax);
+          ("basic-dfs", fun () -> Protemp.Basic_dfs.create ~fmax ());
+          ("pro-temp", fun () -> Protemp.Controller.create ~table);
+        ];
+      assignments = [ Sim.Policy.first_idle; Sim.Policy.coolest_first ];
+      scenarios =
+        [
+          Sim.Campaign.scenario ~seed:2008L ~n_tasks:20000 ~name:"mix"
+            Workload.Mix.paper_mix;
+        ];
+      config = Sim.Engine.default_config;
+    }
   in
-  Format.printf "Trace: %a@.@." Workload.Trace.pp_statistics
-    (Workload.Trace.statistics trace ~n_cores:8);
-  let controller = Protemp.Controller.create ~table in
-  let r = Sim.Engine.run machine controller Sim.Policy.first_idle trace in
-  Format.printf "%a@." Sim.Stats.pp r.Sim.Engine.stats;
-  Printf.printf "Unfinished tasks: %d\n" r.Sim.Engine.unfinished;
-  Printf.printf "Violating thermal steps: %d (the guarantee: always 0)\n"
-    (Sim.Stats.violation_steps r.Sim.Engine.stats)
+  Printf.printf "(%d cells on %d domain(s))\n%!"
+    (Sim.Campaign.cells campaign)
+    (Parallel.Pool.default_domains ());
+  let t0 = Unix.gettimeofday () in
+  let cells =
+    Sim.Campaign.run
+      ~on_cell:(fun c ->
+        Printf.printf "  %-10s x %-14s done in %.1f s\n%!"
+          c.Sim.Campaign.controller_name c.Sim.Campaign.assignment_name
+          c.Sim.Campaign.result.Sim.Engine.wall_clock)
+      ~machine campaign
+  in
+  Printf.printf "Campaign finished in %.1f s\n\n%!"
+    (Unix.gettimeofday () -. t0);
+  Format.printf "%a@." Sim.Campaign.pp_summary cells;
+  Array.iter
+    (fun c ->
+      if c.Sim.Campaign.controller_name = "pro-temp" then
+        Printf.printf
+          "pro-temp/%s: %d violating thermal steps (the guarantee: always 0)\n"
+          c.Sim.Campaign.assignment_name
+          (Sim.Stats.violation_steps c.Sim.Campaign.result.Sim.Engine.stats))
+    cells

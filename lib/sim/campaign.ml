@@ -1,0 +1,103 @@
+type scenario = {
+  scenario_name : string;
+  seed : int64;
+  n_tasks : int;
+  mix : Workload.Mix.t;
+}
+
+let scenario ?(seed = 2008L) ?(n_tasks = 20_000) ~name mix =
+  if n_tasks <= 0 then invalid_arg "Campaign.scenario: non-positive n_tasks";
+  { scenario_name = name; seed; n_tasks; mix }
+
+type spec = {
+  controllers : (string * (unit -> Policy.controller)) list;
+  assignments : Policy.assignment list;
+  scenarios : scenario list;
+  config : Engine.config;
+}
+
+let cells spec =
+  List.length spec.controllers
+  * List.length spec.assignments
+  * List.length spec.scenarios
+
+type cell = {
+  controller_name : string;
+  assignment_name : string;
+  scenario_name : string;
+  index : int;
+  result : Engine.result;
+}
+
+let run ?domains ?on_cell ~machine spec =
+  if spec.controllers = [] then invalid_arg "Campaign.run: no controllers";
+  if spec.assignments = [] then invalid_arg "Campaign.run: no assignments";
+  if spec.scenarios = [] then invalid_arg "Campaign.run: no scenarios";
+  let domains =
+    match domains with Some d -> d | None -> Parallel.Pool.default_domains ()
+  in
+  let controllers = Array.of_list spec.controllers in
+  let assignments = Array.of_list spec.assignments in
+  let scenarios = Array.of_list spec.scenarios in
+  (* Traces are immutable once generated, so each scenario's trace is
+     built once up front and shared read-only across the grid. *)
+  let traces =
+    Array.map
+      (fun s ->
+        Workload.Trace.generate ~n_cores:machine.Machine.n_cores ~seed:s.seed
+          ~n_tasks:s.n_tasks s.mix)
+      scenarios
+  in
+  let n_assign = Array.length assignments in
+  let n_scen = Array.length scenarios in
+  let report =
+    match on_cell with
+    | None -> fun _ -> ()
+    | Some f ->
+        if domains <= 1 then f
+        else
+          (* Cells complete out of order; serialize the callback so
+             user code never runs concurrently with itself. *)
+          let m = Mutex.create () in
+          fun c ->
+            Mutex.lock m;
+            Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f c)
+  in
+  let run_cell index =
+    let ci = index / (n_assign * n_scen) in
+    let ai = index / n_scen mod n_assign in
+    let si = index mod n_scen in
+    let name, make_controller = controllers.(ci) in
+    let assignment = assignments.(ai) in
+    let result =
+      Engine.run ~config:spec.config machine (make_controller ()) assignment
+        traces.(si)
+    in
+    let cell =
+      {
+        controller_name = name;
+        assignment_name = assignment.Policy.assignment_name;
+        scenario_name = scenarios.(si).scenario_name;
+        index;
+        result;
+      }
+    in
+    report cell;
+    cell
+  in
+  Parallel.Pool.map ~domains run_cell
+    (Array.length controllers * n_assign * n_scen)
+
+let pp_summary ppf cells =
+  Format.fprintf ppf "%-12s %-14s %-10s %9s %9s %9s %9s %6s@."
+    "controller" "assignment" "scenario" "peak C" "above s" "wait ms"
+    "energy J" "undone";
+  Array.iter
+    (fun c ->
+      let s = c.result.Engine.stats in
+      Format.fprintf ppf "%-12s %-14s %-10s %9.2f %9.2f %9.3f %9.1f %6d@."
+        c.controller_name c.assignment_name c.scenario_name
+        (Stats.peak_temperature s) (Stats.time_above s)
+        (Stats.mean_waiting s *. 1e3)
+        (Stats.energy s) c.result.Engine.unfinished)
+    cells

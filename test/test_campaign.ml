@@ -1,0 +1,110 @@
+(* Campaign driver: grid shape, ordering, and the determinism
+   guarantee — identical per-cell Stats.t for any domain count,
+   mirroring the offline table's domain-invariance check. *)
+
+let machine = lazy (Sim.Machine.niagara ())
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fmax = 1e9
+
+let small_spec ?(n_tasks = 400) () =
+  {
+    Sim.Campaign.controllers =
+      [
+        ("fmax", fun () -> Sim.Policy.fixed_frequency ~fmax fmax);
+        ("half", fun () -> Sim.Policy.fixed_frequency ~fmax (fmax /. 2.0));
+        ("no-tc", fun () -> Sim.Policy.workload_following ~fmax);
+      ];
+    assignments = [ Sim.Policy.first_idle; Sim.Policy.coolest_first ];
+    scenarios =
+      [
+        Sim.Campaign.scenario ~seed:11L ~n_tasks ~name:"web" Workload.Mix.web;
+        Sim.Campaign.scenario ~seed:12L ~n_tasks ~name:"compute"
+          Workload.Mix.compute_intensive;
+      ];
+    config = Sim.Engine.default_config;
+  }
+
+let test_grid_shape_and_order () =
+  let m = Lazy.force machine in
+  let spec = small_spec () in
+  let cells = Sim.Campaign.run ~domains:1 ~machine:m spec in
+  check_int "cell count" (Sim.Campaign.cells spec) (Array.length cells);
+  check_int "cell count is the product" 12 (Array.length cells);
+  (* Controller-major: index = ((ci * n_assign) + ai) * n_scen + si. *)
+  Array.iteri
+    (fun i c -> check_int "index matches position" i c.Sim.Campaign.index)
+    cells;
+  check_bool "first cell" true
+    (cells.(0).Sim.Campaign.controller_name = "fmax"
+    && cells.(0).Sim.Campaign.assignment_name = "first-idle"
+    && cells.(0).Sim.Campaign.scenario_name = "web");
+  check_bool "scenario varies fastest" true
+    (cells.(1).Sim.Campaign.controller_name = "fmax"
+    && cells.(1).Sim.Campaign.assignment_name = "first-idle"
+    && cells.(1).Sim.Campaign.scenario_name = "compute");
+  check_bool "last cell" true
+    (cells.(11).Sim.Campaign.controller_name = "no-tc"
+    && cells.(11).Sim.Campaign.assignment_name = "coolest-first"
+    && cells.(11).Sim.Campaign.scenario_name = "compute")
+
+let test_domain_count_invariant () =
+  (* The acceptance bar: per-cell Stats.t identical for any
+     PROTEMP_DOMAINS value.  Domain counts beyond the hardware just
+     oversubscribe; results must not change. *)
+  let m = Lazy.force machine in
+  let spec = small_spec () in
+  let base = Sim.Campaign.run ~domains:1 ~machine:m spec in
+  List.iter
+    (fun domains ->
+      let cells = Sim.Campaign.run ~domains ~machine:m spec in
+      check_int "same cell count" (Array.length base) (Array.length cells);
+      Array.iteri
+        (fun i c ->
+          check_bool
+            (Printf.sprintf "cell %d stats identical at %d domains" i domains)
+            true
+            (Sim.Stats.equal base.(i).Sim.Campaign.result.Sim.Engine.stats
+               c.Sim.Campaign.result.Sim.Engine.stats);
+          check_int "unfinished identical"
+            base.(i).Sim.Campaign.result.Sim.Engine.unfinished
+            c.Sim.Campaign.result.Sim.Engine.unfinished)
+        cells)
+    [ 2; 4 ]
+
+let test_on_cell_covers_grid () =
+  let m = Lazy.force machine in
+  let spec = small_spec ~n_tasks:100 () in
+  let seen = Hashtbl.create 16 in
+  let cells =
+    Sim.Campaign.run ~domains:2
+      ~on_cell:(fun c -> Hashtbl.replace seen c.Sim.Campaign.index ())
+      ~machine:m spec
+  in
+  check_int "every cell reported" (Array.length cells) (Hashtbl.length seen)
+
+let test_empty_spec_rejected () =
+  let m = Lazy.force machine in
+  let spec = { (small_spec ()) with Sim.Campaign.controllers = [] } in
+  check_bool "no controllers rejected" true
+    (match Sim.Campaign.run ~domains:1 ~machine:m spec with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "grid shape and order" `Quick
+            test_grid_shape_and_order;
+          Alcotest.test_case "domain-count invariant" `Quick
+            test_domain_count_invariant;
+          Alcotest.test_case "on_cell covers the grid" `Quick
+            test_on_cell_covers_grid;
+          Alcotest.test_case "empty spec rejected" `Quick
+            test_empty_spec_rejected;
+        ] );
+    ]
