@@ -1,10 +1,12 @@
 .PHONY: ci build test bench clean
 
 # Everything the tier-1 gate runs: full build, then the test suites.
-# `dune runtest` also executes the sweep benchmark in fast mode
-# (PROTEMP_BENCH_FAST=1, see bench/dune), which cross-checks the
-# compiled vs reference barrier backends and the parallel vs
-# sequential tables on a tiny grid.
+# `dune runtest` also executes both benchmarks in fast mode
+# (PROTEMP_BENCH_FAST=1, see bench/dune): the sweep smoke cross-checks
+# the compiled vs reference barrier backends and the parallel vs
+# sequential tables, and the sim smoke checks the allocation-free
+# engine against the reference engine and the campaign across domain
+# counts.
 ci: build test
 
 build:
@@ -13,9 +15,10 @@ build:
 test:
 	dune runtest
 
-# Full-grid benchmark; rewrites BENCH_sweep.json.
+# Full-size benchmarks; rewrite BENCH_sweep.json / BENCH_sim.json.
 bench:
 	dune exec bench/sweep_bench.exe
+	dune exec bench/sim_bench.exe
 
 clean:
 	dune clean

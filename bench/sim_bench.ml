@@ -1,0 +1,289 @@
+(* Simulation-stack benchmark: times the allocation-free stepping core
+   against the reference (pre-refactor) engine, measures per-step
+   allocation and probe overhead, and scales a campaign across domain
+   counts, emitting BENCH_sim.json so the perf trajectory can be
+   tracked across PRs.
+
+   Every timed pair is also a correctness check: the refactored engine
+   must reproduce the reference Stats.t bit-for-bit, and the campaign
+   must return identical cells at every domain count — any mismatch
+   exits non-zero.
+
+   Run with:  dune exec bench/sim_bench.exe              (full sizes)
+              PROTEMP_BENCH_FAST=1 dune exec bench/sim_bench.exe
+              (small sizes, seconds — wired into `dune runtest` as a
+              smoke test) *)
+
+let fast = Sys.getenv_opt "PROTEMP_BENCH_FAST" <> None
+let machine = Sim.Machine.niagara ()
+let fmax = machine.Sim.Machine.fmax
+let controller () = Sim.Policy.fixed_frequency ~fmax fmax
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    Printf.printf "  [FAIL] %s\n%!" what;
+    incr failures
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state stepping floor: one long-running task keeps every
+   cold edge (arrivals, dispatch, completions) out of the loop, so
+   this measures the pure step path — the number the allocation-free
+   refactor targets. *)
+
+let steady_trace =
+  let task =
+    { Workload.Task.id = 0; arrival = 0.0; work = 1e6; benchmark = Web }
+  in
+  { Workload.Trace.tasks = [| task |]; mix_name = "steady"; horizon = 0.0 }
+
+let steady_config =
+  {
+    Sim.Engine.default_config with
+    Sim.Engine.drain_limit = (if fast then 8.0 else 40.0);
+  }
+
+let steady_pair () =
+  let run_new () =
+    Sim.Engine.run ~config:steady_config machine (controller ())
+      Sim.Policy.first_idle steady_trace
+  in
+  let run_ref () =
+    Sim.Engine.run_reference ~config:steady_config machine (controller ())
+      Sim.Policy.first_idle steady_trace
+  in
+  ignore (run_new ());
+  ignore (run_ref ());
+  let reps = 3 in
+  let best_new = ref infinity and best_ref = ref infinity in
+  let steps = ref 0 in
+  let stats_agree = ref true in
+  for _ = 1 to reps do
+    let tn, rn = time run_new in
+    let tr, rr = time run_ref in
+    best_new := Float.min !best_new tn;
+    best_ref := Float.min !best_ref tr;
+    steps := Sim.Stats.total_steps rn.Sim.Engine.stats;
+    stats_agree :=
+      !stats_agree
+      && Sim.Stats.equal rn.Sim.Engine.stats rr.Sim.Engine.stats
+  done;
+  (!steps, !best_new, !best_ref, !stats_agree)
+
+(* Per-step minor-heap allocation, measured differentially: two runs
+   that differ only in length cancel out the fixed start-up cost.
+   With [dfs_period] pushed past the horizon only the step-0 epoch
+   fires, so [pure] isolates the step path (must be exactly 0); the
+   default 100 ms period gives the amortized figure including the
+   epoch-boundary observe/decide allocations (cold by design). *)
+let allocation_per_step ~dfs_period =
+  let config =
+    { steady_config with Sim.Engine.dfs_period; drain_limit = 0.0 }
+  in
+  let run horizon =
+    let trace = { steady_trace with Workload.Trace.horizon } in
+    let r =
+      Sim.Engine.run ~config machine (controller ()) Sim.Policy.first_idle
+        trace
+    in
+    Sim.Stats.total_steps r.Sim.Engine.stats
+  in
+  ignore (run 1.0);
+  let words_of horizon =
+    let before = Gc.minor_words () in
+    let steps = run horizon in
+    (Gc.minor_words () -. before, steps)
+  in
+  let w1, s1 = words_of 1.0 in
+  let w2, s2 = words_of 3.0 in
+  (w2 -. w1) /. float_of_int (s2 - s1)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-driven run: the paper's workload shape — arrivals, dispatch
+   and epoch decisions mixed into the step stream. *)
+
+let trace_tasks = if fast then 6000 else 60000
+
+let trace_pair () =
+  let trace =
+    Workload.Trace.generate ~seed:42L ~n_tasks:trace_tasks Workload.Mix.web
+  in
+  let run_new () =
+    Sim.Engine.run machine (controller ()) Sim.Policy.first_idle trace
+  in
+  let run_ref () =
+    Sim.Engine.run_reference machine (controller ()) Sim.Policy.first_idle
+      trace
+  in
+  ignore (run_new ());
+  let tn, rn = time run_new in
+  let tr, rr = time run_ref in
+  ( Sim.Stats.total_steps rn.Sim.Engine.stats,
+    tn,
+    tr,
+    Sim.Stats.equal rn.Sim.Engine.stats rr.Sim.Engine.stats )
+
+(* Probe overhead: the steady run again, with the stats probe (a
+   per-step callback) attached. *)
+let probed_seconds () =
+  let probe, _ =
+    Sim.Probe.stats ~n_cores:machine.Sim.Machine.n_cores
+      ~tmax:steady_config.Sim.Engine.tmax ()
+  in
+  let run () =
+    Sim.Engine.run ~config:steady_config ~probes:[ probe ] machine
+      (controller ()) Sim.Policy.first_idle steady_trace
+  in
+  ignore (run ());
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t, _ = time run in
+    best := Float.min !best t
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Campaign scaling across domain counts. *)
+
+let campaign_spec =
+  let n_tasks = if fast then 2000 else 20000 in
+  {
+    Sim.Campaign.controllers =
+      [
+        ("fmax", fun () -> Sim.Policy.fixed_frequency ~fmax fmax);
+        ("no-tc", fun () -> Sim.Policy.workload_following ~fmax);
+      ];
+    assignments = [ Sim.Policy.first_idle; Sim.Policy.coolest_first ];
+    scenarios =
+      [
+        Sim.Campaign.scenario ~seed:11L ~n_tasks ~name:"web" Workload.Mix.web;
+        Sim.Campaign.scenario ~seed:12L ~n_tasks ~name:"mix"
+          Workload.Mix.paper_mix;
+      ];
+    config = Sim.Engine.default_config;
+  }
+
+let campaign_at domains =
+  let t, cells =
+    time (fun () -> Sim.Campaign.run ~domains ~machine campaign_spec)
+  in
+  (t, cells)
+
+let cells_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Sim.Campaign.cell) (y : Sim.Campaign.cell) ->
+         Sim.Stats.equal x.Sim.Campaign.result.Sim.Engine.stats
+           y.Sim.Campaign.result.Sim.Engine.stats)
+       a b
+
+let () =
+  let hw = Parallel.Pool.default_domains () in
+  Printf.printf "Simulation benchmark%s (%d domain(s) available)\n%!"
+    (if fast then " (FAST mode)" else "")
+    hw;
+
+  let steps, t_new, t_ref, steady_agree = steady_pair () in
+  let steady_new = float_of_int steps /. t_new in
+  let steady_ref = float_of_int steps /. t_ref in
+  let steady_speedup = t_ref /. t_new in
+  Printf.printf
+    "  steady-state: %.2e steps/s (%.0f ns/step), reference %.2e — %.2fx\n%!"
+    steady_new (1e9 /. steady_new) steady_ref steady_speedup;
+  check "steady-state stats match reference bit-for-bit" steady_agree;
+  check "steady-state speedup >= 3x" (steady_speedup >= 3.0);
+
+  let alloc = allocation_per_step ~dfs_period:100.0 in
+  let alloc_amortized =
+    allocation_per_step ~dfs_period:steady_config.Sim.Engine.dfs_period
+  in
+  Printf.printf
+    "  minor allocation: %.3f words/step (%.3f amortized with 100 ms epochs)\n\
+     %!"
+    alloc alloc_amortized;
+  check "zero allocation per steady-state step" (alloc = 0.0);
+
+  let tsteps, tt_new, tt_ref, trace_agree = trace_pair () in
+  let trace_new = float_of_int tsteps /. tt_new in
+  let trace_speedup = tt_ref /. tt_new in
+  Printf.printf
+    "  %d-task web trace: %.2e steps/s, reference %.2e — %.2fx\n%!"
+    trace_tasks trace_new
+    (float_of_int tsteps /. tt_ref)
+    trace_speedup;
+  check "trace-driven stats match reference bit-for-bit" trace_agree;
+
+  let t_probed = probed_seconds () in
+  let probe_overhead = (t_probed -. t_new) /. t_new in
+  Printf.printf "  stats-probe overhead on the steady run: %+.1f%%\n%!"
+    (100.0 *. probe_overhead);
+
+  (* Oversubscription note: with one hardware core, multi-domain runs
+     measure scheduling overhead, not speedup; the scaling claim needs
+     >= 4 real cores.  Results must be identical either way. *)
+  let domain_counts = List.sort_uniq compare [ 1; hw; 4 ] in
+  let campaign_runs =
+    List.map
+      (fun d ->
+        let t, cells = campaign_at d in
+        Printf.printf "  campaign: %d cells on %d domain(s) in %.2f s (%.2f \
+                       cells/s)\n%!"
+          (Array.length cells) d t
+          (float_of_int (Array.length cells) /. t);
+        (d, t, cells))
+      domain_counts
+  in
+  (match campaign_runs with
+  | (_, _, first) :: rest ->
+      check "campaign cells identical across domain counts"
+        (List.for_all (fun (_, _, c) -> cells_equal first c) rest)
+  | [] -> ());
+
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"fast\": %b,\n  \"available_domains\": %d,\n" fast hw);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"steady_state\": {\"steps\": %d, \"steps_per_sec\": %.0f, \
+        \"ns_per_step\": %.1f, \"reference_steps_per_sec\": %.0f, \
+        \"speedup_vs_reference\": %.2f},\n"
+       steps steady_new (1e9 /. steady_new) steady_ref steady_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"minor_words_per_step\": %.3f,\n  \
+        \"minor_words_per_step_amortized\": %.3f,\n"
+       alloc alloc_amortized);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"web_trace\": {\"tasks\": %d, \"steps\": %d, \"steps_per_sec\": \
+        %.0f, \"speedup_vs_reference\": %.2f},\n"
+       trace_tasks tsteps trace_new trace_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"stats_probe_overhead\": %.4f,\n" probe_overhead);
+  Buffer.add_string buf "  \"campaign\": [\n";
+  List.iteri
+    (fun i (d, t, cells) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"domains\": %d, \"cells\": %d, \"seconds\": %.3f, \
+            \"cells_per_sec\": %.3f}%s\n"
+           d (Array.length cells) t
+           (float_of_int (Array.length cells) /. t)
+           (if i = List.length campaign_runs - 1 then "" else ",")))
+    campaign_runs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"checks_failed\": %d\n}\n" !failures);
+  let oc = open_out "BENCH_sim.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "written to BENCH_sim.json\n%!";
+  if !failures > 0 then exit 1
