@@ -5,8 +5,11 @@
 # (PROTEMP_BENCH_FAST=1, see bench/dune): the sweep smoke cross-checks
 # the compiled vs reference barrier backends and the parallel vs
 # sequential tables, and the sim smoke checks the allocation-free
-# engine against the reference engine and the campaign across domain
-# counts.
+# engine against the reference engine, the campaign (including its
+# fault axis) across domain counts, and the fault sweep's golden
+# guarantee gate — a zero-fault configuration reporting any tmax
+# violation, or the guard-banded table failing to absorb an injected
+# fault, exits non-zero.
 ci: build test
 
 build:

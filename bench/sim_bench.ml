@@ -167,6 +167,17 @@ let campaign_spec =
         Sim.Campaign.scenario ~seed:12L ~n_tasks ~name:"mix"
           Workload.Mix.paper_mix;
       ];
+    (* One faulty coordinate keeps the campaign's fault axis (and its
+       cross-domain determinism) covered by the smoke run. *)
+    faults =
+      [
+        ("none", []);
+        ( "noise2+stale1",
+          [
+            Sim.Fault.sensor_noise ~seed:1807L ~magnitude:2.0 ();
+            Sim.Fault.stale_observation ~epochs:1;
+          ] );
+      ];
     config = Sim.Engine.default_config;
   }
 
@@ -175,6 +186,54 @@ let campaign_at domains =
     time (fun () -> Sim.Campaign.run ~domains ~machine campaign_spec)
   in
   (t, cells)
+
+(* ------------------------------------------------------------------ *)
+(* Fault sweep: the guarantee as a function of observation staleness,
+   with and without a guard band.  Tables come from the solver-free
+   certified builder (window_peak per cell), so the sweep is cheap
+   enough for the smoke run.  Staleness is the fault that actually
+   breaks the unguarded table on this plant: during the warm-up ramp
+   the controller acts on readings from N windows ago and keeps the
+   ramp frequency while the cores are already at the frontier.
+   Symmetric bounded noise, by contrast, is absorbed for free — the
+   demand-limited equilibrium sits several degrees below the cap and
+   the table's frequency response is flat there — so severity > 0
+   points also compose 2 C of seeded sensor noise on top of the
+   staleness to keep both fault classes in the run. *)
+
+let guard_margin = 5.0
+let severities = [| 0.0; 1.0; 2.0; 3.0 |]
+
+let faults_of s =
+  if s = 0.0 then []
+  else
+    [
+      Sim.Fault.sensor_noise ~seed:1807L ~magnitude:2.0 ();
+      Sim.Fault.stale_observation ~epochs:(int_of_float s);
+    ]
+
+let fault_sweep () =
+  let spec = Protemp.Spec.default in
+  let tstarts = Array.init 74 (fun i -> 27.0 +. float_of_int i) in
+  let ftargets = Array.init 9 (fun i -> float_of_int (i + 1) *. 1e8) in
+  let table margin =
+    Protemp.Guarantee.uniform_table ~machine ~spec ~margin ~tstarts ~ftargets
+      ()
+  in
+  let unguarded = table 0.0 and guarded = table guard_margin in
+  let n_tasks = if fast then 2500 else 20000 in
+  let trace =
+    Workload.Trace.generate ~seed:7L ~n_tasks Workload.Mix.compute_intensive
+  in
+  let sweep tbl =
+    Protemp.Guarantee.violations_under_faults ~machine
+      ~controller:(fun () -> Protemp.Controller.create ~table:tbl)
+      ~trace ~faults_of ~severities ()
+  in
+  let t, (unguarded_pts, guarded_pts) =
+    time (fun () -> (sweep unguarded, sweep guarded))
+  in
+  (t, unguarded_pts, guarded_pts)
 
 let cells_equal a b =
   Array.length a = Array.length b
@@ -246,6 +305,44 @@ let () =
         (List.for_all (fun (_, _, c) -> cells_equal first c) rest)
   | [] -> ());
 
+  let t_sweep, unguarded_pts, guarded_pts = fault_sweep () in
+  Printf.printf
+    "  fault sweep (%.1f s): staleness severity vs tmax violations \
+     (guard band %.1f C)\n%!"
+    t_sweep guard_margin;
+  Array.iteri
+    (fun i (u : Protemp.Guarantee.severity_point) ->
+      let g = guarded_pts.(i) in
+      Printf.printf
+        "    stale %.0f: unguarded %6d violating steps (worst %+.3f C, wait \
+         %.1f ms) | guarded %4d (wait %.1f ms)\n%!"
+        u.Protemp.Guarantee.severity
+        u.Protemp.Guarantee.thermal.Sim.Probe.violating_steps
+        u.Protemp.Guarantee.thermal.Sim.Probe.worst_excess
+        (u.Protemp.Guarantee.mean_waiting *. 1e3)
+        g.Protemp.Guarantee.thermal.Sim.Probe.violating_steps
+        (g.Protemp.Guarantee.mean_waiting *. 1e3))
+    unguarded_pts;
+  (* The golden guarantee gate: a clean (zero-fault) configuration
+     must never report a tmax violation, guarded or not — if it does,
+     the table builder or the controller regressed, and the bench
+     exits non-zero. *)
+  check "golden gate: zero-fault unguarded run has zero violations"
+    (unguarded_pts.(0).Protemp.Guarantee.thermal.Sim.Probe.violating_steps = 0);
+  check "golden gate: zero-fault guarded run has zero violations"
+    (guarded_pts.(0).Protemp.Guarantee.thermal.Sim.Probe.violating_steps = 0);
+  check "guard band absorbs every injected severity"
+    (Array.for_all
+       (fun (p : Protemp.Guarantee.severity_point) ->
+         p.Protemp.Guarantee.thermal.Sim.Probe.violating_steps = 0)
+       guarded_pts);
+  check "unguarded table breaks under every nonzero severity"
+    (Array.for_all
+       (fun (p : Protemp.Guarantee.severity_point) ->
+         p.Protemp.Guarantee.severity = 0.0
+         || p.Protemp.Guarantee.thermal.Sim.Probe.violating_steps > 0)
+       unguarded_pts);
+
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -280,6 +377,29 @@ let () =
            (if i = List.length campaign_runs - 1 then "" else ",")))
     campaign_runs;
   Buffer.add_string buf "  ],\n";
+  let sweep_json (pts : Protemp.Guarantee.severity_point array) =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (fun (p : Protemp.Guarantee.severity_point) ->
+              Printf.sprintf
+                "\n      {\"severity\": %.1f, \"violating_steps\": %d, \
+                 \"audited_steps\": %d, \"worst_excess\": %.4f, \
+                 \"unfinished\": %d, \"mean_waiting_ms\": %.3f}"
+                p.Protemp.Guarantee.severity
+                p.Protemp.Guarantee.thermal.Sim.Probe.violating_steps
+                p.Protemp.Guarantee.thermal.Sim.Probe.audited_steps
+                p.Protemp.Guarantee.thermal.Sim.Probe.worst_excess
+                p.Protemp.Guarantee.unfinished
+                (p.Protemp.Guarantee.mean_waiting *. 1e3))
+            pts))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"fault_sweep\": {\n    \"guard_margin\": %.1f,\n    \"seconds\": \
+        %.2f,\n    \"unguarded\": [%s],\n    \"guarded\": [%s]\n  },\n"
+       guard_margin t_sweep (sweep_json unguarded_pts)
+       (sweep_json guarded_pts));
   Buffer.add_string buf
     (Printf.sprintf "  \"checks_failed\": %d\n}\n" !failures);
   let oc = open_out "BENCH_sim.json" in

@@ -139,8 +139,24 @@ let table_cmd =
             "Solve table rows on N domains (default: PROTEMP_DOMAINS or the \
              machine's core count; 1 = sequential).")
   in
-  let run uniform gradient stride tstarts ftargets domains out =
+  let margin =
+    Arg.(
+      value & opt float 0.0
+      & info [ "margin" ] ~docv:"C"
+          ~doc:
+            "Guard band in degrees C: certify every cell against tmax - \
+             margin, so the stored table tolerates bounded sensor error up \
+             to the margin at run time.")
+  in
+  let run uniform gradient stride tstarts ftargets domains margin out =
     let spec = spec_of ~uniform ~gradient ~stride in
+    let spec =
+      if margin = 0.0 then spec
+      else if margin < 0.0 || margin >= spec.Protemp.Spec.tmax then
+        failwith "margin must be in [0, tmax)"
+      else
+        { spec with Protemp.Spec.tmax = spec.Protemp.Spec.tmax -. margin }
+    in
     let table =
       Protemp.Offline.sweep ~machine:(Lazy.force machine) ~spec ?domains
         ~tstarts:(Array.of_list tstarts)
@@ -165,7 +181,7 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Run the Phase-1 sweep and store the table.")
     Term.(
       const run $ uniform $ gradient $ stride $ tstarts $ ftargets $ domains
-      $ out_file)
+      $ margin $ out_file)
 
 (* ----- validate ----- *)
 
@@ -256,7 +272,63 @@ let simulate_cmd =
       & info [ "coolest-first" ]
           ~doc:"Use the efficient (coolest-first) task assignment.")
   in
-  let run controller table_file mix tasks seed coolest ladder migration =
+  let margin =
+    Arg.(
+      value & opt float 0.0
+      & info [ "margin" ] ~docv:"C"
+          ~doc:
+            "Guard band in degrees C (online only): solve against tmax - \
+             margin so bounded sensor faults cannot break the cap.")
+  in
+  let sensor_noise =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sensor-noise" ] ~docv:"MAG"
+          ~doc:
+            "Inject uniform [-MAG, +MAG] degrees C sensor noise on every \
+             core reading (deterministic, see --fault-seed).")
+  in
+  let stale =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stale" ] ~docv:"N"
+          ~doc:"The controller sees temperatures N decisions old.")
+  in
+  let stuck_core =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stuck-core" ] ~docv:"CORE"
+          ~doc:"Core CORE's sensor is stuck (see --stuck-at).")
+  in
+  let stuck_at =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stuck-at" ] ~docv:"TEMP"
+          ~doc:
+            "Reading reported by the stuck sensor; omitted, it freezes at \
+             the first observed value.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1807
+      & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed for sensor-noise streams.")
+  in
+  let actuator_levels =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "actuator-levels" ] ~docv:"N"
+          ~doc:
+            "Quantize decided frequencies through a uniform N-level DVFS \
+             ladder (actuator-side; contrast with --ladder, which quantizes \
+             the table itself).")
+  in
+  let run controller table_file mix tasks seed coolest ladder migration margin
+      sensor_noise stale stuck_core stuck_at fault_seed actuator_levels =
     let machine = Lazy.force machine in
     let load_quantized f =
       let t = load_table f in
@@ -267,6 +339,7 @@ let simulate_cmd =
             (Protemp.Ladder.uniform ~fmax:machine.Sim.Machine.fmax ~levels)
             t
     in
+    let online = ref None in
     let ctrl =
       match controller with
       | `No_tc -> Protemp.No_tc.create ~fmax:machine.Sim.Machine.fmax
@@ -276,12 +349,43 @@ let simulate_cmd =
             { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 }
           in
           let fallback = Option.map load_quantized table_file in
-          Protemp.Online.create ?fallback ~machine ~spec ()
+          let t = Protemp.Online.create ?fallback ~margin ~machine ~spec () in
+          online := Some t;
+          Protemp.Online.controller t
       | `Pro -> (
           match table_file with
           | None -> failwith "pro-temp needs --table"
           | Some f -> Protemp.Controller.create ~table:(load_quantized f))
     in
+    let faults =
+      List.concat
+        [
+          (match sensor_noise with
+          | None -> []
+          | Some magnitude ->
+              [
+                Sim.Fault.sensor_noise ~seed:(Int64.of_int fault_seed)
+                  ~magnitude ();
+              ]);
+          (match stuck_core with
+          | None -> []
+          | Some core -> [ Sim.Fault.stuck_sensor ?reading:stuck_at ~core () ]);
+          (match stale with
+          | None -> []
+          | Some epochs -> [ Sim.Fault.stale_observation ~epochs ]);
+          (match actuator_levels with
+          | None -> []
+          | Some levels ->
+              let ladder =
+                Protemp.Ladder.uniform ~fmax:machine.Sim.Machine.fmax ~levels
+              in
+              [
+                Sim.Fault.quantized_actuator
+                  ~levels:(Protemp.Ladder.levels ladder);
+              ]);
+        ]
+    in
+    let ctrl = Sim.Fault.wrap ~faults ctrl in
     let mix =
       try Workload.Mix.by_name mix
       with Not_found -> failwith ("unknown mix " ^ mix)
@@ -293,17 +397,36 @@ let simulate_cmd =
       if coolest then Sim.Policy.coolest_first else Sim.Policy.first_idle
     in
     let config = { Sim.Engine.default_config with Sim.Engine.migration } in
-    let r = Sim.Engine.run ~config machine ctrl assignment trace in
+    let audit_probe, audit =
+      Sim.Probe.thermal_audit ~tmax:config.Sim.Engine.tmax ()
+    in
+    let r =
+      Sim.Engine.run ~config ~probes:[ audit_probe ] machine ctrl assignment
+        trace
+    in
     Format.printf "%a@." Sim.Stats.pp r.Sim.Engine.stats;
     Printf.printf "unfinished %d, migrations %d, wall %.2f s\n"
       r.Sim.Engine.unfinished r.Sim.Engine.migrations r.Sim.Engine.wall_clock;
+    let a = audit () in
+    Printf.printf "thermal audit: %d/%d steps above tmax (worst excess %.3f C)\n"
+      a.Sim.Probe.violating_steps a.Sim.Probe.audited_steps
+      a.Sim.Probe.worst_excess;
+    (match !online with
+    | None -> ()
+    | Some t ->
+        let c = Protemp.Online.counts t in
+        Printf.printf
+          "online outcomes: %d solved, %d table fallbacks, %d safe stops\n"
+          c.Protemp.Online.solved c.Protemp.Online.fallbacks
+          c.Protemp.Online.stops);
     0
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a trace under a controller.")
     Term.(
       const run $ controller $ table_file $ mix $ tasks $ seed $ coolest
-      $ ladder $ migration)
+      $ ladder $ migration $ margin $ sensor_noise $ stale $ stuck_core
+      $ stuck_at $ fault_seed $ actuator_levels)
 
 (* ----- campaign ----- *)
 
@@ -339,7 +462,40 @@ let campaign_cmd =
             "Run grid cells on N domains (default: PROTEMP_DOMAINS or the \
              machine's core count; 1 = sequential).")
   in
-  let run table_file mixes tasks seed domains =
+  let guarded_table_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "guarded-table" ] ~docv:"FILE"
+          ~doc:
+            "Guard-banded table CSV (built with `table --margin`); when \
+             given, pro-temp-guarded joins the controller grid.")
+  in
+  let noise_axis =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "sensor-noise" ] ~docv:"MAG1,MAG2,..."
+          ~doc:
+            "Add fault-axis coordinates with uniform sensor noise of these \
+             magnitudes (degrees C); a clean coordinate is always included.")
+  in
+  let stale_axis =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "stale" ] ~docv:"N1,N2,..."
+          ~doc:
+            "Add fault-axis coordinates where observations are N decisions \
+             old.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1807
+      & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed for sensor-noise streams.")
+  in
+  let run table_file guarded_table_file mixes tasks seed domains noise_axis
+      stale_axis fault_seed =
     let machine = Lazy.force machine in
     let fmax = machine.Sim.Machine.fmax in
     let controllers =
@@ -347,13 +503,34 @@ let campaign_cmd =
         ("no-tc", fun () -> Protemp.No_tc.create ~fmax);
         ("basic-dfs", fun () -> Protemp.Basic_dfs.create ~fmax ());
       ]
+      @ (match table_file with
+        | None -> []
+        | Some f ->
+            let table = load_table f in
+            [ ("pro-temp", fun () -> Protemp.Controller.create ~table) ])
       @
-      match table_file with
+      match guarded_table_file with
       | None -> []
       | Some f ->
           let table = load_table f in
-          [ ("pro-temp", fun () -> Protemp.Controller.create ~table) ]
+          [ ("pro-temp-guarded", fun () -> Protemp.Controller.create ~table) ]
     in
+    let faults =
+      List.map
+        (fun magnitude ->
+          let f =
+            Sim.Fault.sensor_noise ~seed:(Int64.of_int fault_seed) ~magnitude
+              ()
+          in
+          (Sim.Fault.name f, [ f ]))
+        noise_axis
+      @ List.map
+          (fun epochs ->
+            let f = Sim.Fault.stale_observation ~epochs in
+            (Sim.Fault.name f, [ f ]))
+          stale_axis
+    in
+    let faults = if faults = [] then [] else ("none", []) :: faults in
     let scenarios =
       List.map
         (fun name ->
@@ -370,6 +547,7 @@ let campaign_cmd =
         Sim.Campaign.controllers;
         assignments = [ Sim.Policy.first_idle; Sim.Policy.coolest_first ];
         scenarios;
+        faults;
         config = Sim.Engine.default_config;
       }
     in
@@ -381,9 +559,9 @@ let campaign_cmd =
     let cells =
       Sim.Campaign.run ?domains
         ~on_cell:(fun c ->
-          Printf.eprintf "  %-12s %-14s %-10s %.2fs\n%!"
+          Printf.eprintf "  %-12s %-14s %-10s %-10s %.2fs\n%!"
             c.Sim.Campaign.controller_name c.Sim.Campaign.assignment_name
-            c.Sim.Campaign.scenario_name
+            c.Sim.Campaign.scenario_name c.Sim.Campaign.fault_name
             c.Sim.Campaign.result.Sim.Engine.wall_clock)
         ~machine spec
     in
@@ -394,8 +572,12 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign"
-       ~doc:"Fan a controller x assignment x workload grid across domains.")
-    Term.(const run $ table_file $ mixes $ tasks $ seed $ domains)
+       ~doc:
+         "Fan a controller x assignment x workload x fault grid across \
+          domains.")
+    Term.(
+      const run $ table_file $ guarded_table_file $ mixes $ tasks $ seed
+      $ domains $ noise_axis $ stale_axis $ fault_seed)
 
 let () =
   let doc = "Pro-Temp: convex-optimization thermal control of multi-cores" in

@@ -72,6 +72,7 @@ let () =
           Sim.Campaign.scenario ~seed:2008L ~n_tasks:20000 ~name:"mix"
             Workload.Mix.paper_mix;
         ];
+      faults = [];
       config = Sim.Engine.default_config;
     }
   in

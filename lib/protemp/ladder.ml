@@ -38,15 +38,42 @@ let quantize_down t v = Vec.map (floor t) v
 let quantize_table t table =
   let tstarts = Table.tstarts table in
   let ftargets = Table.ftargets table in
+  let n_cols = Array.length ftargets in
   let cells =
-    Array.mapi
-      (fun i _ ->
-        Array.mapi
-          (fun j _ ->
-            match Table.cell table i j with
-            | Table.Infeasible -> Table.Infeasible
-            | Table.Frequencies f -> Table.Frequencies (quantize_down t f))
-          ftargets)
-      tstarts
+    Array.make_matrix (Array.length tstarts) n_cols Table.Infeasible
   in
+  Array.iteri
+    (fun i _ ->
+      for j = 0 to n_cols - 1 do
+        match Table.cell table i j with
+        | Table.Infeasible -> ()
+        | Table.Frequencies f ->
+            let q = quantize_down t f in
+            let sum = Vec.sum q in
+            let n = float_of_int (Vec.dim q) in
+            (* The highest column whose throughput promise the
+               quantized vector still honours.  Flooring onto the
+               ladder can pull the total below [n * ftargets.(j)], and
+               a cell left in column [j] would then over-promise
+               through [Table.lookup]; re-labelling keeps every stored
+               cell's promise true.  Thermal safety is unaffected: [q]
+               is elementwise at most a vector certified for this very
+               row. *)
+            let k = ref (-1) in
+            for c = 0 to n_cols - 1 do
+              let target = n *. ftargets.(c) in
+              if sum >= target -. (1e-6 *. Float.max 1.0 target) then k := c
+            done;
+            if !k >= 0 then begin
+              (* Several source cells can land on the same column;
+                 keep the one delivering the most throughput (all are
+                 certified for row [i]). *)
+              match cells.(i).(!k) with
+              | Table.Infeasible -> cells.(i).(!k) <- Table.Frequencies q
+              | Table.Frequencies existing ->
+                  if sum > Vec.sum existing then
+                    cells.(i).(!k) <- Table.Frequencies q
+            end
+      done)
+    tstarts;
   Table.make ~tstarts ~ftargets cells

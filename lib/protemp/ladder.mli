@@ -32,5 +32,15 @@ val quantize_down : t -> Vec.t -> Vec.t
 (** Per-core {!floor}. *)
 
 val quantize_table : t -> Table.t -> Table.t
-(** Round every feasible cell's frequencies down onto the ladder.
-    The result drives {!Controller.create} unchanged. *)
+(** Round every feasible cell's frequencies down onto the ladder,
+    then re-label each quantized vector to the highest [ftarget]
+    column whose throughput ([n * ftarget], to a [1e-6] relative
+    tolerance) it still delivers.  Flooring can pull a cell's total
+    below its original column's promise; leaving it there would make
+    {!Table.lookup} over-promise the achievable average frequency, so
+    such cells are demoted (and dropped to [Infeasible] when they
+    cannot honour even the lowest column).  When several source cells
+    land on one column the highest-throughput one is kept.  Every
+    stored vector is elementwise at most some source cell of the same
+    row, so the thermal guarantee carries over unchanged; the result
+    drives {!Controller.create} as before. *)

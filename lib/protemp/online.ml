@@ -1,32 +1,57 @@
 open Linalg
 
-(* Controllers are first-class records, so the solve counter rides in
-   a side table keyed by the controller's (unique) name. *)
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 4
+type counts = { solved : int; fallbacks : int; stops : int }
 
-let next_id =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    !n
+let zero_counts = { solved = 0; fallbacks = 0; stops = 0 }
 
-let create ?options ?fallback ~machine ~spec () =
-  let name = Printf.sprintf "pro-temp-online-%d" (next_id ()) in
-  let counter = ref 0 in
-  Hashtbl.replace counters name counter;
+let add_counts a b =
+  {
+    solved = a.solved + b.solved;
+    fallbacks = a.fallbacks + b.fallbacks;
+    stops = a.stops + b.stops;
+  }
+
+let sub_counts a b =
+  {
+    solved = a.solved - b.solved;
+    fallbacks = a.fallbacks - b.fallbacks;
+    stops = a.stops - b.stops;
+  }
+
+(* Counters live in the instance itself (not a global table keyed by
+   name): campaign cells build controllers inside worker domains, and
+   a shared Hashtbl there is a data race and a leak.  Atomics make the
+   counts safely readable from the spawning domain after a cell
+   returns. *)
+type t = {
+  ctrl : Sim.Policy.controller;
+  n_solved : int Atomic.t;
+  n_fallbacks : int Atomic.t;
+  n_stops : int Atomic.t;
+}
+
+let next_id = Atomic.make 0
+
+let create ?options ?fallback ?(margin = 0.0) ~machine ~spec () =
+  if margin < 0.0 then invalid_arg "Online.create: negative margin";
+  if margin >= spec.Spec.tmax then
+    invalid_arg "Online.create: margin leaves no thermal envelope";
+  let spec = { spec with Spec.tmax = spec.Spec.tmax -. margin } in
+  let name =
+    Printf.sprintf "pro-temp-online-%d" (Atomic.fetch_and_add next_id 1 + 1)
+  in
+  let n_solved = Atomic.make 0 in
+  let n_fallbacks = Atomic.make 0 in
+  let n_stops = Atomic.make 0 in
   let n_cores = machine.Sim.Machine.n_cores in
   let stop = Vec.zeros n_cores in
   let fallback_frequencies obs =
     match fallback with
-    | None -> stop
-    | Some table -> (
-        match
-          Table.lookup table
-            ~temperature:obs.Sim.Policy.max_core_temperature
-            ~required:obs.Sim.Policy.required_frequency
-        with
-        | Some f -> f
-        | None -> stop)
+    | None -> None
+    | Some table ->
+        Table.lookup table
+          ~temperature:obs.Sim.Policy.max_core_temperature
+          ~required:obs.Sim.Policy.required_frequency
   in
   let profile_of obs =
     (* Sensors exist per core; unsensed nodes are bounded above by the
@@ -39,19 +64,55 @@ let create ?options ?fallback ~machine ~spec () =
       machine.Sim.Machine.core_nodes;
     t0
   in
+  let decide obs =
+    (* The degradation chain, in order: fresh solve, then the table's
+       next-lower-feasible-column rule, then a safe stop. *)
+    let built =
+      Model.build_with_profile ~machine ~spec ~t0:(profile_of obs)
+        ~ftarget:obs.Sim.Policy.required_frequency
+    in
+    match Model.solve ?options built with
+    | Model.Feasible s ->
+        Atomic.incr n_solved;
+        s.Model.frequencies
+    | Model.Infeasible -> (
+        match fallback_frequencies obs with
+        | Some f ->
+            Atomic.incr n_fallbacks;
+            f
+        | None ->
+            Atomic.incr n_stops;
+            stop)
+  in
   {
-    Sim.Policy.controller_name = name;
-    decide =
-      (fun obs ->
-        incr counter;
-        let built =
-          Model.build_with_profile ~machine ~spec ~t0:(profile_of obs)
-            ~ftarget:obs.Sim.Policy.required_frequency
-        in
-        match Model.solve ?options built with
-        | Model.Feasible s -> s.Model.frequencies
-        | Model.Infeasible -> fallback_frequencies obs);
+    ctrl = { Sim.Policy.controller_name = name; decide };
+    n_solved;
+    n_fallbacks;
+    n_stops;
   }
 
-let solves (c : Sim.Policy.controller) =
-  Option.map ( ! ) (Hashtbl.find_opt counters c.Sim.Policy.controller_name)
+let controller t = t.ctrl
+
+let counts t =
+  {
+    solved = Atomic.get t.n_solved;
+    fallbacks = Atomic.get t.n_fallbacks;
+    stops = Atomic.get t.n_stops;
+  }
+
+let solves t =
+  let c = counts t in
+  c.solved + c.fallbacks + c.stops
+
+let outcome_probe t =
+  let base = counts t in
+  let final = ref None in
+  let probe =
+    Sim.Probe.make "online-outcomes"
+      ~on_finish:(fun () -> final := Some (sub_counts (counts t) base))
+  in
+  ( probe,
+    fun () ->
+      match !final with
+      | Some c -> c
+      | None -> sub_counts (counts t) base )

@@ -29,6 +29,20 @@ let make ~tstarts ~ftargets cells =
       if Array.length row <> Array.length ftargets then
         invalid_arg "Table.make: column count mismatch")
     cells;
+  (* Every feasible cell must carry one frequency per core — the same
+     core count across the whole table, or a controller driving an
+     n-core machine could hand the engine a short vector. *)
+  let n_cores = ref (-1) in
+  Array.iter
+    (Array.iter (function
+      | Infeasible -> ()
+      | Frequencies f ->
+          let d = Vec.dim f in
+          if d = 0 then invalid_arg "Table.make: empty frequency vector";
+          if !n_cores < 0 then n_cores := d
+          else if d <> !n_cores then
+            invalid_arg "Table.make: cell dimension mismatch"))
+    cells;
   { tstarts; ftargets; cells }
 
 let tstarts t = Array.copy t.tstarts
@@ -84,18 +98,22 @@ let feasible_frontier t =
       (tstart, !best))
     t.tstarts
 
+(* %.17g round-trips every finite double exactly through
+   float_of_string, so of_csv can use exact axis matching: %.6g used
+   to round nearby tstarts/ftargets onto the same printed value and
+   silently merge their rows/columns on re-read. *)
 let to_csv t =
   let buf = Buffer.create 4096 in
   Array.iteri
     (fun i tstart ->
       Array.iteri
         (fun j ftarget ->
-          Buffer.add_string buf (Printf.sprintf "%.6g,%.6g" tstart ftarget);
+          Buffer.add_string buf (Printf.sprintf "%.17g,%.17g" tstart ftarget);
           (match t.cells.(i).(j) with
           | Infeasible -> Buffer.add_string buf ",infeasible"
           | Frequencies f ->
               Array.iter
-                (fun x -> Buffer.add_string buf (Printf.sprintf ",%.6g" x))
+                (fun x -> Buffer.add_string buf (Printf.sprintf ",%.17g" x))
                 f);
           Buffer.add_char buf '\n')
         t.ftargets)
@@ -138,8 +156,17 @@ let of_csv text =
   let cells =
     Array.make_matrix (Array.length tstarts) (Array.length ftargets) Infeasible
   in
+  let seen =
+    Array.make_matrix (Array.length tstarts) (Array.length ftargets) false
+  in
   List.iter
-    (fun (t, f, c) -> cells.(find tstarts t).(find ftargets f) <- c)
+    (fun (t, f, c) ->
+      let i = find tstarts t and j = find ftargets f in
+      if seen.(i).(j) then
+        failwith
+          (Printf.sprintf "Table.of_csv: duplicate cell (%.17g, %.17g)" t f);
+      seen.(i).(j) <- true;
+      cells.(i).(j) <- c)
     parsed;
   make ~tstarts ~ftargets cells
 

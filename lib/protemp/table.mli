@@ -20,7 +20,9 @@ val make :
   tstarts:float array -> ftargets:float array -> cell array array -> t
 (** [tstarts] and [ftargets] must be strictly increasing;
     [cells.(i).(j)] corresponds to [tstarts.(i)], [ftargets.(j)].
-    Raises [Invalid_argument] on shape or ordering errors. *)
+    Every [Frequencies] cell must hold the same (non-zero) number of
+    cores.  Raises [Invalid_argument] on shape, dimension or ordering
+    errors. *)
 
 val tstarts : t -> float array
 val ftargets : t -> float array
@@ -42,9 +44,14 @@ val feasible_frontier : t -> (float * float option) array
 
 val to_csv : t -> string
 (** One line per cell: [tstart,ftarget,f1,...,fn] or
-    [tstart,ftarget,infeasible]. *)
+    [tstart,ftarget,infeasible].  Values are printed with [%.17g], so
+    {!of_csv} reconstructs every float bit-for-bit and nearby axis
+    values never collide. *)
 
 val of_csv : string -> t
-(** Inverse of {!to_csv}.  Raises [Failure] on malformed input. *)
+(** Inverse of {!to_csv} (axes are matched exactly — no rounding
+    tolerance).  Raises [Failure] on malformed input or a duplicated
+    [(tstart, ftarget)] cell, [Invalid_argument] when the parsed cells
+    disagree on the core count. *)
 
 val pp : Format.formatter -> t -> unit

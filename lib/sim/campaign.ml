@@ -13,18 +13,28 @@ type spec = {
   controllers : (string * (unit -> Policy.controller)) list;
   assignments : Policy.assignment list;
   scenarios : scenario list;
+  faults : (string * Fault.t list) list;
   config : Engine.config;
 }
+
+(* An empty fault axis means "the clean run only": the grid always has
+   at least one fault coordinate, and with no faults declared the
+   controllers run unwrapped — cells are bit-identical to a spec that
+   predates the axis. *)
+let fault_axis spec =
+  match spec.faults with [] -> [| ("none", []) |] | fs -> Array.of_list fs
 
 let cells spec =
   List.length spec.controllers
   * List.length spec.assignments
   * List.length spec.scenarios
+  * Array.length (fault_axis spec)
 
 type cell = {
   controller_name : string;
   assignment_name : string;
   scenario_name : string;
+  fault_name : string;
   index : int;
   result : Engine.result;
 }
@@ -48,8 +58,10 @@ let run ?domains ?on_cell ~machine spec =
           ~n_tasks:s.n_tasks s.mix)
       scenarios
   in
+  let faults = fault_axis spec in
   let n_assign = Array.length assignments in
   let n_scen = Array.length scenarios in
+  let n_fault = Array.length faults in
   let report =
     match on_cell with
     | None -> fun _ -> ()
@@ -64,20 +76,26 @@ let run ?domains ?on_cell ~machine spec =
             Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f c)
   in
   let run_cell index =
-    let ci = index / (n_assign * n_scen) in
-    let ai = index / n_scen mod n_assign in
-    let si = index mod n_scen in
+    let ci = index / (n_assign * n_scen * n_fault) in
+    let ai = index / (n_scen * n_fault) mod n_assign in
+    let si = index / n_fault mod n_scen in
+    let fi = index mod n_fault in
     let name, make_controller = controllers.(ci) in
     let assignment = assignments.(ai) in
+    let fault_name, fault_list = faults.(fi) in
+    (* Wrapping happens inside the cell, so every cell owns a fresh
+       fault state (noise stream, staleness buffer) — seeded faults
+       replay identically at any domain count. *)
+    let controller = Fault.wrap ~faults:fault_list (make_controller ()) in
     let result =
-      Engine.run ~config:spec.config machine (make_controller ()) assignment
-        traces.(si)
+      Engine.run ~config:spec.config machine controller assignment traces.(si)
     in
     let cell =
       {
         controller_name = name;
         assignment_name = assignment.Policy.assignment_name;
         scenario_name = scenarios.(si).scenario_name;
+        fault_name;
         index;
         result;
       }
@@ -86,17 +104,17 @@ let run ?domains ?on_cell ~machine spec =
     cell
   in
   Parallel.Pool.map ~domains run_cell
-    (Array.length controllers * n_assign * n_scen)
+    (Array.length controllers * n_assign * n_scen * n_fault)
 
 let pp_summary ppf cells =
-  Format.fprintf ppf "%-12s %-14s %-10s %9s %9s %9s %9s %6s@."
-    "controller" "assignment" "scenario" "peak C" "above s" "wait ms"
+  Format.fprintf ppf "%-12s %-14s %-10s %-10s %9s %9s %9s %9s %6s@."
+    "controller" "assignment" "scenario" "fault" "peak C" "above s" "wait ms"
     "energy J" "undone";
   Array.iter
     (fun c ->
       let s = c.result.Engine.stats in
-      Format.fprintf ppf "%-12s %-14s %-10s %9.2f %9.2f %9.3f %9.1f %6d@."
-        c.controller_name c.assignment_name c.scenario_name
+      Format.fprintf ppf "%-12s %-14s %-10s %-10s %9.2f %9.2f %9.3f %9.1f %6d@."
+        c.controller_name c.assignment_name c.scenario_name c.fault_name
         (Stats.peak_temperature s) (Stats.time_above s)
         (Stats.mean_waiting s *. 1e3)
         (Stats.energy s) c.result.Engine.unfinished)

@@ -7,11 +7,13 @@
     counterpart of [Protemp.Offline.sweep]'s design-time sweep.
 
     Determinism: each cell regenerates its trace from the scenario's
-    own seed and builds a fresh controller from its thunk, so a cell's
-    {!Stats.t} depends only on its grid coordinates — never on domain
-    count or execution order.  Results come back in index order,
-    controller-major: cell [(ci, ai, si)] lands at
-    [((ci * n_assignments) + ai) * n_scenarios + si]. *)
+    own seed and builds a fresh controller (and fresh {!Fault} state)
+    from its thunk, so a cell's {!Stats.t} depends only on its grid
+    coordinates — never on domain count or execution order.  Results
+    come back in index order, controller-major with the fault
+    coordinate varying fastest: cell [(ci, ai, si, fi)] lands at
+    [((((ci * n_assignments) + ai) * n_scenarios) + si) * n_faults
+    + fi]. *)
 
 type scenario = {
   scenario_name : string;
@@ -31,16 +33,23 @@ type spec = {
           mutable state, so every cell needs its own instance. *)
   assignments : Policy.assignment list;
   scenarios : scenario list;
+  faults : (string * Fault.t list) list;
+      (** Named fault scenarios; each cell's controller is wrapped
+          with {!Fault.wrap} inside the cell.  [[]] means a single
+          clean coordinate named ["none"] — cells are then
+          bit-identical to a fault-free campaign. *)
   config : Engine.config;
 }
 
 val cells : spec -> int
-(** Number of grid cells: controllers × assignments × scenarios. *)
+(** Number of grid cells: controllers × assignments × scenarios ×
+    fault scenarios (at least one). *)
 
 type cell = {
   controller_name : string;
   assignment_name : string;
   scenario_name : string;
+  fault_name : string;  (** ["none"] when the fault axis is empty. *)
   index : int;  (** Position in the result array. *)
   result : Engine.result;
 }

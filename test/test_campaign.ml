@@ -24,6 +24,7 @@ let small_spec ?(n_tasks = 400) () =
         Sim.Campaign.scenario ~seed:12L ~n_tasks ~name:"compute"
           Workload.Mix.compute_intensive;
       ];
+    faults = [];
     config = Sim.Engine.default_config;
   }
 
@@ -85,6 +86,133 @@ let test_on_cell_covers_grid () =
   in
   check_int "every cell reported" (Array.length cells) (Hashtbl.length seen)
 
+(* ------------------------------------------------------------------ *)
+(* The fault axis *)
+
+let faulty_spec ?n_tasks () =
+  {
+    (small_spec ?n_tasks ()) with
+    Sim.Campaign.faults =
+      [
+        ("clean", []);
+        ("noise1", [ Sim.Fault.sensor_noise ~seed:31L ~magnitude:1.0 () ]);
+        ("stale2", [ Sim.Fault.stale_observation ~epochs:2 ]);
+      ];
+  }
+
+let test_fault_axis_shape () =
+  let m = Lazy.force machine in
+  let spec = faulty_spec ~n_tasks:100 () in
+  let cells = Sim.Campaign.run ~domains:1 ~machine:m spec in
+  check_int "cell count triples" 36 (Array.length cells);
+  check_int "cells agrees" (Sim.Campaign.cells spec) (Array.length cells);
+  Array.iteri
+    (fun i c -> check_int "index matches position" i c.Sim.Campaign.index)
+    cells;
+  (* Fault varies fastest. *)
+  check_bool "fault order" true
+    (cells.(0).Sim.Campaign.fault_name = "clean"
+    && cells.(1).Sim.Campaign.fault_name = "noise1"
+    && cells.(2).Sim.Campaign.fault_name = "stale2"
+    && cells.(3).Sim.Campaign.fault_name = "clean"
+    && cells.(3).Sim.Campaign.scenario_name = "compute");
+  (* An empty fault list is the single clean coordinate. *)
+  let clean = Sim.Campaign.run ~domains:1 ~machine:m (small_spec ~n_tasks:100 ()) in
+  Array.iter
+    (fun c -> check_bool "default fault name" true (c.Sim.Campaign.fault_name = "none"))
+    clean;
+  (* The explicit clean coordinate reproduces the fault-free cell
+     bit-for-bit. *)
+  Array.iter
+    (fun c ->
+      if c.Sim.Campaign.fault_name = "clean" then begin
+        let matching =
+          Array.to_list clean
+          |> List.find (fun c' ->
+                 c'.Sim.Campaign.controller_name = c.Sim.Campaign.controller_name
+                 && c'.Sim.Campaign.assignment_name = c.Sim.Campaign.assignment_name
+                 && c'.Sim.Campaign.scenario_name = c.Sim.Campaign.scenario_name)
+        in
+        check_bool "clean coordinate bit-identical" true
+          (Sim.Stats.equal c.Sim.Campaign.result.Sim.Engine.stats
+             matching.Sim.Campaign.result.Sim.Engine.stats)
+      end)
+    cells
+
+let test_fault_axis_domain_invariant () =
+  (* Seeded fault state lives in the per-cell wrap, so faulty cells
+     must stay bit-identical at any domain count too. *)
+  let m = Lazy.force machine in
+  let spec = faulty_spec ~n_tasks:200 () in
+  let base = Sim.Campaign.run ~domains:1 ~machine:m spec in
+  List.iter
+    (fun domains ->
+      let cells = Sim.Campaign.run ~domains ~machine:m spec in
+      Array.iteri
+        (fun i c ->
+          check_bool
+            (Printf.sprintf "faulty cell %d identical at %d domains" i domains)
+            true
+            (Sim.Stats.equal base.(i).Sim.Campaign.result.Sim.Engine.stats
+               c.Sim.Campaign.result.Sim.Engine.stats))
+        cells)
+    [ 3; 5 ]
+
+(* Regression for the Online counter bug: counters used to live in a
+   global Hashtbl keyed by controller name, with a non-atomic id
+   counter — campaign workers building controllers concurrently could
+   collide on names and share (or lose) counts.  Now every instance
+   carries its own atomics and ids are atomic. *)
+let test_online_per_controller_counts () =
+  let m = Lazy.force machine in
+  let pspec =
+    { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 }
+  in
+  let lock = Mutex.create () in
+  let created = ref [] in
+  let make () =
+    let t = Protemp.Online.create ~machine:m ~spec:pspec () in
+    Mutex.lock lock;
+    created := t :: !created;
+    Mutex.unlock lock;
+    Protemp.Online.controller t
+  in
+  let spec =
+    {
+      Sim.Campaign.controllers = [ ("online", make) ];
+      assignments = [ Sim.Policy.first_idle ];
+      scenarios =
+        [
+          Sim.Campaign.scenario ~seed:21L ~n_tasks:80 ~name:"web"
+            Workload.Mix.web;
+          Sim.Campaign.scenario ~seed:22L ~n_tasks:80 ~name:"compute"
+            Workload.Mix.compute_intensive;
+        ];
+      faults =
+        [
+          ("clean", []);
+          ("noise1", [ Sim.Fault.sensor_noise ~seed:31L ~magnitude:1.0 () ]);
+        ];
+      config = Sim.Engine.default_config;
+    }
+  in
+  let cells = Sim.Campaign.run ~domains:4 ~machine:m spec in
+  let instances = !created in
+  check_int "one fresh instance per cell" (Array.length cells)
+    (List.length instances);
+  List.iter
+    (fun t ->
+      check_bool "every instance decided at least once" true
+        (Protemp.Online.solves t > 0))
+    instances;
+  let names =
+    List.map
+      (fun t -> (Protemp.Online.controller t).Sim.Policy.controller_name)
+      instances
+  in
+  check_int "instance names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
 let test_empty_spec_rejected () =
   let m = Lazy.force machine in
   let spec = { (small_spec ()) with Sim.Campaign.controllers = [] } in
@@ -104,6 +232,11 @@ let () =
             test_domain_count_invariant;
           Alcotest.test_case "on_cell covers the grid" `Quick
             test_on_cell_covers_grid;
+          Alcotest.test_case "fault axis shape" `Quick test_fault_axis_shape;
+          Alcotest.test_case "fault axis domain invariant" `Quick
+            test_fault_axis_domain_invariant;
+          Alcotest.test_case "online per-controller counts" `Quick
+            test_online_per_controller_counts;
           Alcotest.test_case "empty spec rejected" `Quick
             test_empty_spec_rejected;
         ] );

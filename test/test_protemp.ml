@@ -124,6 +124,99 @@ let test_table_csv_roundtrip () =
     done
   done
 
+let test_table_csv_rejects_duplicates () =
+  let t = synthetic_table () in
+  let csv = Protemp.Table.to_csv t in
+  let first_line =
+    List.hd (String.split_on_char '\n' csv)
+  in
+  check_bool "duplicate cell rejected" true
+    (match Protemp.Table.of_csv (csv ^ first_line ^ "\n") with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_table_make_validates_cell_dimensions () =
+  let bad cells =
+    match
+      Protemp.Table.make ~tstarts:[| 50.0; 80.0 |] ~ftargets:[| 1e8 |] cells
+    with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "mismatched core counts" true
+    (bad
+       [|
+         [| Protemp.Table.Frequencies (Vec.create 8 1e8) |];
+         [| Protemp.Table.Frequencies (Vec.create 4 1e8) |];
+       |]);
+  check_bool "empty frequency vector" true
+    (bad
+       [|
+         [| Protemp.Table.Frequencies [||] |];
+         [| Protemp.Table.Infeasible |];
+       |]);
+  check_bool "consistent dimensions accepted" true
+    (not
+       (bad
+          [|
+            [| Protemp.Table.Frequencies (Vec.create 8 1e8) |];
+            [| Protemp.Table.Infeasible |];
+          |]))
+
+(* CSV round-trip as a property, over random tables whose axis values
+   differ below the old %.6g print precision — exactly the tables the
+   rounded format used to corrupt by merging rows on re-read. *)
+let prop_table_csv_roundtrip_exact =
+  QCheck2.Test.make ~name:"table: CSV round-trips exactly" ~count:60
+    QCheck2.Gen.(
+      let* rows = int_range 1 4 in
+      let* cols = int_range 1 4 in
+      let* n_cores = int_range 1 4 in
+      let* t0 = float_range 20.0 90.0 in
+      let* tincs =
+        list_repeat (rows - 1) (oneofl [ 1.0; 3e-7; 1e-9; 0.1 +. 0.2 ])
+      in
+      let* f0 = float_range 1e8 5e8 in
+      let* fincs = list_repeat (cols - 1) (oneofl [ 1e8; 0.25; 1e-3 ]) in
+      let* cells =
+        list_repeat (rows * cols)
+          (oneof
+             [
+               return None;
+               map Option.some (list_repeat n_cores (float_range 0.0 1e9));
+             ])
+      in
+      return (t0, tincs, f0, fincs, cells))
+    (fun (t0, tincs, f0, fincs, cells) ->
+      let cumsum x0 incs =
+        Array.of_list
+          (List.rev
+             (List.fold_left
+                (fun acc d -> (List.hd acc +. d) :: acc)
+                [ x0 ] incs))
+      in
+      let tstarts = cumsum t0 tincs and ftargets = cumsum f0 fincs in
+      let cols = Array.length ftargets in
+      let grid =
+        Array.init (Array.length tstarts) (fun i ->
+            Array.init cols (fun j ->
+                match List.nth cells ((i * cols) + j) with
+                | None -> Protemp.Table.Infeasible
+                | Some vs -> Protemp.Table.Frequencies (Array.of_list vs)))
+      in
+      let t = Protemp.Table.make ~tstarts ~ftargets grid in
+      let t' = Protemp.Table.of_csv (Protemp.Table.to_csv t) in
+      Protemp.Table.tstarts t = Protemp.Table.tstarts t'
+      && Protemp.Table.ftargets t = Protemp.Table.ftargets t'
+      && Array.for_all
+           (fun i ->
+             Array.for_all
+               (fun j ->
+                 (* Structural equality: exact floats, no tolerance. *)
+                 Protemp.Table.cell t i j = Protemp.Table.cell t' i j)
+               (Array.init cols (fun j -> j)))
+           (Array.init (Array.length tstarts) (fun i -> i)))
+
 (* ------------------------------------------------------------------ *)
 (* Model *)
 
@@ -380,24 +473,32 @@ let test_ladder_quantize_table_preserves_guarantee () =
   let quantized =
     Protemp.Ladder.quantize_table ladder (Lazy.force small_table)
   in
-  (* Quantized cells never exceed the originals... *)
+  let levels = Protemp.Ladder.levels ladder in
+  let on_ladder f = f = 0.0 || Array.exists (fun l -> l = f) levels in
+  let ftargets = Protemp.Table.ftargets quantized in
+  let any_feasible = ref false in
+  (* Re-labelling contract: every stored cell is on the ladder and
+     honours its (possibly demoted) column's throughput promise. *)
   Array.iteri
     (fun i _ ->
       Array.iteri
-        (fun j _ ->
-          match
-            ( Protemp.Table.cell (Lazy.force small_table) i j,
-              Protemp.Table.cell quantized i j )
-          with
-          | Protemp.Table.Frequencies a, Protemp.Table.Frequencies b ->
-              Array.iteri
-                (fun k fq -> check_bool "rounded down" true (fq <= a.(k)))
-                b
-          | Protemp.Table.Infeasible, Protemp.Table.Infeasible -> ()
-          | _, _ -> Alcotest.fail "feasibility changed")
-        (Protemp.Table.ftargets quantized))
+        (fun j target ->
+          match Protemp.Table.cell quantized i j with
+          | Protemp.Table.Infeasible -> ()
+          | Protemp.Table.Frequencies f ->
+              any_feasible := true;
+              Array.iter
+                (fun fq -> check_bool "value on ladder" true (on_ladder fq))
+                f;
+              let sum = Array.fold_left ( +. ) 0.0 f in
+              let promised = float_of_int (Array.length f) *. target in
+              check_bool "column throughput honoured" true
+                (sum >= promised -. (1e-6 *. Float.max 1.0 promised)))
+        ftargets)
     (Protemp.Table.tstarts quantized);
-  (* ... so the audit must still pass. *)
+  check_bool "quantization kept some cells" true !any_feasible;
+  (* Every stored vector is elementwise at most a vector certified for
+     the same row, so the audit must still pass. *)
   let audit = Protemp.Guarantee.audit_table ~machine:m ~spec:fast_spec quantized in
   check_bool "audit" true (audit.Protemp.Guarantee.worst_margin >= -1e-9)
 
@@ -407,18 +508,119 @@ let test_ladder_quantize_table_preserves_guarantee () =
 let test_online_keeps_guarantee () =
   let m = Lazy.force machine in
   let spec = { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 } in
-  let controller = Protemp.Online.create ~machine:m ~spec () in
+  let online = Protemp.Online.create ~machine:m ~spec () in
   let trace = Workload.Trace.generate ~seed:808L ~n_tasks:1200 Workload.Mix.web in
-  let r = Sim.Engine.run m controller Sim.Policy.first_idle trace in
+  let r =
+    Sim.Engine.run m (Protemp.Online.controller online) Sim.Policy.first_idle
+      trace
+  in
   check_int "zero violations" 0 (Sim.Stats.violation_steps r.Sim.Engine.stats);
   check_int "all tasks done" 0 r.Sim.Engine.unfinished;
-  match Protemp.Online.solves controller with
-  | Some n -> check_bool "solved every epoch" true (n > 0)
-  | None -> Alcotest.fail "solve counter missing"
+  check_bool "solved every epoch" true (Protemp.Online.solves online > 0);
+  let c = Protemp.Online.counts online in
+  check_int "counts sum to solves"
+    (Protemp.Online.solves online)
+    (c.Protemp.Online.solved + c.Protemp.Online.fallbacks
+   + c.Protemp.Online.stops)
 
-let test_online_solves_counter_foreign () =
-  check_bool "foreign controller has no counter" true
-    (Protemp.Online.solves (Sim.Policy.workload_following ~fmax:1e9) = None)
+(* Hand-crafted observations drive each stage of the degradation
+   chain in turn: fresh solve, table fallback, safe stop. *)
+let obs_at m temp required =
+  let n = m.Sim.Machine.n_cores in
+  {
+    Sim.Policy.time = 0.0;
+    core_temperatures = Vec.create n temp;
+    max_core_temperature = temp;
+    required_frequency = required;
+    utilizations = Vec.create n 1.0;
+    queue_length = n;
+    queued_work = 1.0;
+  }
+
+let counts_testable =
+  Alcotest.testable
+    (fun fmt c ->
+      Format.fprintf fmt "{solved=%d; fallbacks=%d; stops=%d}"
+        c.Protemp.Online.solved c.Protemp.Online.fallbacks
+        c.Protemp.Online.stops)
+    ( = )
+
+let test_online_degradation_chain () =
+  let m = Lazy.force machine in
+  let spec = { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 } in
+  (* One certified low-frequency row just above the hot observation:
+     at 1e8 the cores cool, so the window peak is the start value. *)
+  let fallback =
+    Protemp.Guarantee.uniform_table ~machine:m ~spec ~tstarts:[| 99.5 |]
+      ~ftargets:[| 1e8 |] ()
+  in
+  (match Protemp.Table.cell fallback 0 0 with
+  | Protemp.Table.Frequencies _ -> ()
+  | Protemp.Table.Infeasible -> Alcotest.fail "fallback row not certified");
+  let online = Protemp.Online.create ~fallback ~machine:m ~spec () in
+  let probe, outcomes = Protemp.Online.outcome_probe online in
+  ignore probe;
+  let decide = (Protemp.Online.controller online).Sim.Policy.decide in
+  (* Cool and modest: the fresh solve succeeds. *)
+  let f = decide (obs_at m 45.0 2e8) in
+  check_bool "solved answer is positive" true (Vec.max f > 0.0);
+  Alcotest.check counts_testable "solve first"
+    { Protemp.Online.solved = 1; fallbacks = 0; stops = 0 }
+    (Protemp.Online.counts online);
+  (* Nearly at the cap demanding fmax: infeasible, so the table's
+     next-lower-feasible-column rule answers. *)
+  let f = decide (obs_at m 99.0 1e9) in
+  check_bool "fallback answers the table cell" true
+    (Vec.max f <= 1e8 +. 1.0 && Vec.max f > 0.0);
+  Alcotest.check counts_testable "then fall back"
+    { Protemp.Online.solved = 1; fallbacks = 1; stops = 0 }
+    (Protemp.Online.counts online);
+  Alcotest.check counts_testable "probe sees the same outcomes"
+    (Protemp.Online.counts online)
+    (outcomes ());
+  (* No fallback table: the chain ends in a safe stop. *)
+  let bare = Protemp.Online.create ~machine:m ~spec () in
+  let f = (Protemp.Online.controller bare).Sim.Policy.decide (obs_at m 99.0 1e9) in
+  check_float 0.0 "stop vector" 0.0 (Vec.max f);
+  Alcotest.check counts_testable "last resort stops"
+    { Protemp.Online.solved = 0; fallbacks = 0; stops = 1 }
+    (Protemp.Online.counts bare)
+
+(* Golden zero-fault check: the hardened path (explicit margin 0.0,
+   wrapped in an empty fault list) must reproduce the plain controller
+   bit-for-bit — the guard band and fault layer cost nothing when off. *)
+let test_online_zero_fault_bit_identical () =
+  let m = Lazy.force machine in
+  let spec = { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 } in
+  let trace =
+    Workload.Trace.generate ~seed:515L ~n_tasks:300 Workload.Mix.web
+  in
+  let run ctrl = Sim.Engine.run m ctrl Sim.Policy.first_idle trace in
+  let plain =
+    run (Protemp.Online.controller (Protemp.Online.create ~machine:m ~spec ()))
+  in
+  let hardened =
+    run
+      (Sim.Fault.wrap ~faults:[]
+         (Protemp.Online.controller
+            (Protemp.Online.create ~margin:0.0 ~machine:m ~spec ())))
+  in
+  check_bool "bit-identical stats" true
+    (Sim.Stats.equal plain.Sim.Engine.stats hardened.Sim.Engine.stats);
+  check_int "identical unfinished" plain.Sim.Engine.unfinished
+    hardened.Sim.Engine.unfinished
+
+let test_online_margin_validation () =
+  let m = Lazy.force machine in
+  let bad margin =
+    match Protemp.Online.create ~margin ~machine:m ~spec:fast_spec () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "negative margin" true (bad (-1.0));
+  check_bool "margin swallows the envelope" true
+    (bad fast_spec.Protemp.Spec.tmax);
+  check_bool "sane margin accepted" true (not (bad 5.0))
 
 (* The headline property: Pro-Temp never exceeds tmax, on random
    traces. *)
@@ -443,6 +645,60 @@ let prop_never_exceeds_tmax =
 
 (* And the contrast: under the same saturating load, the reactive
    baseline does violate. *)
+(* The PR's acceptance property, end to end: a certified-but-unguarded
+   table breaks the cap under every injected fault severity (stale
+   observations plus bounded sensor noise), while the same table built
+   with a 5 C guard band absorbs all of them — and with zero faults
+   the two reproduce the guarantee exactly. *)
+let test_guard_band_absorbs_faults () =
+  let m = Lazy.force machine in
+  let spec = Protemp.Spec.default in
+  let tstarts = Array.init 74 (fun i -> 27.0 +. float_of_int i) in
+  let ftargets = Array.init 9 (fun i -> float_of_int (i + 1) *. 1e8) in
+  let table margin =
+    Protemp.Guarantee.uniform_table ~machine:m ~spec ~margin ~tstarts
+      ~ftargets ()
+  in
+  let trace =
+    Workload.Trace.generate ~seed:7L ~n_tasks:2500
+      Workload.Mix.compute_intensive
+  in
+  let severities = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let faults_of s =
+    if s = 0.0 then []
+    else
+      [
+        Sim.Fault.sensor_noise ~seed:1807L ~magnitude:2.0 ();
+        Sim.Fault.stale_observation ~epochs:(int_of_float s);
+      ]
+  in
+  let sweep tbl =
+    Protemp.Guarantee.violations_under_faults ~machine:m
+      ~controller:(fun () -> Protemp.Controller.create ~table:tbl)
+      ~trace ~faults_of ~severities ()
+  in
+  let unguarded = sweep (table 0.0) in
+  let guarded = sweep (table 5.0) in
+  Array.iteri
+    (fun i (u : Protemp.Guarantee.severity_point) ->
+      let g = guarded.(i) in
+      check_bool "steps audited" true
+        (u.Protemp.Guarantee.thermal.Sim.Probe.audited_steps > 0);
+      if u.Protemp.Guarantee.severity = 0.0 then
+        check_int "zero faults, zero violations (unguarded)" 0
+          u.Protemp.Guarantee.thermal.Sim.Probe.violating_steps
+      else
+        check_bool
+          (Printf.sprintf "unguarded violates at severity %.0f"
+             u.Protemp.Guarantee.severity)
+          true
+          (u.Protemp.Guarantee.thermal.Sim.Probe.violating_steps > 0);
+      check_int
+        (Printf.sprintf "guarded absorbs severity %.0f"
+           g.Protemp.Guarantee.severity)
+        0 g.Protemp.Guarantee.thermal.Sim.Probe.violating_steps)
+    unguarded
+
 let test_basic_dfs_violates_under_load () =
   let m = Lazy.force machine in
   let trace =
@@ -522,7 +778,11 @@ let prop_table_lookup_semantics =
 
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_never_exceeds_tmax; prop_table_lookup_semantics ]
+    [
+      prop_never_exceeds_tmax;
+      prop_table_lookup_semantics;
+      prop_table_csv_roundtrip_exact;
+    ]
 
 let () =
   Alcotest.run "protemp"
@@ -544,6 +804,10 @@ let () =
             test_table_lookup_none_when_too_hot;
           Alcotest.test_case "frontier" `Quick test_table_frontier;
           Alcotest.test_case "csv roundtrip" `Quick test_table_csv_roundtrip;
+          Alcotest.test_case "csv rejects duplicates" `Quick
+            test_table_csv_rejects_duplicates;
+          Alcotest.test_case "cell dimension validation" `Quick
+            test_table_make_validates_cell_dimensions;
         ] );
       ( "model",
         [
@@ -591,14 +855,20 @@ let () =
         [
           Alcotest.test_case "keeps the guarantee" `Slow
             test_online_keeps_guarantee;
-          Alcotest.test_case "foreign counter" `Quick
-            test_online_solves_counter_foreign;
+          Alcotest.test_case "degradation chain" `Quick
+            test_online_degradation_chain;
+          Alcotest.test_case "zero-fault bit identical" `Slow
+            test_online_zero_fault_bit_identical;
+          Alcotest.test_case "margin validation" `Quick
+            test_online_margin_validation;
         ] );
       ( "guarantee",
         [
           Alcotest.test_case "window peak cooling" `Quick
             test_guarantee_window_peak_cooling;
           Alcotest.test_case "table audit" `Slow test_guarantee_audit_table;
+          Alcotest.test_case "guard band absorbs faults" `Slow
+            test_guard_band_absorbs_faults;
           Alcotest.test_case "basic-dfs violates" `Slow
             test_basic_dfs_violates_under_load;
         ] );
