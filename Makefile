@@ -1,4 +1,4 @@
-.PHONY: ci build test bench clean
+.PHONY: ci build test lint bench clean
 
 # Everything the tier-1 gate runs: full build, then the test suites.
 # `dune runtest` also executes both benchmarks in fast mode
@@ -9,14 +9,23 @@
 # fault axis) across domain counts, and the fault sweep's golden
 # guarantee gate — a zero-fault configuration reporting any tmax
 # violation, or the guard-banded table failing to absorb an injected
-# fault, exits non-zero.
-ci: build test
+# fault, exits non-zero.  `dune runtest` additionally self-lints the
+# whole tree (see the root `dune` rule), and `lint` below runs the
+# same pass standalone; ci runs it explicitly so a lint regression is
+# reported even if the runtest alias is filtered.
+ci: build test lint
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Static analysis: domain-safety, alloc-free manifest, float equality,
+# mli coverage (DESIGN.md section 6f).  Exits non-zero on any
+# unsuppressed finding.
+lint:
+	dune exec bin/protemp_cli.exe -- lint --manifest lint.manifest
 
 # Full-size benchmarks; rewrite BENCH_sweep.json / BENCH_sim.json.
 bench:

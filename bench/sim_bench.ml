@@ -205,7 +205,8 @@ let guard_margin = 5.0
 let severities = [| 0.0; 1.0; 2.0; 3.0 |]
 
 let faults_of s =
-  if s = 0.0 then []
+  (* Bit-exact: 0.0 is the sentinel for "no fault injection". *)
+  if Float.equal s 0.0 then []
   else
     [
       Sim.Fault.sensor_noise ~seed:1807L ~magnitude:2.0 ();
@@ -267,7 +268,8 @@ let () =
     "  minor allocation: %.3f words/step (%.3f amortized with 100 ms epochs)\n\
      %!"
     alloc alloc_amortized;
-  check "zero allocation per steady-state step" (alloc = 0.0);
+  (* Bit-exact: the invariant is literally zero words allocated. *)
+  check "zero allocation per steady-state step" (Float.equal alloc 0.0);
 
   let tsteps, tt_new, tt_ref, trace_agree = trace_pair () in
   let trace_new = float_of_int tsteps /. tt_new in
@@ -339,7 +341,8 @@ let () =
   check "unguarded table breaks under every nonzero severity"
     (Array.for_all
        (fun (p : Protemp.Guarantee.severity_point) ->
-         p.Protemp.Guarantee.severity = 0.0
+         (* Bit-exact: severity 0.0 is the "no violation" sentinel. *)
+         Float.equal p.Protemp.Guarantee.severity 0.0
          || p.Protemp.Guarantee.thermal.Sim.Probe.violating_steps > 0)
        unguarded_pts);
 

@@ -4,7 +4,8 @@
    protemp frontier  — max supportable frequency from a temperature
    protemp table     — Phase-1 sweep, written as CSV
    protemp validate  — audit a table against the thermal simulator
-   protemp simulate  — run a trace under a controller *)
+   protemp simulate  — run a trace under a controller
+   protemp lint      — static-analysis pass over the repo sources *)
 
 open Cmdliner
 
@@ -151,7 +152,8 @@ let table_cmd =
   let run uniform gradient stride tstarts ftargets domains margin out =
     let spec = spec_of ~uniform ~gradient ~stride in
     let spec =
-      if margin = 0.0 then spec
+      (* Bit-exact: 0.0 is the flag default meaning "no margin". *)
+      if Float.equal margin 0.0 then spec
       else if margin < 0.0 || margin >= spec.Protemp.Spec.tmax then
         failwith "margin must be in [0, tmax)"
       else
@@ -579,9 +581,56 @@ let campaign_cmd =
       const run $ table_file $ guarded_table_file $ mixes $ tasks $ seed
       $ domains $ noise_axis $ stale_axis $ fault_seed)
 
+(* ----- lint ----- *)
+
+let lint_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Render findings as a JSON array on stdout.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Alloc-free manifest (default: lint.manifest under the root when \
+             present).")
+  in
+  let root =
+    Arg.(
+      value & opt dir "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Repository root; lib/, bin/ and bench/ under it are linted.")
+  in
+  let run json manifest root =
+    let manifest_path =
+      match manifest with
+      | Some _ as m -> m
+      | None ->
+          if Sys.file_exists (Filename.concat root "lint.manifest") then
+            Some "lint.manifest"
+          else None
+    in
+    let findings, files = Lint.Driver.run_repo ~root ?manifest_path () in
+    if json then print_endline (Lint.Finding.list_to_json findings)
+    else
+      List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+    Printf.eprintf "lint: %d finding(s) in %d file(s)\n%!"
+      (List.length findings) (List.length files);
+    if findings = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Enforce the domain-safety, alloc-free, float-equality and \
+          mli-coverage invariants over the repository sources.")
+    Term.(const run $ json $ manifest $ root)
+
 let () =
   let doc = "Pro-Temp: convex-optimization thermal control of multi-cores" in
   let info = Cmd.info "protemp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ solve_cmd; frontier_cmd; table_cmd; validate_cmd;
-                       simulate_cmd; campaign_cmd ]))
+                       simulate_cmd; campaign_cmd; lint_cmd ]))

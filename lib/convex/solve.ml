@@ -33,7 +33,8 @@ let solve ?(options = Barrier.default_options) ?backend ?compiled ?stats_into
       with
       | Phase1.Strictly_feasible x -> `Found x
       | Phase1.Infeasible worst
-        when Vec.norm_inf x0 = 0.0 || worst > 1e-2 ->
+        (* Bit-exact: the all-zeros start is a sentinel, not a measure. *)
+        when Float.equal (Vec.norm_inf x0) 0.0 || worst > 1e-2 ->
           (* A decisive violation, or nothing different to retry
              from. *)
           `Infeasible worst

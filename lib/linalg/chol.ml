@@ -68,6 +68,7 @@ let factorize_attempt_into { l } ~jitter a =
         acc := !acc -. (Mat.get l i k *. Mat.get l j k)
       done;
       if i = j then begin
+        (* lint: alloc-free the exception payload allocates only on the abandoned attempt *)
         if !acc <= 0.0 then raise (Not_positive_definite i);
         Mat.set l i i (sqrt !acc)
       end

@@ -37,7 +37,8 @@ let factorize ?pivot_tol a =
     for i = k + 1 to n - 1 do
       let m = Mat.get lu i k /. pivot in
       Mat.set lu i k m;
-      if m <> 0.0 then
+      (* Bit-exact: skipping only true zeros keeps the update exact. *)
+      if not (Float.equal m 0.0) then
         for j = k + 1 to n - 1 do
           Mat.set lu i j (Mat.get lu i j -. (m *. Mat.get lu k j))
         done

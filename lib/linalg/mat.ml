@@ -89,6 +89,7 @@ let matmul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
+      (* lint: float-equality exact-zero skip, hot kernel *)
       if aik <> 0.0 then
         for j = 0 to b.cols - 1 do
           c.data.((i * b.cols) + j) <-
@@ -106,11 +107,11 @@ let gemv_into ?(trans = false) ?(alpha = 1.0) ?(beta = 0.0) a x ~dst =
   if trans then begin
     if Vec.dim x <> m then invalid_arg "Mat.gemv_into: dimension mismatch";
     if Vec.dim dst <> n then invalid_arg "Mat.gemv_into: bad destination";
-    if beta = 0.0 then Vec.fill dst 0.0
-    else if beta <> 1.0 then Vec.scale_into ~dst beta;
+    if beta = 0.0 then Vec.fill dst 0.0 (* lint: float-equality exact dispatch on the blas-style default *)
+    else if beta <> 1.0 then Vec.scale_into ~dst beta; (* lint: float-equality exact dispatch on the blas-style default *)
     for i = 0 to m - 1 do
       let xi = alpha *. x.(i) in
-      if xi <> 0.0 then begin
+      if xi <> 0.0 then begin (* lint: float-equality exact-zero skip, hot kernel *)
         let base = i * n in
         for j = 0 to n - 1 do
           dst.(j) <- dst.(j) +. (xi *. data.(base + j))
@@ -128,6 +129,7 @@ let gemv_into ?(trans = false) ?(alpha = 1.0) ?(beta = 0.0) a x ~dst =
         acc := !acc +. (data.(base + j) *. x.(j))
       done;
       dst.(i) <-
+        (* lint: float-equality exact dispatch on the blas-style default *)
         (if beta = 0.0 then alpha *. !acc
          else (alpha *. !acc) +. (beta *. dst.(i)))
     done
@@ -143,19 +145,6 @@ let syrk_scaled_into a d ~dst =
   if dst.rows <> n || dst.cols <> n then
     invalid_arg "Mat.syrk_scaled_into: bad destination";
   let ad = a.data and hd = dst.data in
-  let rank1 i0 =
-    let base = i0 * n in
-    let di = d.(i0) in
-    for j = 0 to n - 1 do
-      let c = di *. ad.(base + j) in
-      if c <> 0.0 then begin
-        let hbase = j * n in
-        for k = j to n - 1 do
-          hd.(hbase + k) <- hd.(hbase + k) +. (c *. ad.(base + k))
-        done
-      end
-    done
-  in
   let i = ref 0 in
   while !i + 1 < m do
     let i0 = !i in
@@ -163,7 +152,7 @@ let syrk_scaled_into a d ~dst =
     let d0 = d.(i0) and d1 = d.(i0 + 1) in
     for j = 0 to n - 1 do
       let c0 = d0 *. ad.(b0 + j) and c1 = d1 *. ad.(b1 + j) in
-      if c0 <> 0.0 || c1 <> 0.0 then begin
+      if c0 <> 0.0 || c1 <> 0.0 then begin (* lint: float-equality exact-zero skip, hot kernel *)
         let hbase = j * n in
         for k = j to n - 1 do
           hd.(hbase + k) <-
@@ -173,7 +162,22 @@ let syrk_scaled_into a d ~dst =
     done;
     i := i0 + 2
   done;
-  if !i < m then rank1 !i
+  (* Odd-row tail, written out inline: a local [rank1] helper would be
+     a closure allocation, and this function is alloc-free-listed. *)
+  if !i < m then begin
+    let i0 = !i in
+    let base = i0 * n in
+    let di = d.(i0) in
+    for j = 0 to n - 1 do
+      let c = di *. ad.(base + j) in
+      if c <> 0.0 then begin (* lint: float-equality exact-zero skip, hot kernel *)
+        let hbase = j * n in
+        for k = j to n - 1 do
+          hd.(hbase + k) <- hd.(hbase + k) +. (c *. ad.(base + k))
+        done
+      end
+    done
+  end
 
 let mul_vec_into a x ~dst =
   if a.cols <> Vec.dim x then
@@ -199,7 +203,7 @@ let tmul_vec a x =
   let dst = Vec.zeros a.cols in
   for i = 0 to a.rows - 1 do
     let xi = x.(i) in
-    if xi <> 0.0 then
+    if xi <> 0.0 then (* lint: float-equality exact-zero skip, hot kernel *)
       let base = i * a.cols in
       for j = 0 to a.cols - 1 do
         dst.(j) <- dst.(j) +. (a.data.(base + j) *. xi)
@@ -216,7 +220,7 @@ let add_outer_into a c x =
     invalid_arg "Mat.add_outer_into: dimension mismatch";
   for i = 0 to n - 1 do
     let cxi = c *. x.(i) in
-    if cxi <> 0.0 then
+    if cxi <> 0.0 then (* lint: float-equality exact-zero skip, hot kernel *)
       let base = i * n in
       for j = 0 to n - 1 do
         a.data.(base + j) <- a.data.(base + j) +. (cxi *. x.(j))
@@ -229,7 +233,7 @@ let add_outer_upper_into a c x =
     invalid_arg "Mat.add_outer_upper_into: dimension mismatch";
   for i = 0 to n - 1 do
     let cxi = c *. x.(i) in
-    if cxi <> 0.0 then
+    if cxi <> 0.0 then (* lint: float-equality exact-zero skip, hot kernel *)
       let base = i * n in
       for j = i to n - 1 do
         a.data.(base + j) <- a.data.(base + j) +. (cxi *. x.(j))

@@ -20,7 +20,8 @@ let factorize a =
       norm := !norm +. (x *. x)
     done;
     let norm = sqrt !norm in
-    if norm = 0.0 then begin
+    (* Bit-exact: only a literally zero column gets the identity reflector. *)
+    if Float.equal norm 0.0 then begin
       betas.(k) <- 0.0;
       diag_v.(k) <- 1.0
     end
@@ -34,7 +35,8 @@ let factorize a =
         let x = Mat.get qr i k in
         vtv := !vtv +. (x *. x)
       done;
-      betas.(k) <- (if !vtv = 0.0 then 0.0 else 2.0 /. !vtv);
+      (* Bit-exact: guards the division; any nonzero vtv is usable. *)
+      betas.(k) <- (if Float.equal !vtv 0.0 then 0.0 else 2.0 /. !vtv);
       diag_v.(k) <- v0;
       (* Apply the reflector to the trailing columns only: column k's
          sub-diagonal keeps storing the reflector vector, and its
@@ -65,7 +67,8 @@ let qt_mul f b =
   if Vec.dim b <> m then invalid_arg "Qr.qt_mul: dimension mismatch";
   let y = Vec.copy b in
   for k = 0 to n - 1 do
-    if f.betas.(k) <> 0.0 then begin
+    (* Bit-exact: beta 0.0 marks the identity reflector stored above. *)
+    if not (Float.equal f.betas.(k) 0.0) then begin
       let dot = ref (f.diag_v.(k) *. y.(k)) in
       for i = k + 1 to m - 1 do
         dot := !dot +. (Mat.get f.qr i k *. y.(i))

@@ -30,7 +30,8 @@ let of_triplets ~rows ~cols triplets =
     triplets;
   let entries =
     Hashtbl.fold
-      (fun (r, c) v acc -> if v = 0.0 then acc else (r, c, v) :: acc)
+      (* Bit-exact: only true zeros may be dropped from the pattern. *)
+      (fun (r, c) v acc -> if Float.equal v 0.0 then acc else (r, c, v) :: acc)
       tbl []
   in
   let entries =

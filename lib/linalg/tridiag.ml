@@ -15,12 +15,14 @@ let solve ~lower ~diag ~upper ~rhs =
     (* Thomas algorithm with forward sweep into scratch arrays. *)
     let c' = Vec.zeros (Stdlib.max 0 (n - 1)) in
     let d' = Vec.zeros n in
-    if diag.(0) = 0.0 then raise (Singular 0);
+    (* Bit-exact: only a literally zero pivot is singular. *)
+    if Float.equal diag.(0) 0.0 then raise (Singular 0);
     if n > 1 then c'.(0) <- upper.(0) /. diag.(0);
     d'.(0) <- rhs.(0) /. diag.(0);
     for i = 1 to n - 1 do
       let denom = diag.(i) -. (lower.(i - 1) *. c'.(i - 1)) in
-      if denom = 0.0 then raise (Singular i);
+      (* Bit-exact: only a literally zero pivot is singular. *)
+      if Float.equal denom 0.0 then raise (Singular i);
       if i < n - 1 then c'.(i) <- upper.(i) /. denom;
       d'.(i) <- (rhs.(i) -. (lower.(i - 1) *. d'.(i - 1))) /. denom
     done;

@@ -1,0 +1,184 @@
+(* Alloc-free manifest: the bodies of the listed hot-path functions
+   must contain no syntactic allocation site — tuple/record/array
+   construction, non-constant constructors ([Some], [::], ...),
+   closures, [lazy], or partial application of a same-file function.
+   This statically complements the runtime [Gc.minor_words] test: the
+   test proves one trace allocates nothing, the manifest proves no
+   allocating *syntax* sneaks back into any covered body.
+
+   Deliberate blind spots (documented in DESIGN.md):
+   - [ref] is not flagged: local refs that do not escape compile to
+     mutable variables, and escaping ones are almost always a design
+     choice the surrounding code comments on.
+   - Calls are opaque: a call to an allocating function is not a
+     syntactic allocation.  The manifest must list callees too.
+   - Boxing the compiler inserts (optional-argument [Some] wrapping,
+     float boxing at closure boundaries) is invisible at parse level;
+     that is what the runtime test is for.
+
+   The manifest is strict: an entry whose function cannot be found is
+   an error, so a renamed hot function cannot silently drop out of
+   coverage. *)
+
+open Parsetree
+
+let id = "alloc-free"
+
+let binding_of_name vbs seg =
+  List.find_opt
+    (fun vb ->
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { txt; _ } -> txt = seg
+      | _ -> false)
+    vbs
+
+(* First [let seg = ...] binding anywhere inside [e] (depth-first). *)
+let find_nested_let seg e =
+  let found = ref None in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self sub ->
+          (match sub.pexp_desc with
+          | Pexp_let (_, vbs, _) when !found = None -> (
+              match binding_of_name vbs seg with
+              | Some vb -> found := Some vb.pvb_expr
+              | None -> ())
+          | _ -> ());
+          if !found = None then Ast_iterator.default_iterator.expr self sub);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* Resolve a dotted path: module segments, then a toplevel value, then
+   nested [let ... in] bindings inside that value. *)
+let rec resolve_in_structure items = function
+  | [] -> None
+  | seg :: rest ->
+      let rec try_items = function
+        | [] -> None
+        | item :: tl -> (
+            match item.pstr_desc with
+            | Pstr_value (_, vbs) -> (
+                match binding_of_name vbs seg with
+                | Some vb -> resolve_in_expr vb.pvb_expr rest
+                | None -> try_items tl)
+            | Pstr_module mb when mb.pmb_name.Asttypes.txt = Some seg ->
+                resolve_in_module mb.pmb_expr rest
+            | _ -> try_items tl)
+      in
+      try_items items
+
+and resolve_in_module me rest =
+  match me.pmod_desc with
+  | Pmod_structure items -> resolve_in_structure items rest
+  | Pmod_constraint (me, _) -> resolve_in_module me rest
+  | _ -> None
+
+and resolve_in_expr e = function
+  | [] -> Some e
+  | seg :: rest -> (
+      match find_nested_let seg e with
+      | Some inner -> resolve_in_expr inner rest
+      | None -> None)
+
+(* Syntactic arity of every toplevel value in the file, for the
+   partial-application heuristic.  Only same-file, unlabelled-only
+   functions participate: cross-module arities and optional-argument
+   defaulting are invisible at parse level. *)
+let toplevel_arities structure =
+  let arities = Hashtbl.create 16 in
+  let add_items items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } ->
+                    let n, opt, _ = Checker.peel_params vb.pvb_expr in
+                    if n > 0 && not opt then Hashtbl.replace arities txt n
+                | _ -> ())
+              vbs
+        | _ -> ())
+      items
+  in
+  add_items structure;
+  arities
+
+let scan_body ~(emit : Checker.emit) ~arities ~entry_desc body =
+  let flag loc what =
+    emit ~line:(Checker.line_of loc) ~col:(Checker.col_of loc)
+      (Printf.sprintf "allocation in alloc-free function %s: %s" entry_desc
+         what)
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_tuple _ -> flag e.pexp_loc "tuple construction"
+          | Pexp_record _ -> flag e.pexp_loc "record construction"
+          | Pexp_array _ -> flag e.pexp_loc "array literal"
+          | Pexp_construct ({ txt; _ }, Some _) ->
+              flag e.pexp_loc
+                (Printf.sprintf "constructor '%s' with payload"
+                   (String.concat "." (Longident.flatten txt)))
+          | Pexp_variant (tag, Some _) ->
+              flag e.pexp_loc
+                (Printf.sprintf "polymorphic variant `%s with payload" tag)
+          | Pexp_fun _ | Pexp_function _ -> flag e.pexp_loc "closure"
+          | Pexp_lazy _ -> flag e.pexp_loc "lazy block"
+          | Pexp_object _ -> flag e.pexp_loc "object literal"
+          | Pexp_pack _ -> flag e.pexp_loc "first-class module"
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident f; _ }; _ }, args)
+            when Hashtbl.mem arities f ->
+              let arity = Hashtbl.find arities f in
+              if List.length args < arity then
+                flag e.pexp_loc
+                  (Printf.sprintf
+                     "partial application of '%s' (%d of %d arguments)" f
+                     (List.length args) arity)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body
+
+let checker manifest =
+  {
+    Checker.id;
+    keys = [ id ];
+    describe =
+      "manifest-listed hot functions contain no syntactic allocation site";
+    check =
+      (fun ~emit source ->
+        match Manifest.entries_for manifest source.Checker.path with
+        | [] -> ()
+        | entries ->
+            let arities = toplevel_arities source.Checker.ast in
+            List.iter
+              (fun { Manifest.funcpath; line; _ } ->
+                let name = String.concat "." funcpath in
+                match resolve_in_structure source.Checker.ast funcpath with
+                | None ->
+                    (* Strict manifest: a stale entry is an error in
+                       the manifest itself, never silently dropped
+                       coverage. *)
+                    emit ~file:manifest.Manifest.path ~line
+                      (Printf.sprintf
+                         "manifest names unknown function '%s' in %s — \
+                          renamed or removed hot functions must be updated \
+                          here, not dropped"
+                         name source.Checker.path)
+                | Some expr ->
+                    let _, _, body = Checker.peel_params expr in
+                    scan_body ~emit ~arities
+                      ~entry_desc:(Printf.sprintf "'%s'" name)
+                      body)
+              entries);
+  }

@@ -1,0 +1,11 @@
+(** Alloc-free checker: every function listed in the manifest must
+    contain no syntactic allocation site (tuples, records, arrays,
+    payload constructors, closures, [lazy], partial application of a
+    same-file function).  Entries naming unknown functions are errors
+    reported against the manifest file.  Suppression key:
+    [alloc-free]. *)
+
+val id : string
+
+(** Build the checker for one parsed manifest. *)
+val checker : Manifest.t -> Checker.t

@@ -1,0 +1,59 @@
+(* The pluggable checker interface.  A checker sees one parsed source
+   file and emits findings through the driver-provided [emit]; the
+   driver owns suppression filtering and sorting. *)
+
+type source = {
+  path : string;  (* repo-relative, '/'-separated *)
+  text : string;
+  ast : Parsetree.structure;
+  in_lib : bool;  (* under lib/ — library code *)
+  mli_exists : bool option;  (* None when unknown (string fixtures) *)
+  internal : bool;  (* carries a (* lint: internal ... *) marker *)
+}
+
+(* [emit ?file ?suppress_at ~line ?col msg]: [file] overrides the
+   source path (manifest-level findings; these bypass suppression);
+   [suppress_at] adds extra lines at which a suppression comment also
+   silences this finding (e.g. the head of a multi-line binding). *)
+type emit =
+  ?file:string -> ?suppress_at:int list -> line:int -> ?col:int -> string -> unit
+
+type t = {
+  id : string;
+  keys : string list;  (* suppression keys this checker honours *)
+  describe : string;
+  check : emit:emit -> source -> unit;
+}
+
+let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let col_of (loc : Location.t) =
+  loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol
+
+(* Leading parameters of a function binding: count of syntactic
+   parameters and whether any is optional, plus the body behind them.
+   Peels [fun], [fun (type a)], and constraint/coercion wrappers. *)
+let rec peel_params ?(n = 0) ?(opt = false) (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (label, _, _, body) ->
+      let opt =
+        opt || match label with Asttypes.Optional _ -> true | _ -> false
+      in
+      peel_params ~n:(n + 1) ~opt body
+  | Pexp_newtype (_, body) -> peel_params ~n ~opt body
+  | Pexp_constraint (body, _) | Pexp_coerce (body, _, _) ->
+      peel_params ~n ~opt body
+  | _ -> (n, opt, e)
+
+(* Walk every expression of a structure, including nested modules. *)
+let iter_expressions structure f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          f e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it structure

@@ -1,0 +1,38 @@
+(** The pluggable checker interface and shared parsetree helpers. *)
+
+type source = {
+  path : string;  (** repo-relative, ['/']-separated *)
+  text : string;
+  ast : Parsetree.structure;
+  in_lib : bool;  (** under [lib/] — library code *)
+  mli_exists : bool option;  (** [None] when unknown (string fixtures) *)
+  internal : bool;  (** carries a [(* lint: internal ... *)] marker *)
+}
+
+(** [emit ?file ?suppress_at ~line ?col msg].  [file] overrides the
+    source path (manifest-level findings; these bypass suppression);
+    [suppress_at] adds extra lines at which a suppression comment
+    also silences the finding. *)
+type emit =
+  ?file:string -> ?suppress_at:int list -> line:int -> ?col:int -> string -> unit
+
+type t = {
+  id : string;
+  keys : string list;  (** suppression keys this checker honours *)
+  describe : string;
+  check : emit:emit -> source -> unit;
+}
+
+val line_of : Location.t -> int
+val col_of : Location.t -> int
+
+(** [(n_params, has_optional, body)] of a function binding after
+    peeling leading [fun]/[newtype]/constraint nodes. *)
+val peel_params :
+  ?n:int -> ?opt:bool -> Parsetree.expression ->
+  int * bool * Parsetree.expression
+
+(** Apply [f] to every expression of the structure, nested modules
+    included. *)
+val iter_expressions :
+  Parsetree.structure -> (Parsetree.expression -> unit) -> unit

@@ -1,0 +1,149 @@
+(* Domain-safety: no unsynchronized toplevel mutable state in library
+   code.  A toplevel [ref]/[Hashtbl.create]/[Buffer.create]/... or a
+   record literal with mutable fields is one heap object shared by
+   every domain that touches the module — exactly the class of race a
+   global online-controller counter table once introduced.  Wrapping
+   the state in [Atomic.make] is accepted; anything else needs a
+   [(* lint: domain-local <reason> *)] suppression. *)
+
+open Parsetree
+
+let id = "domain-safety"
+
+(* Module.function applications that create mutable state. *)
+let creator_paths =
+  [
+    ("Hashtbl", "create");
+    ("Buffer", "create");
+    ("Queue", "create");
+    ("Stack", "create");
+  ]
+
+(* Mutable record fields declared by the file itself: a toplevel
+   record literal writing one of these is shared mutable state.  Only
+   same-file declarations are visible at parsetree level; cross-module
+   mutable records are out of scope (and rare at toplevel). *)
+let mutable_fields structure =
+  let fields = Hashtbl.create 8 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun self td ->
+          (match td.ptype_kind with
+          | Ptype_record labels ->
+              List.iter
+                (fun l ->
+                  if l.pld_mutable = Asttypes.Mutable then
+                    Hashtbl.replace fields l.pld_name.Asttypes.txt ())
+                labels
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration self td);
+    }
+  in
+  it.structure it structure;
+  fields
+
+let last_of = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply _ -> ""
+
+(* Scan the right-hand side of one toplevel binding.  Descent stops
+   at function boundaries (state created per call is fine) and at
+   [Atomic.make] (the blessed wrapper). *)
+let scan_binding ~(emit : Checker.emit) ~mut_fields ~bind_line name expr =
+  let flag loc what =
+    emit ~suppress_at:[ bind_line ] ~line:(Checker.line_of loc)
+      ~col:(Checker.col_of loc)
+      (Printf.sprintf
+         "toplevel mutable state in '%s': %s is shared by every domain; \
+          wrap it in Atomic, make it per-instance, or suppress with (* \
+          lint: domain-local <reason> *)"
+         name what)
+  in
+  let rec scan e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> ()
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Ldot (Lident "Atomic", "make"); _ }; _ },
+          _ ) ->
+        ()
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Lident "ref"; _ }; _ }, args) ->
+        flag e.pexp_loc "a 'ref'";
+        List.iter (fun (_, a) -> scan a) args
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Ldot (Lident m, f); _ }; _ }, args)
+      when List.mem (m, f) creator_paths ->
+        flag e.pexp_loc (Printf.sprintf "'%s.%s'" m f);
+        List.iter (fun (_, a) -> scan a) args
+    | Pexp_record (fields, base) ->
+        let mut =
+          List.filter
+            (fun ({ Asttypes.txt; _ }, _) -> Hashtbl.mem mut_fields (last_of txt))
+            fields
+        in
+        (match mut with
+        | ({ Asttypes.txt; _ }, _) :: _ ->
+            flag e.pexp_loc
+              (Printf.sprintf "a record literal with mutable field '%s'"
+                 (last_of txt))
+        | [] -> ());
+        Option.iter scan base;
+        List.iter (fun (_, fe) -> scan fe) fields
+    | _ ->
+        (* Generic descent over sub-expressions, still honouring the
+           stops above. *)
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ sub -> scan sub);
+          }
+        in
+        Ast_iterator.default_iterator.expr it e
+  in
+  scan expr
+
+let binding_name (vb : value_binding) =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | _ -> "_"
+
+let rec scan_structure ~(emit : Checker.emit) ~mut_fields items =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let bind_line = Checker.line_of vb.pvb_loc in
+              scan_binding ~emit ~mut_fields ~bind_line (binding_name vb)
+                vb.pvb_expr)
+            vbs
+      | Pstr_module mb -> scan_module ~emit ~mut_fields mb.pmb_expr
+      | Pstr_recmodule mbs ->
+          List.iter (fun mb -> scan_module ~emit ~mut_fields mb.pmb_expr) mbs
+      | Pstr_include { pincl_mod; _ } -> scan_module ~emit ~mut_fields pincl_mod
+      | _ -> ())
+    items
+
+and scan_module ~emit ~mut_fields me =
+  match me.pmod_desc with
+  | Pmod_structure items -> scan_structure ~emit ~mut_fields items
+  | Pmod_constraint (me, _) -> scan_module ~emit ~mut_fields me
+  | _ -> ()
+
+let checker =
+  {
+    Checker.id;
+    keys = [ id; "domain-local" ];
+    describe =
+      "no unsynchronized toplevel mutable state (ref/Hashtbl/Buffer/... or \
+       mutable-field records) in library code";
+    check =
+      (fun ~emit source ->
+        if source.Checker.in_lib then
+          let mut_fields = mutable_fields source.Checker.ast in
+          scan_structure ~emit ~mut_fields source.Checker.ast);
+  }

@@ -1,0 +1,8 @@
+(** Domain-safety checker: flags unsynchronized toplevel mutable
+    state ([ref], [Hashtbl.create], [Buffer.create], [Queue.create],
+    [Stack.create], or record literals with same-file mutable fields)
+    in library code.  [Atomic.make] is the blessed wrapper; the
+    suppression keys are [domain-safety] and [domain-local]. *)
+
+val id : string
+val checker : Checker.t

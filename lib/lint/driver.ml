@@ -1,0 +1,155 @@
+(* The lint driver: discover sources, parse them with
+   compiler-libs, run the checker set, filter suppressions, sort. *)
+
+let all_keys =
+  [ "domain-safety"; "domain-local"; "float-equality"; "alloc-free"; "internal" ]
+
+let base_checkers = [ Domain_safety.checker; Float_equality.checker; Mli_coverage.checker ]
+
+let checkers ?manifest () =
+  base_checkers
+  @ match manifest with None -> [] | Some m -> [ Alloc_free.checker m ]
+
+let parse_structure ~path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      Error (Checker.line_of loc, Checker.col_of loc, "syntax error")
+  | exception Lexer.Error (_, loc) ->
+      Error (Checker.line_of loc, Checker.col_of loc, "lexical error")
+  | exception e -> Error (1, 0, "cannot parse: " ^ Printexc.to_string e)
+
+(* Lint one already-read source file (the unit the tests drive
+   directly with fixture strings). *)
+let lint_source ?manifest ?mli_exists ~path text =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let sup = Suppress.scan ~keys:all_keys text in
+  List.iter
+    (fun (line, what) ->
+      add (Finding.v ~file:path ~line ~checker:"suppression" what))
+    (Suppress.problems sup);
+  let in_lib =
+    String.length path >= 4 && String.sub path 0 4 = "lib/"
+  in
+  (match parse_structure ~path text with
+  | Error (line, col, msg) ->
+      add (Finding.v ~file:path ~line ~col ~checker:"parse-error" msg)
+  | Ok ast ->
+      let source =
+        {
+          Checker.path;
+          text;
+          ast;
+          in_lib;
+          mli_exists;
+          internal = Suppress.file_has sup ~key:"internal";
+        }
+      in
+      List.iter
+        (fun (c : Checker.t) ->
+          let emit ?file ?(suppress_at = []) ~line ?(col = 0) message =
+            match file with
+            | Some file ->
+                (* Findings re-homed to another file (manifest errors)
+                   bypass the source file's suppression index. *)
+                add (Finding.v ~file ~line ~col ~checker:c.Checker.id message)
+            | None ->
+                let suppressed =
+                  List.exists
+                    (fun l -> Suppress.active sup ~keys:c.Checker.keys ~line:l)
+                    (line :: suppress_at)
+                in
+                if not suppressed then
+                  add (Finding.v ~file:path ~line ~col ~checker:c.Checker.id message)
+          in
+          c.Checker.check ~emit source)
+        (checkers ?manifest ()));
+  List.sort Finding.compare !findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Every .ml under [dir] (recursively), repo-relative with '/'
+   separators, sorted for deterministic output.  [_build] and dotted
+   directories are skipped. *)
+let discover ~root dirs =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    if Sys.file_exists abs && Sys.is_directory abs then
+      Array.iter
+        (fun name ->
+          if String.length name > 0 && name.[0] <> '.' && name <> "_build"
+          then begin
+            let rel' = rel ^ "/" ^ name in
+            let abs' = Filename.concat root rel' in
+            if Sys.is_directory abs' then walk rel'
+            else if Filename.check_suffix name ".ml" then acc := rel' :: !acc
+          end)
+        (Sys.readdir abs)
+  in
+  List.iter
+    (fun d -> if Sys.file_exists (Filename.concat root d) then walk d)
+    dirs;
+  List.sort String.compare !acc
+
+let manifest_unknown_files manifest ~seen =
+  List.concat_map
+    (fun { Manifest.file; line; _ } ->
+      if List.mem file seen then []
+      else
+        [
+          Finding.v ~file:manifest.Manifest.path ~line ~checker:Alloc_free.id
+            (Printf.sprintf
+               "manifest names unknown file '%s' — update the entry when a \
+                hot file moves"
+               file);
+        ])
+    manifest.Manifest.entries
+
+let default_dirs = [ "lib"; "bin"; "bench" ]
+
+let run_repo ?(dirs = default_dirs) ~root ?manifest_path () =
+  let manifest, manifest_findings =
+    match manifest_path with
+    | None -> (None, [])
+    | Some p ->
+        let abs = if Filename.is_relative p then Filename.concat root p else p in
+        if not (Sys.file_exists abs) then
+          ( None,
+            [
+              Finding.v ~file:p ~line:1 ~checker:Alloc_free.id
+                "manifest file not found";
+            ] )
+        else
+          let m, errors = Manifest.load abs in
+          let m = { m with Manifest.path = p } in
+          ( Some m,
+            List.map
+              (fun (line, msg) ->
+                Finding.v ~file:p ~line ~checker:Alloc_free.id msg)
+              errors )
+  in
+  let files = discover ~root dirs in
+  let per_file =
+    List.concat_map
+      (fun path ->
+        let abs = Filename.concat root path in
+        let mli = Filename.chop_suffix abs ".ml" ^ ".mli" in
+        lint_source ?manifest ~mli_exists:(Sys.file_exists mli) ~path
+          (read_file abs))
+      files
+  in
+  let unknown =
+    match manifest with
+    | None -> []
+    | Some m -> manifest_unknown_files m ~seen:files
+  in
+  (List.sort Finding.compare (manifest_findings @ per_file @ unknown), files)

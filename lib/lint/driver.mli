@@ -1,0 +1,39 @@
+(** The lint driver: file discovery, parsing, checker dispatch,
+    suppression filtering. *)
+
+(** Every valid suppression key. *)
+val all_keys : string list
+
+(** The checker set: domain-safety, float-equality, mli-coverage,
+    plus alloc-free when a manifest is supplied. *)
+val checkers : ?manifest:Manifest.t -> unit -> Checker.t list
+
+(** Lint one source text.  [path] decides which checkers apply (the
+    [lib/] prefix marks library code); [mli_exists] feeds the
+    mli-coverage checker (omit it for fixture strings).  Findings are
+    sorted and already suppression-filtered. *)
+val lint_source :
+  ?manifest:Manifest.t ->
+  ?mli_exists:bool ->
+  path:string ->
+  string ->
+  Finding.t list
+
+(** Manifest entries whose file is not in [seen], as findings against
+    the manifest itself. *)
+val manifest_unknown_files :
+  Manifest.t -> seen:string list -> Finding.t list
+
+(** The directories {!run_repo} walks by default:
+    [lib], [bin], [bench]. *)
+val default_dirs : string list
+
+(** Lint the repository: walk [dirs] under [root], lint every [.ml],
+    check the manifest round-trip.  Returns the sorted findings and
+    the list of files linted. *)
+val run_repo :
+  ?dirs:string list ->
+  root:string ->
+  ?manifest_path:string ->
+  unit ->
+  Finding.t list * string list

@@ -1,0 +1,64 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  checker : string;
+  message : string;
+}
+
+let v ~file ~line ?(col = 0) ~checker message =
+  { file; line; col; checker; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.checker b.checker in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.checker f.message
+
+(* Minimal JSON string escaping: backslash, quote, and control
+   characters.  Finding fields are ASCII paths and messages, so no
+   UTF-8 handling is needed. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"checker":"%s","message":"%s"}|}
+    (json_escape f.file) f.line f.col (json_escape f.checker)
+    (json_escape f.message)
+
+let list_to_json fs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (to_json f))
+    fs;
+  if fs <> [] then Buffer.add_string b "\n";
+  Buffer.add_string b "]";
+  Buffer.contents b

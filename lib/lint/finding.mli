@@ -1,0 +1,23 @@
+(** One static-analysis finding: a location, the checker that produced
+    it, and a human-readable message. *)
+
+type t = {
+  file : string;  (** repo-relative path, ['/']-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based column of the offending construct *)
+  checker : string;  (** checker id, e.g. ["float-equality"] *)
+  message : string;
+}
+
+val v : file:string -> line:int -> ?col:int -> checker:string -> string -> t
+
+(** Total order: file, then line, then column, then checker. *)
+val compare : t -> t -> int
+
+(** [file:line:col: [checker] message] — one line, grep-friendly. *)
+val to_string : t -> string
+
+val to_json : t -> string
+
+(** JSON array of {!to_json} objects. *)
+val list_to_json : t list -> string

@@ -1,0 +1,80 @@
+(* Float equality: [=], [<>], [==], [!=] and [compare] applied to an
+   operand the checker can see is a float invite rounding surprises
+   (and polymorphic compare boxes besides).  "Visibly float" means a
+   float literal, float arithmetic ([+.], [*.], [sqrt], ...), or a
+   [Float]-module function that returns a float.  Sites where exact
+   bit equality is intended carry a
+   [(* lint: float-equality <reason> *)] suppression. *)
+
+open Parsetree
+
+let id = "float-equality"
+
+let comparison_ops = [ "="; "<>"; "=="; "!="; "compare" ]
+
+let float_arith =
+  [
+    "+."; "-."; "*."; "/."; "~-."; "**"; "sqrt"; "exp"; "log"; "log10";
+    "expm1"; "log1p"; "cos"; "sin"; "tan"; "acos"; "asin"; "atan"; "atan2";
+    "cosh"; "sinh"; "tanh"; "ceil"; "floor"; "abs_float"; "mod_float";
+    "float_of_int"; "float_of_string"; "ldexp"; "copysign"; "hypot";
+  ]
+
+(* Float.* functions that return a float (predicates like [is_nan]
+   excluded — comparing their [bool] result is fine). *)
+let float_module_fns =
+  [
+    "add"; "sub"; "mul"; "div"; "rem"; "fma"; "neg"; "abs"; "succ"; "pred";
+    "sqrt"; "cbrt"; "exp"; "log"; "pow"; "min"; "max"; "min_max"; "round";
+    "trunc"; "of_int"; "of_string"; "ldexp"; "copy_sign"; "hypot";
+  ]
+
+let rec visibly_float (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
+      true
+  | Pexp_constraint (e, _) -> visibly_float e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match txt with
+      | Lident f -> List.mem f float_arith
+      | Ldot (Lident "Float", f) | Ldot (Ldot (Lident "Stdlib", "Float"), f) ->
+          List.mem f float_module_fns
+      | Ldot (Lident "Stdlib", f) -> List.mem f float_arith
+      | _ -> false)
+  | _ -> false
+
+let op_name (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident f; _ } when List.mem f comparison_ops -> Some f
+  | Pexp_ident { txt = Ldot (Lident "Stdlib", f); _ }
+    when List.mem f comparison_ops ->
+      Some f
+  | _ -> None
+
+let checker =
+  {
+    Checker.id;
+    keys = [ id ];
+    describe =
+      "no =, <>, ==, != or compare on expressions the checker can see are \
+       floats";
+    check =
+      (fun ~emit source ->
+        Checker.iter_expressions source.Checker.ast (fun e ->
+            match e.pexp_desc with
+            | Pexp_apply (op, ((_, a) :: (_, b) :: _ as args))
+              when List.length args = 2 -> (
+                match op_name op with
+                | Some name when visibly_float a || visibly_float b ->
+                    emit ~line:(Checker.line_of e.pexp_loc)
+                      ~col:(Checker.col_of e.pexp_loc)
+                      (Printf.sprintf
+                         "float (%s) on a visibly-float operand; use \
+                          Float.equal / an explicit tolerance, or suppress \
+                          with (* lint: float-equality <reason> *)"
+                         name)
+                | _ -> ())
+            | _ -> ()));
+  }

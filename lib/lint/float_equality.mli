@@ -1,0 +1,6 @@
+(** Float-equality checker: flags [=], [<>], [==], [!=] and [compare]
+    whose operands are visibly floats (literals, float arithmetic, or
+    [Float]-module results).  Suppression key: [float-equality]. *)
+
+val id : string
+val checker : Checker.t

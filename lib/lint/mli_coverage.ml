@@ -1,0 +1,24 @@
+(* Mli coverage: every module under lib/ must publish an interface.
+   A missing .mli exposes every helper and invites dependencies on
+   internals; modules that are genuinely internal declare it with a
+   file-scoped [(* lint: internal <reason> *)] marker. *)
+
+let id = "mli-coverage"
+
+let checker =
+  {
+    Checker.id;
+    keys = [ id ];
+    describe = "every lib/ module except declared internals has an .mli";
+    check =
+      (fun ~emit source ->
+        match source.Checker.mli_exists with
+        | Some false when source.Checker.in_lib && not source.Checker.internal
+          ->
+            emit ~line:1
+              (Printf.sprintf
+                 "library module '%s' has no .mli — add one, or declare the \
+                  module internal with (* lint: internal <reason> *)"
+                 source.Checker.path)
+        | _ -> ());
+  }

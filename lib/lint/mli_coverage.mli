@@ -1,0 +1,6 @@
+(** Mli-coverage checker: every [lib/] module needs a sibling [.mli]
+    unless it carries a file-scoped [(* lint: internal <reason> *)]
+    marker. *)
+
+val id : string
+val checker : Checker.t

@@ -1,0 +1,94 @@
+(* Suppression comments.
+
+   Grammar, one physical line: an OCaml comment whose body starts
+   with "lint:", then a key, then a mandatory free-text reason — the
+   full form is spelled out in DESIGN.md section 6f (spelling it here
+   would make this very file carry a suppression).  The key names the
+   checker being silenced; each checker also accepts the aliases it
+   documents, e.g. domain-local for domain-safety.  An unexplained or
+   unknown-key suppression is itself a finding.  A suppression on
+   line L silences matching findings on L and L + 1, so the comment
+   can sit at the end of the offending line or alone on the line
+   above it. *)
+
+type problem = { line : int; what : string }
+
+type t = {
+  (* (key, line) for every well-formed suppression. *)
+  entries : (string * int, string) Hashtbl.t;
+  problems : problem list;
+}
+
+(* Split so this file's own text does not contain the marker. *)
+let marker = "(* " ^ "lint:"
+
+let find_sub s from pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else go (i + 1)
+  in
+  go from
+
+let scan ~keys text =
+  let entries = Hashtbl.create 8 in
+  let problems = ref [] in
+  let problem line what = problems := { line; what } :: !problems in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line_text ->
+      let line = i + 1 in
+      let rec at from =
+        match find_sub line_text from marker with
+        | None -> ()
+        | Some start -> (
+            let body_start = start + String.length marker in
+            match find_sub line_text body_start "*)" with
+            | None ->
+                problem line
+                  "suppression comment does not close on the same line"
+            | Some stop ->
+                let body =
+                  String.trim (String.sub line_text body_start (stop - body_start))
+                in
+                (match String.index_opt body ' ' with
+                | None ->
+                    if body = "" then
+                      problem line "suppression comment has no key"
+                    else
+                      problem line
+                        (Printf.sprintf
+                           "suppression '%s' has no reason — every \
+                            suppression must explain itself"
+                           body)
+                | Some sp ->
+                    let key = String.sub body 0 sp in
+                    let reason =
+                      String.trim
+                        (String.sub body (sp + 1) (String.length body - sp - 1))
+                    in
+                    if not (List.mem key keys) then
+                      problem line
+                        (Printf.sprintf
+                           "unknown suppression key '%s' (known: %s)" key
+                           (String.concat ", " keys))
+                    else if reason = "" then
+                      problem line
+                        (Printf.sprintf "suppression '%s' has no reason" key)
+                    else Hashtbl.replace entries (key, line) reason);
+                at (stop + 2))
+      in
+      at 0)
+    lines;
+  { entries; problems = List.rev !problems }
+
+let active t ~keys ~line =
+  List.exists
+    (fun k -> Hashtbl.mem t.entries (k, line) || Hashtbl.mem t.entries (k, line - 1))
+    keys
+
+let file_has t ~key =
+  Hashtbl.fold (fun (k, _) _ acc -> acc || k = key) t.entries false
+
+let problems t = List.map (fun p -> (p.line, p.what)) t.problems

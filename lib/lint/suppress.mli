@@ -1,0 +1,25 @@
+(** Suppression-comment index for one source file.
+
+    Grammar, one physical line: [(* lint: KEY reason *)].  A
+    suppression on line [L] silences matching findings on [L] and
+    [L + 1].  The reason is mandatory, and [KEY] must be one of the
+    keys passed to {!scan} — anything else is reported by
+    {!problems}. *)
+
+type t
+
+(** Scan raw source text.  [keys] is the set of valid suppression
+    keys; malformed comments and unknown keys are recorded as
+    problems, not entries. *)
+val scan : keys:string list -> string -> t
+
+(** [active t ~keys ~line] is true when a suppression with one of
+    [keys] sits on [line] or [line - 1]. *)
+val active : t -> keys:string list -> line:int -> bool
+
+(** True when any line of the file carries a suppression with this
+    key (used for file-scoped keys such as [internal]). *)
+val file_has : t -> key:string -> bool
+
+(** Malformed suppression comments: [(line, description)]. *)
+val problems : t -> (int * string) list

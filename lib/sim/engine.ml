@@ -192,66 +192,76 @@ let run ?(config = default_config) ?(probes = []) (machine : Machine.t)
      integer division per step. *)
   let epoch_countdown = ref 0 in
   let live = ref true in
-  while !live do
+  (* DFS epoch boundary — the cold path, once per control window:
+     observe, ask the controller for new frequencies, clamp, notify
+     epoch probes, optionally migrate.  Allocation is fine here; the
+     alloc-free manifest only covers [step_once] below. *)
+  let epoch_boundary time =
+    epoch_countdown := steps_per_epoch;
+    let obs = observe time in
+    let f = controller.Policy.decide obs in
+    if Vec.dim f <> n_cores then
+      invalid_arg "Engine.run: controller returned a bad frequency vector";
+    for c = 0 to n_cores - 1 do
+      if Float.is_nan f.(c) then
+        invalid_arg "Engine.run: controller returned a NaN frequency"
+    done;
+    (* Clamp on both sides, in place into the preallocated vector: a
+       buggy controller must not be able to run cores past the
+       hardware ceiling any more than below 0. *)
+    for c = 0 to n_cores - 1 do
+      frequencies.(c) <- Float.min fmax (Float.max 0.0 f.(c));
+      progress.(c) <- dt *. frequencies.(c) /. fmax
+    done;
+    power_dirty := true;
+    Array.fill busy_acc 0 n_cores 0.0;
+    if Array.length epoch_fns > 0 then begin
+      let view = { Probe.time; observation = obs; frequencies } in
+      Array.iter (fun f -> f view) epoch_fns
+    end;
+    (* Optional task migration (a policy the paper composes with):
+       a task stuck on a stopped core moves to the coolest idle core
+       that was granted a non-zero frequency. *)
+    if config.migration then begin
+      let core_temperatures = Machine.core_temperatures machine !temp in
+      for c = 0 to n_cores - 1 do
+        (* Bit-exact: 0.0 is the controller's shutdown sentinel. *)
+        if running.(c) && Float.equal frequencies.(c) 0.0 then begin
+          let best = ref (-1) in
+          for d = 0 to n_cores - 1 do
+            if
+              (not running.(d))
+              && frequencies.(d) > 0.0
+              && (!best < 0
+                 || core_temperatures.(d) < core_temperatures.(!best))
+            then best := d
+          done;
+          if !best >= 0 then begin
+            running.(!best) <- true;
+            remaining.(!best) <- remaining.(c);
+            running.(c) <- false;
+            incr migrations
+          end
+        end
+      done
+    end
+  in
+  (* One thermal step — the hot path, listed in the alloc-free
+     manifest as [run.step_once], so its body must stay free of
+     syntactic allocation sites; the steady-state [Gc.minor_words]
+     test checks the compiled code allocates nothing either.  Takes
+     [unit] and recomputes the time from [step]: a float argument to
+     a local function would be boxed at every call, whereas the
+     recomputation is the bit-identical expression the loop head
+     evaluates. *)
+  let step_once () =
     let time = float_of_int !step *. dt in
-    if (!q_tail >= n_tasks && !completed >= n_tasks) || time > deadline then
-      live := false
-    else begin
     (* Task arrivals land in the queue at step resolution: advancing
        the tail cursor is the whole enqueue. *)
     while !q_tail < n_tasks && Array.unsafe_get arrivals !q_tail <= time do
       incr q_tail
     done;
-    (* DFS epoch boundary: ask the controller for new frequencies. *)
-    if !epoch_countdown = 0 then begin
-      epoch_countdown := steps_per_epoch;
-      let obs = observe time in
-      let f = controller.Policy.decide obs in
-      if Vec.dim f <> n_cores then
-        invalid_arg "Engine.run: controller returned a bad frequency vector";
-      for c = 0 to n_cores - 1 do
-        if Float.is_nan f.(c) then
-          invalid_arg "Engine.run: controller returned a NaN frequency"
-      done;
-      (* Clamp on both sides, in place into the preallocated vector: a
-         buggy controller must not be able to run cores past the
-         hardware ceiling any more than below 0. *)
-      for c = 0 to n_cores - 1 do
-        frequencies.(c) <- Float.min fmax (Float.max 0.0 f.(c));
-        progress.(c) <- dt *. frequencies.(c) /. fmax
-      done;
-      power_dirty := true;
-      Array.fill busy_acc 0 n_cores 0.0;
-      if Array.length epoch_fns > 0 then begin
-        let view = { Probe.time; observation = obs; frequencies } in
-        Array.iter (fun f -> f view) epoch_fns
-      end;
-      (* Optional task migration (a policy the paper composes with):
-         a task stuck on a stopped core moves to the coolest idle core
-         that was granted a non-zero frequency. *)
-      if config.migration then begin
-        let core_temperatures = Machine.core_temperatures machine !temp in
-        for c = 0 to n_cores - 1 do
-          if running.(c) && frequencies.(c) = 0.0 then begin
-            let best = ref (-1) in
-            for d = 0 to n_cores - 1 do
-              if
-                (not running.(d))
-                && frequencies.(d) > 0.0
-                && (!best < 0
-                   || core_temperatures.(d) < core_temperatures.(!best))
-              then best := d
-            done;
-            if !best >= 0 then begin
-              running.(!best) <- true;
-              remaining.(!best) <- remaining.(c);
-              running.(c) <- false;
-              incr migrations
-            end
-          end
-        done
-      end
-    end;
+    if !epoch_countdown = 0 then epoch_boundary time;
     if !q_head < !q_tail && !n_running < n_cores then dispatch time;
     (* Advance running tasks at the current frequencies. *)
     for c = 0 to n_cores - 1 do
@@ -306,7 +316,12 @@ let run ?(config = default_config) ?(probes = []) (machine : Machine.t)
     end;
     decr epoch_countdown;
     incr step
-    end
+  in
+  while !live do
+    let time = float_of_int !step *. dt in
+    if (!q_tail >= n_tasks && !completed >= n_tasks) || time > deadline then
+      live := false
+    else step_once ()
   done;
   (* [0.0 +. e] is bitwise [e] for the nonnegative chip energy, so the
      one-shot flush matches the reference's per-step accumulation. *)
@@ -419,7 +434,8 @@ let run_reference ?(config = default_config) (machine : Machine.t) controller
         Array.iteri
           (fun c state ->
             match state.remaining with
-            | Some w when !frequencies.(c) = 0.0 ->
+            (* Bit-exact: 0.0 is the controller's shutdown sentinel. *)
+            | Some w when Float.equal !frequencies.(c) 0.0 ->
                 let best = ref None in
                 Array.iteri
                   (fun d other ->

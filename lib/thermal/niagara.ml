@@ -82,9 +82,14 @@ let power_vector fp ~core_power =
    reaches quasi-steady state, matching the declining feasibility
    frontier of the paper's Fig. 9. *)
 let params =
-  let cache = ref None in
+  (* The memo cell is read from every domain that builds a model, so
+     it must be an [Atomic], not a bare [ref]: the calibration is
+     deterministic and the cached record immutable, so a duplicated
+     first computation is benign, whereas an unsynchronized [ref]
+     write has no cross-domain ordering guarantee at all. *)
+  let cache = Atomic.make None in
   fun () ->
-    match !cache with
+    match Atomic.get cache with
     | Some p -> p
     | None ->
         let fp = floorplan () in
@@ -98,7 +103,7 @@ let params =
           Calibrate.tune_vertical_conductance ~params:base ~floorplan:fp
             ~power:full_load target_peak
         in
-        cache := Some tuned;
+        Atomic.set cache (Some tuned);
         tuned
 
 let model () = Rc_model.build ~params:(params ()) (floorplan ())

@@ -175,7 +175,8 @@ let compile_stepper d =
   let nnz = ref 0 in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
-      if Mat.get d.step i j <> 0.0 then incr nnz
+      (* Bit-exact: the sparsity pattern must drop only true zeros. *)
+      if not (Float.equal (Mat.get d.step i j) 0.0) then incr nnz
     done
   done;
   let row_start = Array.make (n + 1) 0 in
@@ -191,7 +192,8 @@ let compile_stepper d =
        [step_temperature_into]. *)
     for j = 0 to n - 1 do
       let a = Mat.get d.step i j in
-      if a <> 0.0 then begin
+      (* Bit-exact: the sparsity pattern must drop only true zeros. *)
+      if not (Float.equal a 0.0) then begin
         cols.(!k) <- j;
         vals.(!k) <- a;
         incr k
