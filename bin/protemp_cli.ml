@@ -5,6 +5,7 @@
    protemp table     — Phase-1 sweep, written as CSV
    protemp validate  — audit a table against the thermal simulator
    protemp simulate  — run a trace under a controller
+   protemp campaign  — controller x workload x fault grid
    protemp lint      — static-analysis pass over the repo sources *)
 
 open Cmdliner
@@ -47,6 +48,15 @@ let tstart =
     required
     & opt (some float) None
     & info [ "tstart" ] ~docv:"CELSIUS" ~doc:"Starting temperature.")
+
+let solver =
+  Arg.(
+    value
+    & opt (enum [ ("conic", `Conic); ("barrier", `Barrier) ]) `Conic
+    & info [ "solver" ] ~docv:"NAME"
+        ~doc:
+          "Interior-point backend: conic (primal-dual, the default) or \
+           barrier (the reference log-barrier path).")
 
 let print_frequencies f =
   Array.iteri
@@ -149,7 +159,7 @@ let table_cmd =
              margin, so the stored table tolerates bounded sensor error up \
              to the margin at run time.")
   in
-  let run uniform gradient stride tstarts ftargets domains margin out =
+  let run uniform gradient stride tstarts ftargets domains margin solver out =
     let spec = spec_of ~uniform ~gradient ~stride in
     let spec =
       (* Bit-exact: 0.0 is the flag default meaning "no margin". *)
@@ -160,7 +170,8 @@ let table_cmd =
         { spec with Protemp.Spec.tmax = spec.Protemp.Spec.tmax -. margin }
     in
     let table =
-      Protemp.Offline.sweep ~machine:(Lazy.force machine) ~spec ?domains
+      Protemp.Offline.sweep ~solver ~machine:(Lazy.force machine) ~spec
+        ?domains
         ~tstarts:(Array.of_list tstarts)
         ~ftargets:(Array.of_list (List.map (fun f -> f *. 1e6) ftargets))
         ~on_progress:(fun p ->
@@ -183,7 +194,7 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Run the Phase-1 sweep and store the table.")
     Term.(
       const run $ uniform $ gradient $ stride $ tstarts $ ftargets $ domains
-      $ margin $ out_file)
+      $ margin $ solver $ out_file)
 
 (* ----- validate ----- *)
 
@@ -496,8 +507,16 @@ let campaign_cmd =
       value & opt int 1807
       & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed for sensor-noise streams.")
   in
+  let online =
+    Arg.(
+      value & flag
+      & info [ "online" ]
+          ~doc:
+            "Add the online MPC controller (per-period re-solve with the \
+             selected --solver) to the controller grid.")
+  in
   let run table_file guarded_table_file mixes tasks seed domains noise_axis
-      stale_axis fault_seed =
+      stale_axis fault_seed online solver =
     let machine = Lazy.force machine in
     let fmax = machine.Sim.Machine.fmax in
     let controllers =
@@ -510,12 +529,28 @@ let campaign_cmd =
         | Some f ->
             let table = load_table f in
             [ ("pro-temp", fun () -> Protemp.Controller.create ~table) ])
+      @ (match guarded_table_file with
+        | None -> []
+        | Some f ->
+            let table = load_table f in
+            [ ("pro-temp-guarded", fun () -> Protemp.Controller.create ~table) ])
       @
-      match guarded_table_file with
-      | None -> []
-      | Some f ->
-          let table = load_table f in
-          [ ("pro-temp-guarded", fun () -> Protemp.Controller.create ~table) ]
+      if not online then []
+      else
+        (* Same stride as `simulate --controller online`; the fallback
+           table joins when one was supplied.  A fresh instance per
+           grid cell keeps the decision counters per-cell and the
+           thunk safe to call from worker domains. *)
+        let spec =
+          { Protemp.Spec.default with Protemp.Spec.constraint_stride = 8 }
+        in
+        let fallback = Option.map load_table table_file in
+        [
+          ( "online",
+            fun () ->
+              Protemp.Online.controller
+                (Protemp.Online.create ~solver ?fallback ~machine ~spec ()) );
+        ]
     in
     let faults =
       List.map
@@ -579,7 +614,7 @@ let campaign_cmd =
           domains.")
     Term.(
       const run $ table_file $ guarded_table_file $ mixes $ tasks $ seed
-      $ domains $ noise_axis $ stale_axis $ fault_seed)
+      $ domains $ noise_axis $ stale_axis $ fault_seed $ online $ solver)
 
 (* ----- lint ----- *)
 

@@ -27,11 +27,12 @@ type stats = {
   newton_iterations : int;
   backtracks : int;
   factorizations : int;
+  jitter_retries : int;
 }
 
 let stats_zero =
   { centering_steps = 0; newton_iterations = 0; backtracks = 0;
-    factorizations = 0 }
+    factorizations = 0; jitter_retries = 0 }
 
 let stats_add a b =
   {
@@ -39,6 +40,7 @@ let stats_add a b =
     newton_iterations = a.newton_iterations + b.newton_iterations;
     backtracks = a.backtracks + b.backtracks;
     factorizations = a.factorizations + b.factorizations;
+    jitter_retries = a.jitter_retries + b.jitter_retries;
   }
 
 type result = {
@@ -165,6 +167,7 @@ let solve_engine ~options ?stop_early e x0 =
   let ws = Newton.workspace e.e_n in
   let m = float_of_int e.e_m in
   let inner = ref 0 and backtracks = ref 0 and factorizations = ref 0 in
+  let jitter_retries = ref 0 in
   let finish ~t ~x ~outer ~stopped_early =
     {
       x;
@@ -175,7 +178,8 @@ let solve_engine ~options ?stop_early e x0 =
       newton_iterations = !inner;
       stats =
         { centering_steps = outer; newton_iterations = !inner;
-          backtracks = !backtracks; factorizations = !factorizations };
+          backtracks = !backtracks; factorizations = !factorizations;
+          jitter_retries = !jitter_retries };
       stopped_early;
     }
   in
@@ -192,6 +196,7 @@ let solve_engine ~options ?stop_early e x0 =
     inner := !inner + r.Newton.iterations;
     backtracks := !backtracks + r.Newton.backtracks;
     factorizations := !factorizations + r.Newton.factorizations;
+    jitter_retries := !jitter_retries + r.Newton.jitter_retries;
     let gap = m /. t in
     let early = match stop_early with Some f -> f x | None -> false in
     if early then finish ~t ~x ~outer ~stopped_early:true

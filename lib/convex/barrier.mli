@@ -42,7 +42,10 @@ type stats = {
   centering_steps : int;  (** Outer (centering) iterations. *)
   newton_iterations : int;  (** Total inner Newton steps. *)
   backtracks : int;  (** Total rejected line-search trial steps. *)
-  factorizations : int;  (** Total Cholesky factorization attempts. *)
+  factorizations : int;
+      (** Logical Cholesky factorizations (one per Newton step). *)
+  jitter_retries : int;
+      (** Extra factorization attempts from the jitter schedule. *)
 }
 (** Work counters for one solve; aggregate across solves with
     {!stats_add}. *)

@@ -1,0 +1,98 @@
+open Linalg
+
+type t = Nonneg of int | Epi_square
+
+let dim = function
+  | Nonneg d ->
+      if d <= 0 then invalid_arg "Cone.dim: non-positive orthant dimension";
+      d
+  | Epi_square -> 3
+
+let degree = function Nonneg d -> d | Epi_square -> 2
+
+(* 2 u v - w^2, the defining quantity of the rotated quadratic cone. *)
+let rho v ~offset =
+  (2.0 *. v.(offset) *. v.(offset + 1))
+  -. (v.(offset + 2) *. v.(offset + 2))
+
+let initial_point_into c v ~offset =
+  match c with
+  | Nonneg d ->
+      for i = 0 to d - 1 do
+        v.(offset + i) <- 1.0
+      done
+  | Epi_square ->
+      (* The image of the second-order cone's central ray (1, 0, 0)
+         under the rotation that identifies the two cones; rho = 1
+         here, matching s0^2 - ||s1||^2 = 1 at the SOC center. *)
+      let s = 1.0 /. sqrt 2.0 in
+      v.(offset) <- s;
+      v.(offset + 1) <- s;
+      v.(offset + 2) <- 0.0
+
+let is_interior c v ~offset =
+  match c with
+  | Nonneg d ->
+      let ok = ref true in
+      for i = 0 to d - 1 do
+        if v.(offset + i) <= 0.0 then ok := false
+      done;
+      !ok
+  | Epi_square ->
+      v.(offset) > 0.0 && v.(offset + 1) > 0.0 && rho v ~offset > 0.0
+
+let barrier_value c v ~offset =
+  match c with
+  | Nonneg d ->
+      let acc = ref 0.0 in
+      let ok = ref true in
+      for i = 0 to d - 1 do
+        if v.(offset + i) <= 0.0 then ok := false
+        else acc := !acc -. log v.(offset + i)
+      done;
+      if !ok then !acc else infinity
+  | Epi_square ->
+      if is_interior c v ~offset then -.log (rho v ~offset) else infinity
+
+let barrier_grad_into c v ~offset ~dst =
+  match c with
+  | Nonneg d ->
+      for i = 0 to d - 1 do
+        dst.(offset + i) <- -1.0 /. v.(offset + i)
+      done
+  | Epi_square ->
+      let r = rho v ~offset in
+      dst.(offset) <- -2.0 *. v.(offset + 1) /. r;
+      dst.(offset + 1) <- -2.0 *. v.(offset) /. r;
+      dst.(offset + 2) <- 2.0 *. v.(offset + 2) /. r
+
+let barrier_hess_into c v ~offset ~dst =
+  match c with
+  | Nonneg d ->
+      for i = 0 to d - 1 do
+        for j = 0 to d - 1 do
+          Mat.set dst i j
+            (if i = j then
+               let s = v.(offset + i) in
+               1.0 /. (s *. s)
+             else 0.0)
+        done
+      done
+  | Epi_square ->
+      (* F = -log rho, rho = 2uv - w^2:
+         H = (grad rho)(grad rho)^T / rho^2 - (hess rho) / rho. *)
+      let u = v.(offset) and vv = v.(offset + 1) and w = v.(offset + 2) in
+      let r = rho v ~offset in
+      let r2 = r *. r in
+      Mat.set dst 0 0 (4.0 *. vv *. vv /. r2);
+      Mat.set dst 1 1 (4.0 *. u *. u /. r2);
+      Mat.set dst 2 2 ((4.0 *. w *. w /. r2) +. (2.0 /. r));
+      let huv = (4.0 *. u *. vv /. r2) -. (2.0 /. r) in
+      Mat.set dst 0 1 huv;
+      Mat.set dst 1 0 huv;
+      let huw = -4.0 *. vv *. w /. r2 in
+      Mat.set dst 0 2 huw;
+      Mat.set dst 2 0 huw;
+      let hvw = -4.0 *. u *. w /. r2 in
+      Mat.set dst 1 2 hvw;
+      Mat.set dst 2 1 hvw

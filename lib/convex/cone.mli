@@ -1,0 +1,54 @@
+(** Cone oracles for the primal-dual conic solver.
+
+    Each cone exposes the oracles a symmetric-cone interior-point
+    method needs: dimension and barrier degree, a canonical initial
+    interior point, an interior test, and the value/gradient/Hessian
+    of the standard logarithmically homogeneous self-concordant
+    barrier.  Two cones cover the thermal models:
+
+    - [Nonneg d]: the nonnegative orthant [{s : s >= 0}] with barrier
+      [-sum log s_i] (degree [d]) — every affine inequality row.
+    - [Epi_square]: the rotated quadratic cone
+      [{(u, v, w) : 2 u v >= w^2, u >= 0, v >= 0}] with barrier
+      [-log (2 u v - w^2)] (degree 2) — the power-law epigraph
+      [f^2 <= p] after the affine lift [u = p - ...], [v = 1/2],
+      [w = f].  A linear change of coordinates maps it onto the
+      standard second-order cone, which is how the solver scales it
+      (see {!Conic}); the oracles here are stated directly on the
+      rotated form.
+
+    Oracles address a cone's coordinates as [v.(offset ..
+    offset + dim - 1)] of a larger vector, so a product cone is an
+    array of [t]s plus running offsets and no copying. *)
+
+open Linalg
+
+type t = Nonneg of int | Epi_square
+
+val dim : t -> int
+(** Number of coordinates ([Invalid_argument] on [Nonneg d] with
+    [d <= 0]). *)
+
+val degree : t -> int
+(** Barrier degree [nu]: [d] for [Nonneg d], [2] for [Epi_square]. *)
+
+val initial_point_into : t -> Vec.t -> offset:int -> unit
+(** Write the canonical central point: all-ones for the orthant,
+    [(1/sqrt 2, 1/sqrt 2, 0)] for [Epi_square] (the image of the
+    second-order cone's central ray). *)
+
+val is_interior : t -> Vec.t -> offset:int -> bool
+(** Strict interior test. *)
+
+val barrier_value : t -> Vec.t -> offset:int -> float
+(** Barrier value at an interior point ([infinity] outside). *)
+
+val barrier_grad_into : t -> Vec.t -> offset:int -> dst:Vec.t -> unit
+(** Gradient of the barrier, written into the same coordinate range
+    of [dst].  Must be called at an interior point. *)
+
+val barrier_hess_into : t -> Vec.t -> offset:int -> dst:Mat.t -> unit
+(** Hessian of the barrier as a dense [dim x dim] block written into
+    the top-left corner of [dst] (which must be at least that large).
+    Must be called at an interior point.  Used by the agreement tests;
+    the solver itself works with Nesterov-Todd scalings. *)

@@ -1,0 +1,1708 @@
+open Linalg
+
+(* Internal form: the cone rows are permuted so every orthant row comes
+   first, followed by the rotated-quadratic blocks mapped onto the
+   standard second-order cone by the self-inverse orthogonal rotation
+
+     T = [ 1/r2  1/r2  0 ]
+         [ 1/r2 -1/r2  0 ]          r2 = sqrt 2
+         [ 0     0     1 ]
+
+   so the solver only ever scales orthant coordinates and standard
+   SOC_3 blocks.  T is symmetric and orthogonal, so slacks and duals
+   transform identically and inner products are preserved; solutions
+   are rotated back to the caller's row order on exit.
+
+   G is stored as truncated sparse rows: row i keeps only the columns
+   [glo.(i), glo.(i) + len_i).  The thermal models' rows are tiny
+   contiguous stripes of a wide matrix (box rows touch one column,
+   thermal rows only the power block), so every G kernel — matvec,
+   transposed matvec, and the normal-equations syrk — runs on the
+   stripe instead of the dense row.  This is where the per-iteration
+   budget is won: the dense syrk alone costs more than the whole
+   per-iteration target. *)
+
+let inv_sqrt2 = 1.0 /. sqrt 2.0
+
+type duals_entry = Dual_orth of int | Dual_soc of int
+
+type t = {
+  n : int;  (* primal dimension *)
+  p : int;  (* equality rows *)
+  mo : int;  (* orthant rows *)
+  nsoc : int;  (* second-order blocks (3 rows each) *)
+  c : Vec.t;
+  a : Mat.t;  (* p x n *)
+  b : Vec.t;
+  gdata : float array;  (* truncated rows, packed contiguously *)
+  goff : int array;  (* q + 1 row offsets into gdata *)
+  glo : int array;  (* first stored column of each row *)
+  hi : Vec.t;  (* q, internal row order *)
+  orth_ext : int array;  (* external row of internal orthant row i *)
+  soc_ext : int array;  (* external offset of internal block k *)
+  (* of_barrier bookkeeping; [||] for make-built instances *)
+  duals_map : duals_entry array;
+  obj_const : float;
+}
+
+let dim t = t.n
+let n_rows t = t.mo + (3 * t.nsoc)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Truncate a dense row to its nonzero stripe. *)
+let truncate_row full =
+  let n = Array.length full in
+  let lo = ref 0 in
+  (* Structural-zero detection at build time wants exact equality. *)
+  while !lo < n && full.(!lo) = 0.0 do (* lint: float-equality structural zero *)
+    incr lo
+  done;
+  if !lo = n then ([||], 0)
+  else begin
+    let hi = ref (n - 1) in
+    while full.(!hi) = 0.0 do (* lint: float-equality structural zero *)
+      decr hi
+    done;
+    (Array.sub full !lo (!hi - !lo + 1), !lo)
+  end
+
+(* Pack an array of truncated rows into one contiguous buffer; the
+   row-pointer layout keeps every G kernel a single linear sweep. *)
+let pack_rows rows =
+  let q = Array.length rows in
+  let goff = Array.make (q + 1) 0 in
+  for i = 0 to q - 1 do
+    goff.(i + 1) <- goff.(i) + Array.length rows.(i)
+  done;
+  let gdata = Array.make (max 1 goff.(q)) 0.0 in
+  for i = 0 to q - 1 do
+    Array.blit rows.(i) 0 gdata goff.(i) (Array.length rows.(i))
+  done;
+  (gdata, goff)
+
+let count_cones cones =
+  Array.fold_left
+    (fun (mo, nsoc) c ->
+      match c with
+      | Cone.Nonneg d -> (mo + Cone.dim (Cone.Nonneg d), nsoc)
+      | Cone.Epi_square -> (mo, nsoc + 1))
+    (0, 0) cones
+
+let make ?a ?b ~c ~g ~h ~cones () =
+  let n = Vec.dim c in
+  let a = match a with Some a -> a | None -> Mat.zeros 0 n in
+  let b = match b with Some b -> b | None -> Vec.zeros 0 in
+  let p = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Conic.make: A column mismatch";
+  if Vec.dim b <> p then invalid_arg "Conic.make: b dimension mismatch";
+  if Mat.cols g <> n then invalid_arg "Conic.make: G column mismatch";
+  let mo, nsoc = count_cones cones in
+  let q = mo + (3 * nsoc) in
+  if Mat.rows g <> q then invalid_arg "Conic.make: G row mismatch";
+  if Vec.dim h <> q then invalid_arg "Conic.make: h dimension mismatch";
+  let grows = Array.make q [||] and glo = Array.make q 0 in
+  let hi = Vec.zeros q in
+  let orth_ext = Array.make mo 0 and soc_ext = Array.make nsoc 0 in
+  let full = Vec.zeros n in
+  let store i =
+    let row, lo = truncate_row full in
+    grows.(i) <- row;
+    glo.(i) <- lo
+  in
+  let io = ref 0 and is = ref 0 and ext = ref 0 in
+  Array.iter
+    (fun cone ->
+      match cone with
+      | Cone.Nonneg d ->
+          for k = 0 to d - 1 do
+            let e = !ext + k and i = !io + k in
+            orth_ext.(i) <- e;
+            hi.(i) <- h.(e);
+            for j = 0 to n - 1 do
+              full.(j) <- Mat.get g e j
+            done;
+            store i
+          done;
+          io := !io + d;
+          ext := !ext + d
+      | Cone.Epi_square ->
+          let e = !ext and r0 = mo + (3 * !is) in
+          soc_ext.(!is) <- e;
+          hi.(r0) <- inv_sqrt2 *. (h.(e) +. h.(e + 1));
+          hi.(r0 + 1) <- inv_sqrt2 *. (h.(e) -. h.(e + 1));
+          hi.(r0 + 2) <- h.(e + 2);
+          for j = 0 to n - 1 do
+            full.(j) <- inv_sqrt2 *. (Mat.get g e j +. Mat.get g (e + 1) j)
+          done;
+          store r0;
+          for j = 0 to n - 1 do
+            full.(j) <- inv_sqrt2 *. (Mat.get g e j -. Mat.get g (e + 1) j)
+          done;
+          store (r0 + 1);
+          for j = 0 to n - 1 do
+            full.(j) <- Mat.get g (e + 2) j
+          done;
+          store (r0 + 2);
+          incr is;
+          ext := !ext + 3)
+    cones;
+  let gdata, goff = pack_rows grows in
+  { n; p; mo; nsoc; c = Vec.copy c; a; b = Vec.copy b; gdata; goff;
+    glo; hi; orth_ext; soc_ext; duals_map = [||]; obj_const = 0.0 }
+
+(* Recover a from P = 2 a a^T (the Hessian of a rank-one quadratic
+   constraint); [Invalid_argument] when P is not of that form. *)
+let rank_one_factor pmat =
+  let n = Mat.rows pmat in
+  let imax = ref 0 in
+  for i = 1 to n - 1 do
+    if Mat.get pmat i i > Mat.get pmat !imax !imax then imax := i
+  done;
+  let dmax = Mat.get pmat !imax !imax in
+  if dmax <= 0.0 then
+    invalid_arg "Conic.of_barrier: quadratic constraint with no curvature";
+  let av = Vec.zeros n in
+  let ai = sqrt (dmax /. 2.0) in
+  av.(!imax) <- ai;
+  for j = 0 to n - 1 do
+    if j <> !imax then av.(j) <- Mat.get pmat !imax j /. (2.0 *. ai)
+  done;
+  let tol = 1e-7 *. (1.0 +. dmax) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if abs_float (Mat.get pmat i j -. (2.0 *. av.(i) *. av.(j))) > tol
+      then
+        invalid_arg "Conic.of_barrier: quadratic constraint is not rank-one"
+    done
+  done;
+  av
+
+let of_barrier (bp : Barrier.problem) =
+  if not (Quad.is_affine bp.Barrier.objective) then
+    invalid_arg "Conic.of_barrier: objective is not affine";
+  let n = Quad.dim bp.Barrier.objective in
+  let cons = bp.Barrier.constraints in
+  let m = Array.length cons in
+  let mo = ref 0 and nsoc = ref 0 in
+  Array.iter
+    (fun cj -> if Quad.is_affine cj then incr mo else incr nsoc)
+    cons;
+  let mo = !mo and nsoc = !nsoc in
+  let q = mo + (3 * nsoc) in
+  let grows = Array.make q [||] and glo = Array.make q 0 in
+  let hi = Vec.zeros q in
+  let orth_ext = Array.init mo (fun i -> i) in
+  let soc_ext = Array.init nsoc (fun k -> mo + (3 * k)) in
+  let duals_map = Array.make m (Dual_orth 0) in
+  let full = Vec.zeros n in
+  let store i =
+    let row, lo = truncate_row full in
+    grows.(i) <- row;
+    glo.(i) <- lo
+  in
+  let io = ref 0 and is = ref 0 in
+  Array.iteri
+    (fun j cj ->
+      let qv = Quad.linear_part cj and r = Quad.constant_part cj in
+      if Quad.is_affine cj then begin
+        (* q'x + r <= 0  <=>  (-r) - q'x >= 0 *)
+        let i = !io in
+        duals_map.(j) <- Dual_orth i;
+        hi.(i) <- -.r;
+        Array.blit qv 0 full 0 n;
+        store i;
+        incr io
+      end
+      else begin
+        (* (a'x)^2 + q'x + r <= 0, lifted to the rotated cone
+           (u, v, w) = (-q'x - r, 1/2, a'x): external rows
+           u: (G = q, h = -r), v: (G = 0, h = 1/2), w: (G = -a, h = 0),
+           stored here already rotated by T onto SOC_3 (under which
+           the u and v rows both become q/sqrt2). *)
+        let av = rank_one_factor (Quad.hess cj) in
+        let k = !is in
+        duals_map.(j) <- Dual_soc k;
+        let r0 = mo + (3 * k) in
+        hi.(r0) <- inv_sqrt2 *. (-.r +. 0.5);
+        hi.(r0 + 1) <- inv_sqrt2 *. (-.r -. 0.5);
+        hi.(r0 + 2) <- 0.0;
+        for jj = 0 to n - 1 do
+          full.(jj) <- inv_sqrt2 *. qv.(jj)
+        done;
+        store r0;
+        store (r0 + 1);
+        for jj = 0 to n - 1 do
+          full.(jj) <- -.av.(jj)
+        done;
+        store (r0 + 2);
+        incr is
+      end)
+    cons;
+  let gdata, goff = pack_rows grows in
+  {
+    n; p = 0; mo; nsoc;
+    c = Quad.linear_part bp.Barrier.objective;
+    a = Mat.zeros 0 n; b = Vec.zeros 0;
+    gdata; goff; glo; hi; orth_ext; soc_ext; duals_map;
+    obj_const = Quad.constant_part bp.Barrier.objective;
+  }
+
+let with_constraint_constant t ~index value =
+  if Array.length t.duals_map = 0 then
+    invalid_arg "Conic.with_constraint_constant: not an of_barrier instance";
+  if index < 0 || index >= Array.length t.duals_map then
+    invalid_arg "Conic.with_constraint_constant: index out of range";
+  match t.duals_map.(index) with
+  | Dual_soc _ ->
+      invalid_arg "Conic.with_constraint_constant: constraint is not affine"
+  | Dual_orth i ->
+      let hi = Vec.copy t.hi in
+      hi.(i) <- -.value;
+      { t with hi }
+
+(* ------------------------------------------------------------------ *)
+(* Sparse-row kernels                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The three G kernels below account for the bulk of a solve (every
+   iteration walks the nnz row pack around fifteen times), so they
+   use unchecked array access — the only place in the library that
+   does.  The indices are safe by construction of pack_rows: for row
+   [i], [gdata]/[goff] entries lie in [goff.(i), goff.(i+1)) within
+   [0, nnz), and the column window [glo.(i), glo.(i) + len) lies
+   within [0, n); both are fixed at pack time and never mutated.
+
+   Each kernel special-cases rows of exactly eight entries with a
+   hand-unrolled body.  In the thermal models the per-node
+   temperature rows all couple the full frequency (or power) block —
+   eight columns — so upward of 95% of rows take this branch, and the
+   fixed-trip unrolled code is 2-3x faster than the generic loop
+   (measured: the compiler does not unroll, and the single-
+   accumulator reduction serializes on FP-add latency). *)
+
+(* dst := G x *)
+let g_mulvec t x ~dst =
+  let gd = t.gdata and off = t.goff and lo = t.glo in
+  for i = 0 to Array.length lo - 1 do
+    let s = Array.unsafe_get off i in
+    let e = Array.unsafe_get off (i + 1) in
+    let l = Array.unsafe_get lo i in
+    if e - s = 8 then begin
+      let a0 =
+        (Array.unsafe_get gd s *. Array.unsafe_get x l)
+        +. (Array.unsafe_get gd (s + 1) *. Array.unsafe_get x (l + 1))
+      and a1 =
+        (Array.unsafe_get gd (s + 2) *. Array.unsafe_get x (l + 2))
+        +. (Array.unsafe_get gd (s + 3) *. Array.unsafe_get x (l + 3))
+      and a2 =
+        (Array.unsafe_get gd (s + 4) *. Array.unsafe_get x (l + 4))
+        +. (Array.unsafe_get gd (s + 5) *. Array.unsafe_get x (l + 5))
+      and a3 =
+        (Array.unsafe_get gd (s + 6) *. Array.unsafe_get x (l + 6))
+        +. (Array.unsafe_get gd (s + 7) *. Array.unsafe_get x (l + 7))
+      in
+      Array.unsafe_set dst i ((a0 +. a1) +. (a2 +. a3))
+    end
+    else begin
+      let sh = l - s in
+      let acc = ref 0.0 in
+      for k = s to e - 1 do
+        acc :=
+          !acc +. (Array.unsafe_get gd k *. Array.unsafe_get x (sh + k))
+      done;
+      Array.unsafe_set dst i !acc
+    end
+  done
+
+(* dst := G' v *)
+let g_tmulvec t v ~dst =
+  Vec.fill dst 0.0;
+  let gd = t.gdata and off = t.goff and lo = t.glo in
+  for i = 0 to Array.length lo - 1 do
+    let vi = Array.unsafe_get v i in
+    let s = Array.unsafe_get off i in
+    let e = Array.unsafe_get off (i + 1) in
+    let l = Array.unsafe_get lo i in
+    if e - s = 8 then begin
+      Array.unsafe_set dst l
+        (Array.unsafe_get dst l +. (vi *. Array.unsafe_get gd s));
+      Array.unsafe_set dst (l + 1)
+        (Array.unsafe_get dst (l + 1)
+        +. (vi *. Array.unsafe_get gd (s + 1)));
+      Array.unsafe_set dst (l + 2)
+        (Array.unsafe_get dst (l + 2)
+        +. (vi *. Array.unsafe_get gd (s + 2)));
+      Array.unsafe_set dst (l + 3)
+        (Array.unsafe_get dst (l + 3)
+        +. (vi *. Array.unsafe_get gd (s + 3)));
+      Array.unsafe_set dst (l + 4)
+        (Array.unsafe_get dst (l + 4)
+        +. (vi *. Array.unsafe_get gd (s + 4)));
+      Array.unsafe_set dst (l + 5)
+        (Array.unsafe_get dst (l + 5)
+        +. (vi *. Array.unsafe_get gd (s + 5)));
+      Array.unsafe_set dst (l + 6)
+        (Array.unsafe_get dst (l + 6)
+        +. (vi *. Array.unsafe_get gd (s + 6)));
+      Array.unsafe_set dst (l + 7)
+        (Array.unsafe_get dst (l + 7)
+        +. (vi *. Array.unsafe_get gd (s + 7)))
+    end
+    else begin
+      let sh = l - s in
+      for k = s to e - 1 do
+        Array.unsafe_set dst (sh + k)
+          (Array.unsafe_get dst (sh + k)
+          +. (vi *. Array.unsafe_get gd k))
+      done
+    end
+  done
+
+(* marr (flat n x n, upper triangle) += G' diag(d) G *)
+let g_syrk t d ~marr =
+  let gd = t.gdata and off = t.goff and lo = t.glo and n = t.n in
+  for i = 0 to Array.length lo - 1 do
+    let s = Array.unsafe_get off i in
+    let e = Array.unsafe_get off (i + 1) in
+    let l = Array.unsafe_get lo i in
+    let di = Array.unsafe_get d i in
+    if e - s = 8 then begin
+      let g0 = Array.unsafe_get gd s
+      and g1 = Array.unsafe_get gd (s + 1)
+      and g2 = Array.unsafe_get gd (s + 2)
+      and g3 = Array.unsafe_get gd (s + 3)
+      and g4 = Array.unsafe_get gd (s + 4)
+      and g5 = Array.unsafe_get gd (s + 5)
+      and g6 = Array.unsafe_get gd (s + 6)
+      and g7 = Array.unsafe_get gd (s + 7) in
+      let c0 = di *. g0
+      and c1 = di *. g1
+      and c2 = di *. g2
+      and c3 = di *. g3
+      and c4 = di *. g4
+      and c5 = di *. g5
+      and c6 = di *. g6
+      and c7 = di *. g7 in
+      let b0 = (l * n) + l in
+      Array.unsafe_set marr b0 (Array.unsafe_get marr b0 +. (c0 *. g0));
+      Array.unsafe_set marr (b0 + 1)
+        (Array.unsafe_get marr (b0 + 1) +. (c0 *. g1));
+      Array.unsafe_set marr (b0 + 2)
+        (Array.unsafe_get marr (b0 + 2) +. (c0 *. g2));
+      Array.unsafe_set marr (b0 + 3)
+        (Array.unsafe_get marr (b0 + 3) +. (c0 *. g3));
+      Array.unsafe_set marr (b0 + 4)
+        (Array.unsafe_get marr (b0 + 4) +. (c0 *. g4));
+      Array.unsafe_set marr (b0 + 5)
+        (Array.unsafe_get marr (b0 + 5) +. (c0 *. g5));
+      Array.unsafe_set marr (b0 + 6)
+        (Array.unsafe_get marr (b0 + 6) +. (c0 *. g6));
+      Array.unsafe_set marr (b0 + 7)
+        (Array.unsafe_get marr (b0 + 7) +. (c0 *. g7));
+      let b1 = b0 + n + 1 in
+      Array.unsafe_set marr b1 (Array.unsafe_get marr b1 +. (c1 *. g1));
+      Array.unsafe_set marr (b1 + 1)
+        (Array.unsafe_get marr (b1 + 1) +. (c1 *. g2));
+      Array.unsafe_set marr (b1 + 2)
+        (Array.unsafe_get marr (b1 + 2) +. (c1 *. g3));
+      Array.unsafe_set marr (b1 + 3)
+        (Array.unsafe_get marr (b1 + 3) +. (c1 *. g4));
+      Array.unsafe_set marr (b1 + 4)
+        (Array.unsafe_get marr (b1 + 4) +. (c1 *. g5));
+      Array.unsafe_set marr (b1 + 5)
+        (Array.unsafe_get marr (b1 + 5) +. (c1 *. g6));
+      Array.unsafe_set marr (b1 + 6)
+        (Array.unsafe_get marr (b1 + 6) +. (c1 *. g7));
+      let b2 = b1 + n + 1 in
+      Array.unsafe_set marr b2 (Array.unsafe_get marr b2 +. (c2 *. g2));
+      Array.unsafe_set marr (b2 + 1)
+        (Array.unsafe_get marr (b2 + 1) +. (c2 *. g3));
+      Array.unsafe_set marr (b2 + 2)
+        (Array.unsafe_get marr (b2 + 2) +. (c2 *. g4));
+      Array.unsafe_set marr (b2 + 3)
+        (Array.unsafe_get marr (b2 + 3) +. (c2 *. g5));
+      Array.unsafe_set marr (b2 + 4)
+        (Array.unsafe_get marr (b2 + 4) +. (c2 *. g6));
+      Array.unsafe_set marr (b2 + 5)
+        (Array.unsafe_get marr (b2 + 5) +. (c2 *. g7));
+      let b3 = b2 + n + 1 in
+      Array.unsafe_set marr b3 (Array.unsafe_get marr b3 +. (c3 *. g3));
+      Array.unsafe_set marr (b3 + 1)
+        (Array.unsafe_get marr (b3 + 1) +. (c3 *. g4));
+      Array.unsafe_set marr (b3 + 2)
+        (Array.unsafe_get marr (b3 + 2) +. (c3 *. g5));
+      Array.unsafe_set marr (b3 + 3)
+        (Array.unsafe_get marr (b3 + 3) +. (c3 *. g6));
+      Array.unsafe_set marr (b3 + 4)
+        (Array.unsafe_get marr (b3 + 4) +. (c3 *. g7));
+      let b4 = b3 + n + 1 in
+      Array.unsafe_set marr b4 (Array.unsafe_get marr b4 +. (c4 *. g4));
+      Array.unsafe_set marr (b4 + 1)
+        (Array.unsafe_get marr (b4 + 1) +. (c4 *. g5));
+      Array.unsafe_set marr (b4 + 2)
+        (Array.unsafe_get marr (b4 + 2) +. (c4 *. g6));
+      Array.unsafe_set marr (b4 + 3)
+        (Array.unsafe_get marr (b4 + 3) +. (c4 *. g7));
+      let b5 = b4 + n + 1 in
+      Array.unsafe_set marr b5 (Array.unsafe_get marr b5 +. (c5 *. g5));
+      Array.unsafe_set marr (b5 + 1)
+        (Array.unsafe_get marr (b5 + 1) +. (c5 *. g6));
+      Array.unsafe_set marr (b5 + 2)
+        (Array.unsafe_get marr (b5 + 2) +. (c5 *. g7));
+      let b6 = b5 + n + 1 in
+      Array.unsafe_set marr b6 (Array.unsafe_get marr b6 +. (c6 *. g6));
+      Array.unsafe_set marr (b6 + 1)
+        (Array.unsafe_get marr (b6 + 1) +. (c6 *. g7));
+      let b7 = b6 + n + 1 in
+      Array.unsafe_set marr b7 (Array.unsafe_get marr b7 +. (c7 *. g7))
+    end
+    else
+      for a = s to e - 1 do
+        let ca = di *. Array.unsafe_get gd a in
+        let base = ((l + a - s) * n) + l - s in
+        for bk = a to e - 1 do
+          Array.unsafe_set marr (base + bk)
+            (Array.unsafe_get marr (base + bk)
+            +. (ca *. Array.unsafe_get gd bk))
+        done
+      done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Options, stats                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type kkt = [ `Dense | `Blocks of int array ]
+
+type options = {
+  feas_tol : float;
+  gap_abs_tol : float;
+  gap_rel_tol : float;
+  max_iter : int;
+  step_frac : float;
+  warm_mu : float;
+  kkt : kkt;
+}
+
+let default_options =
+  { feas_tol = 1e-7; gap_abs_tol = 1e-8; gap_rel_tol = 1e-6;
+    max_iter = 100; step_frac = 0.98; warm_mu = 0.003; kkt = `Dense }
+
+type stats = {
+  iterations : int;
+  predictor_steps : int;
+  corrector_steps : int;
+  factorizations : int;
+  jitter_retries : int;
+  optimal : int;
+  primal_infeasible : int;
+  dual_infeasible : int;
+  unknown : int;
+}
+
+let stats_zero =
+  { iterations = 0; predictor_steps = 0; corrector_steps = 0;
+    factorizations = 0; jitter_retries = 0; optimal = 0;
+    primal_infeasible = 0; dual_infeasible = 0; unknown = 0 }
+
+let stats_add a b =
+  {
+    iterations = a.iterations + b.iterations;
+    predictor_steps = a.predictor_steps + b.predictor_steps;
+    corrector_steps = a.corrector_steps + b.corrector_steps;
+    factorizations = a.factorizations + b.factorizations;
+    jitter_retries = a.jitter_retries + b.jitter_retries;
+    optimal = a.optimal + b.optimal;
+    primal_infeasible = a.primal_infeasible + b.primal_infeasible;
+    dual_infeasible = a.dual_infeasible + b.dual_infeasible;
+    unknown = a.unknown + b.unknown;
+  }
+
+type solution = {
+  x : Vec.t;
+  y : Vec.t;
+  s : Vec.t;
+  z : Vec.t;
+  objective_value : float;
+  gap : float;
+  iterations : int;
+}
+
+type status =
+  | Optimal of solution
+  | Primal_infeasible of { y : Vec.t; z : Vec.t }
+  | Dual_infeasible of { x : Vec.t }
+  | Unknown of solution
+
+(* ------------------------------------------------------------------ *)
+(* Per-solve workspace                                                *)
+(* ------------------------------------------------------------------ *)
+
+type kkt_fact = Fact_dense of Chol.t | Fact_blocks of Block_tridiag.t
+
+type ws = {
+  mutable t : t;
+  (* iterate (internal row order) *)
+  x : Vec.t;
+  y : Vec.t;
+  z : Vec.t;
+  s : Vec.t;
+  mutable tau : float;
+  mutable kappa : float;
+  (* residuals *)
+  rx : Vec.t;
+  ry : Vec.t;
+  rz : Vec.t;
+  mutable rt : float;
+  mutable mu : float;
+  mutable norm_rz : float;  (* |rz|_inf, fused into the rz pass *)
+  mutable gap_sz : float;  (* s'z, fused into the rz pass *)
+  mutable hz_dot : float;  (* h'z, fused into the rz pass *)
+  mutable refine_passes : int;
+  (* Nesterov-Todd scaling *)
+  w_o : Vec.t;  (* orthant sqrt(s/z) *)
+  w2inv_o : Vec.t;  (* orthant z/s *)
+  dweights : Vec.t;  (* syrk weights, one per internal row *)
+  wbar : Vec.t;  (* 3 per SOC block: the unit-hyperboloid point *)
+  eta : Vec.t;  (* 1 per SOC block *)
+  lam : Vec.t;  (* scaled point lambda = W z *)
+  (* KKT *)
+  marr : float array;  (* flat n x n accumulator for G' W^-2 G *)
+  m_mat : Mat.t;
+  fact : kkt_fact;
+  bvec : Vec.t;  (* n: SOC rank-one row G_k' (J wbar) *)
+  (* per-iteration precomputations for the tau recovery *)
+  w2h : Vec.t;  (* W^-2 h *)
+  gw2h : Vec.t;  (* G' W^-2 h *)
+  gu1x : Vec.t;  (* G u1x *)
+  mutable cbh1 : float;  (* c'u1x + b'u1y + h'u1z *)
+  (* equality (Schur) path, used only when p > 0 *)
+  schur : Mat.t;
+  schur_fact : Chol.t;
+  minva : Vec.t array;  (* p rows: M^-1 A' columns *)
+  (* u1 = K3^-1 (-c, b, h), x/y components only *)
+  u1x : Vec.t;
+  u1y : Vec.t;
+  (* u2 and the search direction *)
+  u2x : Vec.t;
+  u2y : Vec.t;
+  dx : Vec.t;
+  dy : Vec.t;
+  dz : Vec.t;
+  ds : Vec.t;
+  mutable dtau : float;
+  mutable dkappa : float;
+  (* affine (predictor) quantities kept for the corrector *)
+  dsa : Vec.t;  (* W^-1 ds_aff *)
+  dza : Vec.t;  (* W dz_aff *)
+  mutable dtau_a : float;
+  mutable dkappa_a : float;
+  (* RHS and scratch *)
+  rhsn : Vec.t;
+  byv : Vec.t;
+  bzv : Vec.t;
+  rhs5 : Vec.t;
+  dst_s : Vec.t;  (* lambda \ rhs5 *)
+  tmp_n : Vec.t;
+  tmp_q : Vec.t;
+  tmp_q2 : Vec.t;
+  tmp_p : Vec.t;
+  ref_n : Vec.t;
+  cor_n : Vec.t;
+  (* best iterate seen so far (by residual/gap merit) *)
+  best_x : Vec.t;
+  best_y : Vec.t;
+  best_s : Vec.t;
+  best_z : Vec.t;
+  mutable best_tau : float;
+  mutable best_kappa : float;
+  mutable best_merit : float;
+  mutable stall_count : int;
+  (* problem norms for the stopping tests *)
+  mutable norm_c : float;
+  mutable norm_b : float;
+  mutable norm_h : float;
+}
+
+let make_ws t options =
+  let n = t.n and p = t.p in
+  let q = n_rows t in
+  let fact =
+    match options.kkt with
+    | `Dense -> Fact_dense (Chol.preallocate n)
+    | `Blocks sizes ->
+        if Array.fold_left ( + ) 0 sizes <> n then
+          invalid_arg "Conic.solve: block sizes do not sum to dim";
+        Fact_blocks (Block_tridiag.preallocate sizes)
+  in
+  {
+    t;
+    x = Vec.zeros n; y = Vec.zeros p; z = Vec.zeros q; s = Vec.zeros q;
+    tau = 1.0; kappa = 1.0;
+    rx = Vec.zeros n; ry = Vec.zeros p; rz = Vec.zeros q;
+    rt = 0.0; mu = 1.0; norm_rz = 0.0; gap_sz = 0.0; hz_dot = 0.0;
+    refine_passes = 1;
+    w_o = Vec.zeros t.mo; w2inv_o = Vec.zeros t.mo;
+    dweights = Vec.zeros q;
+    wbar = Vec.zeros (3 * t.nsoc); eta = Vec.zeros t.nsoc;
+    lam = Vec.zeros q;
+    marr = Array.make (n * n) 0.0;
+    m_mat = Mat.zeros n n; fact; bvec = Vec.zeros n;
+    w2h = Vec.zeros q; gw2h = Vec.zeros n; gu1x = Vec.zeros q;
+    cbh1 = 0.0;
+    schur = Mat.zeros p p;
+    schur_fact = Chol.preallocate (max 1 p);
+    minva = Array.init p (fun _ -> Vec.zeros n);
+    u1x = Vec.zeros n; u1y = Vec.zeros p;
+    u2x = Vec.zeros n; u2y = Vec.zeros p;
+    dx = Vec.zeros n; dy = Vec.zeros p; dz = Vec.zeros q;
+    ds = Vec.zeros q;
+    dtau = 0.0; dkappa = 0.0;
+    dsa = Vec.zeros q; dza = Vec.zeros q;
+    dtau_a = 0.0; dkappa_a = 0.0;
+    rhsn = Vec.zeros n; byv = Vec.zeros p; bzv = Vec.zeros q;
+    rhs5 = Vec.zeros q; dst_s = Vec.zeros q;
+    tmp_n = Vec.zeros n; tmp_q = Vec.zeros q; tmp_q2 = Vec.zeros q;
+    tmp_p = Vec.zeros p;
+    ref_n = Vec.zeros n; cor_n = Vec.zeros n;
+    best_x = Vec.zeros n; best_y = Vec.zeros p;
+    best_s = Vec.zeros q; best_z = Vec.zeros q;
+    best_tau = 1.0; best_kappa = 1.0; best_merit = infinity;
+    stall_count = 0;
+    norm_c = (if n = 0 then 0.0 else Vec.norm_inf t.c);
+    norm_b = (if p = 0 then 0.0 else Vec.norm_inf t.b);
+    norm_h = (if q = 0 then 0.0 else Vec.norm_inf t.hi);
+  }
+
+type workspace = ws
+
+let make_workspace ?(kkt = `Dense) t =
+  make_ws t { default_options with kkt }
+
+(* Re-point a preallocated workspace at a (structurally identical)
+   instance: everything array-shaped is overwritten by the first
+   iteration, so only the instance pointer, the problem norms, and the
+   cross-iteration scalars need resetting. *)
+let rebind_ws st t =
+  if
+    st.t.n <> t.n || st.t.p <> t.p || st.t.mo <> t.mo
+    || st.t.nsoc <> t.nsoc
+  then invalid_arg "Conic.solve: workspace shape mismatch";
+  st.t <- t;
+  st.norm_c <- (if t.n = 0 then 0.0 else Vec.norm_inf t.c);
+  st.norm_b <- (if t.p = 0 then 0.0 else Vec.norm_inf t.b);
+  st.norm_h <- (if n_rows t = 0 then 0.0 else Vec.norm_inf t.hi);
+  st.refine_passes <- 1;
+  st.mu <- 1.0;
+  st.best_tau <- 1.0;
+  st.best_kappa <- 1.0;
+  st.best_merit <- infinity;
+  st.stall_count <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Scaling and Jordan-algebra kernels (internal row order)            *)
+(* ------------------------------------------------------------------ *)
+
+(* dst := W u.  Orthant: diag(w_o); SOC block: eta * Wbar with
+   Wbar v = (wb0 v0 + wb' v', v' + wb (v0 + (wb' v')/(1 + wb0))).
+   Safe when dst == u (components are read into locals first). *)
+(* dst := W^-2 u.  Orthant: diag(z/s); SOC: with v = J wbar,
+   (Wbar^2)^-1 = 2 v v' - J, so dst = eta^-2 (2 v (v'u) - J u).
+   Safe when dst == u. *)
+let apply_w2inv st u ~dst =
+  let t = st.t in
+  for i = 0 to t.mo - 1 do
+    dst.(i) <- st.w2inv_o.(i) *. u.(i)
+  done;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) and wb = 3 * k in
+    let wb0 = st.wbar.(wb)
+    and wb1 = st.wbar.(wb + 1)
+    and wb2 = st.wbar.(wb + 2) in
+    let e = st.eta.(k) in
+    let e2inv = 1.0 /. (e *. e) in
+    let u0 = u.(r0) and u1 = u.(r0 + 1) and u2 = u.(r0 + 2) in
+    let d = (wb0 *. u0) -. (wb1 *. u1) -. (wb2 *. u2) in
+    dst.(r0) <- e2inv *. ((2.0 *. wb0 *. d) -. u0);
+    dst.(r0 + 1) <- e2inv *. ((-2.0 *. wb1 *. d) +. u1);
+    dst.(r0 + 2) <- e2inv *. ((-2.0 *. wb2 *. d) +. u2)
+  done
+
+(* dst := G' (W^-2 v) in one sweep: the orthant scaling is diagonal,
+   so it folds into the row coefficient for free; the few SOC blocks
+   are pre-scaled into the SOC slots of tmp_q first.  Saves a full
+   q-length pass over apply_w2inv + g_tmulvec in both direction
+   builds. *)
+let g_tmulvec_w2inv st v ~dst =
+  let t = st.t in
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) and wb = 3 * k in
+    let wb0 = st.wbar.(wb)
+    and wb1 = st.wbar.(wb + 1)
+    and wb2 = st.wbar.(wb + 2) in
+    let e = st.eta.(k) in
+    let e2inv = 1.0 /. (e *. e) in
+    let u0 = v.(r0) and u1 = v.(r0 + 1) and u2 = v.(r0 + 2) in
+    let d = (wb0 *. u0) -. (wb1 *. u1) -. (wb2 *. u2) in
+    st.tmp_q.(r0) <- e2inv *. ((2.0 *. wb0 *. d) -. u0);
+    st.tmp_q.(r0 + 1) <- e2inv *. ((-2.0 *. wb1 *. d) +. u1);
+    st.tmp_q.(r0 + 2) <- e2inv *. ((-2.0 *. wb2 *. d) +. u2)
+  done;
+  Vec.fill dst 0.0;
+  let gd = t.gdata and off = t.goff and lo = t.glo in
+  let w2 = st.w2inv_o and tq = st.tmp_q and mo = t.mo in
+  for i = 0 to Array.length lo - 1 do
+    let vi =
+      if i < mo then Array.unsafe_get w2 i *. Array.unsafe_get v i
+      else Array.unsafe_get tq i
+    in
+    let s = Array.unsafe_get off i in
+    let e = Array.unsafe_get off (i + 1) in
+    let l = Array.unsafe_get lo i in
+    if e - s = 8 then begin
+      Array.unsafe_set dst l
+        (Array.unsafe_get dst l +. (vi *. Array.unsafe_get gd s));
+      Array.unsafe_set dst (l + 1)
+        (Array.unsafe_get dst (l + 1)
+        +. (vi *. Array.unsafe_get gd (s + 1)));
+      Array.unsafe_set dst (l + 2)
+        (Array.unsafe_get dst (l + 2)
+        +. (vi *. Array.unsafe_get gd (s + 2)));
+      Array.unsafe_set dst (l + 3)
+        (Array.unsafe_get dst (l + 3)
+        +. (vi *. Array.unsafe_get gd (s + 3)));
+      Array.unsafe_set dst (l + 4)
+        (Array.unsafe_get dst (l + 4)
+        +. (vi *. Array.unsafe_get gd (s + 4)));
+      Array.unsafe_set dst (l + 5)
+        (Array.unsafe_get dst (l + 5)
+        +. (vi *. Array.unsafe_get gd (s + 5)));
+      Array.unsafe_set dst (l + 6)
+        (Array.unsafe_get dst (l + 6)
+        +. (vi *. Array.unsafe_get gd (s + 6)));
+      Array.unsafe_set dst (l + 7)
+        (Array.unsafe_get dst (l + 7)
+        +. (vi *. Array.unsafe_get gd (s + 7)))
+    end
+    else begin
+      let sh = l - s in
+      for k = s to e - 1 do
+        Array.unsafe_set dst (sh + k)
+          (Array.unsafe_get dst (sh + k)
+          +. (vi *. Array.unsafe_get gd k))
+      done
+    end
+  done
+
+(* Compute the NT scaling at the current (s, z) and the scaled point
+   lambda = W z, plus the per-row syrk weights for the diagonal part
+   of W^-2 (the SOC rank-one correction is added in assemble_m). *)
+let compute_scaling st =
+  let t = st.t in
+  let s = st.s and z = st.z and wo = st.w_o and w2 = st.w2inv_o in
+  let dw = st.dweights and lam = st.lam in
+  for i = 0 to t.mo - 1 do
+    let si = Array.unsafe_get s i and zi = Array.unsafe_get z i in
+    let w = sqrt (si /. zi) in
+    let w2i = zi /. si in
+    Array.unsafe_set wo i w;
+    Array.unsafe_set w2 i w2i;
+    Array.unsafe_set dw i w2i;
+    Array.unsafe_set lam i (w *. zi)
+  done;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) and wb = 3 * k in
+    let s0 = st.s.(r0) and s1 = st.s.(r0 + 1) and s2 = st.s.(r0 + 2) in
+    let z0 = st.z.(r0) and z1 = st.z.(r0 + 1) and z2 = st.z.(r0 + 2) in
+    let rs = (s0 *. s0) -. (s1 *. s1) -. (s2 *. s2) in
+    let rz = (z0 *. z0) -. (z1 *. z1) -. (z2 *. z2) in
+    let srs = sqrt rs and srz = sqrt rz in
+    let sb0 = s0 /. srs and sb1 = s1 /. srs and sb2 = s2 /. srs in
+    let zb0 = z0 /. srz and zb1 = z1 /. srz and zb2 = z2 /. srz in
+    let szdot = (sb0 *. zb0) +. (sb1 *. zb1) +. (sb2 *. zb2) in
+    let gamma = sqrt ((1.0 +. szdot) /. 2.0) in
+    st.wbar.(wb) <- (sb0 +. zb0) /. (2.0 *. gamma);
+    st.wbar.(wb + 1) <- (sb1 -. zb1) /. (2.0 *. gamma);
+    st.wbar.(wb + 2) <- (sb2 -. zb2) /. (2.0 *. gamma);
+    let e = sqrt (sqrt (rs /. rz)) in
+    st.eta.(k) <- e;
+    let e2inv = 1.0 /. (e *. e) in
+    st.dweights.(r0) <- -.e2inv;
+    st.dweights.(r0 + 1) <- e2inv;
+    st.dweights.(r0 + 2) <- e2inv;
+    let wb0' = st.wbar.(wb)
+    and wb1' = st.wbar.(wb + 1)
+    and wb2' = st.wbar.(wb + 2) in
+    let d = (wb1' *. z1) +. (wb2' *. z2) in
+    let f = z0 +. (d /. (1.0 +. wb0')) in
+    lam.(r0) <- e *. ((wb0' *. z0) +. d);
+    lam.(r0 + 1) <- e *. (z1 +. (wb1' *. f));
+    lam.(r0 + 2) <- e *. (z2 +. (wb2' *. f))
+  done
+
+(* M := G' W^-2 G, accumulated in the flat upper-triangle buffer: one
+   ranged syrk with the diagonal weights (orthant z/s; SOC -eta^-2 on
+   the leading row, +eta^-2 on the rest, the "-J" part of
+   (Wbar^2)^-1), then a rank-one correction 2 eta^-2 b b' per SOC
+   block with b = G_k' (J wbar), supported on the union stripe of the
+   block's rows.  The lower triangle of m_mat is what {!Chol} and
+   {!Block_tridiag} read, so the copy-out transposes. *)
+let assemble_m st =
+  let t = st.t in
+  let n = t.n in
+  Array.fill st.marr 0 (n * n) 0.0;
+  g_syrk t st.dweights ~marr:st.marr;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) and wb = 3 * k in
+    let wb0 = st.wbar.(wb)
+    and wb1 = st.wbar.(wb + 1)
+    and wb2 = st.wbar.(wb + 2) in
+    let lo = ref n and hi = ref 0 in
+    for rr = r0 to r0 + 2 do
+      let l = t.glo.(rr) and len = t.goff.(rr + 1) - t.goff.(rr) in
+      if len > 0 then begin
+        if l < !lo then lo := l;
+        if l + len > !hi then hi := l + len
+      end
+    done;
+    if !hi > !lo then begin
+      for j = !lo to !hi - 1 do
+        st.bvec.(j) <- 0.0
+      done;
+      let add coeff rr =
+        let s0 = t.goff.(rr) in
+        let sh = t.glo.(rr) - s0 in
+        for kk = s0 to t.goff.(rr + 1) - 1 do
+          st.bvec.(sh + kk) <- st.bvec.(sh + kk) +. (coeff *. t.gdata.(kk))
+        done
+      in
+      add wb0 r0;
+      add (-.wb1) (r0 + 1);
+      add (-.wb2) (r0 + 2);
+      let e = st.eta.(k) in
+      let c2 = 2.0 /. (e *. e) in
+      for a = !lo to !hi - 1 do
+        let ca = c2 *. st.bvec.(a) in
+        let base = a * n in
+        for b2 = a to !hi - 1 do
+          st.marr.(base + b2) <- st.marr.(base + b2) +. (ca *. st.bvec.(b2))
+        done
+      done
+    end
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      Mat.set st.m_mat i j st.marr.((j * n) + i)
+    done
+  done
+
+let factorize_m st =
+  match st.fact with
+  | Fact_dense f ->
+      let _jitter, tries = Chol.factorize_jittered_into f st.m_mat in
+      tries
+  | Fact_blocks f ->
+      let _jitter, tries = Block_tridiag.factorize_jittered_into f st.m_mat in
+      tries
+
+let solve_m st v ~dst =
+  match st.fact with
+  | Fact_dense f -> Chol.solve_factorized_into f v ~dst
+  | Fact_blocks f -> Block_tridiag.solve_factorized_into f v ~dst
+
+(* Schur complement S = A M^-1 A' for the equality rows; factorized
+   once per iteration (only when p > 0). *)
+let build_schur st =
+  let t = st.t in
+  for i = 0 to t.p - 1 do
+    for j = 0 to t.n - 1 do
+      st.tmp_n.(j) <- Mat.get t.a i j
+    done;
+    solve_m st st.tmp_n ~dst:st.minva.(i)
+  done;
+  for i = 0 to t.p - 1 do
+    for j = 0 to t.p - 1 do
+      let acc = ref 0.0 in
+      for l = 0 to t.n - 1 do
+        acc := !acc +. (Mat.get t.a i l *. st.minva.(j).(l))
+      done;
+      Mat.set st.schur i j !acc
+    done
+  done;
+  let _jitter, tries = Chol.factorize_jittered_into st.schur_fact st.schur in
+  tries
+
+(* Solve the (x, y) block of K3 (ox, oy, oz) = (r1, r2, r3), where
+     K3 = [ 0  A'  G' ; A  0  0 ; G  0  -W^2 ],
+   given the pre-assembled normal-equations RHS
+     rhsn = r1 + G' W^-2 r3
+   (M ox + A' oy = rhsn, A ox = r2; Schur when p > 0).  oz is never
+   materialized here: directions recover dz from the final dx, and
+   the tau recovery accumulates h'oz elementwise.  [r1 = r1s * r1v]
+   and [r3] are the original first- and third-block RHS, needed for
+   iterative refinement against the {e true} residual
+     r1 - G' W^-2 (G ox - r3):
+   the difference (G ox - r3) is formed elementwise before the W^-2
+   amplification, so this catches both the O(wbar0^2 eps) error in
+   the assembled M and the cancellation incurred assembling rhsn —
+   either alone destabilizes the last decades of mu. *)
+let solve_xy st ~r1s ~r1v ~r3 ~r2 ~ox ~oy =
+  let t = st.t in
+  if t.p = 0 then begin
+    solve_m st st.rhsn ~dst:ox;
+    for _pass = 1 to st.refine_passes do
+      g_mulvec t ox ~dst:st.tmp_q2;
+      let q = t.mo + (3 * t.nsoc) in
+      let tq2 = st.tmp_q2 in
+      for j = 0 to q - 1 do
+        Array.unsafe_set tq2 j (Array.unsafe_get tq2 j -. Array.unsafe_get r3 j)
+      done;
+      g_tmulvec_w2inv st st.tmp_q2 ~dst:st.ref_n;
+      for j = 0 to t.n - 1 do
+        st.ref_n.(j) <- (r1s *. r1v.(j)) -. st.ref_n.(j)
+      done;
+      solve_m st st.ref_n ~dst:st.cor_n;
+      Vec.axpy_into ~dst:ox 1.0 st.cor_n
+    done
+  end
+  else begin
+    ignore r1s;
+    ignore r1v;
+    ignore r3;
+    solve_m st st.rhsn ~dst:st.tmp_n;
+    Mat.gemv_into t.a st.tmp_n ~dst:st.tmp_p;
+    Vec.axpy_into ~dst:st.tmp_p (-1.0) r2;
+    Chol.solve_factorized_into st.schur_fact st.tmp_p ~dst:oy;
+    Vec.blit ~src:st.rhsn ~dst:ox;
+    Mat.gemv_into ~trans:true ~alpha:(-1.0) ~beta:1.0 t.a oy ~dst:ox;
+    solve_m st ox ~dst:ox
+  end
+
+(* Per-iteration precomputations once the factorization is ready:
+   W^-2 h, G'W^-2 h, and u1 = K3^-1 (-c, b, h), whose
+   normal-equations RHS is exactly gw2h - c.  G u1x is kept so that
+   h'u1z = sum_j w2h_j ((G u1x)_j - h_j) is accumulated elementwise
+   — differencing the two large dots gw2h'u1x and h'W^-2 h instead
+   cancels catastrophically once the active-set scalings blow up —
+   and so the direction recovery can form G dx without a matvec. *)
+let prepare_tau_recovery st =
+  let t = st.t in
+  apply_w2inv st t.hi ~dst:st.w2h;
+  g_tmulvec t st.w2h ~dst:st.gw2h;
+  for j = 0 to t.n - 1 do
+    st.rhsn.(j) <- st.gw2h.(j) -. t.c.(j)
+  done;
+  solve_xy st ~r1s:(-1.0) ~r1v:t.c ~r3:t.hi ~r2:t.b ~ox:st.u1x
+    ~oy:st.u1y;
+  g_mulvec t st.u1x ~dst:st.gu1x;
+  let q = t.mo + (3 * t.nsoc) in
+  let hz1 = ref 0.0 in
+  for j = 0 to q - 1 do
+    hz1 := !hz1 +. (st.w2h.(j) *. (st.gu1x.(j) -. t.hi.(j)))
+  done;
+  st.cbh1 <-
+    Vec.dot t.c st.u1x
+    +. (if t.p = 0 then 0.0 else Vec.dot t.b st.u1y)
+    +. !hz1
+
+(* ------------------------------------------------------------------ *)
+(* Residuals, step lengths                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* HSDE residuals at the current iterate:
+     rx = A'y + G'z + c tau        rz = G x + s - h tau
+     ry = A x - b tau              rt = c'x + b'y + h'z + kappa
+   and the complementarity measure mu = (s'z + tau kappa)/(deg + 1). *)
+let compute_residuals st =
+  let t = st.t in
+  g_tmulvec t st.z ~dst:st.rx;
+  if t.p > 0 then Mat.gemv_into ~trans:true ~beta:1.0 t.a st.y ~dst:st.rx;
+  Vec.axpy_into ~dst:st.rx st.tau t.c;
+  if t.p > 0 then begin
+    Mat.gemv_into t.a st.x ~dst:st.ry;
+    Vec.axpy_into ~dst:st.ry (-.st.tau) t.b
+  end;
+  g_mulvec t st.x ~dst:st.rz;
+  (* One fused pass: assemble rz and pick up |rz|_inf, h'z and s'z
+     along the way (the stopping tests and rt/mu reuse them). *)
+  let q = t.mo + (3 * t.nsoc) in
+  let rz = st.rz and s = st.s and z = st.z and hi = t.hi in
+  let tau = st.tau in
+  let nrz = ref 0.0 and hz = ref 0.0 and sz = ref 0.0 in
+  for j = 0 to q - 1 do
+    let sj = Array.unsafe_get s j
+    and zj = Array.unsafe_get z j
+    and hj = Array.unsafe_get hi j in
+    let r = Array.unsafe_get rz j +. sj -. (tau *. hj) in
+    Array.unsafe_set rz j r;
+    let a = abs_float r in
+    if a > !nrz then nrz := a;
+    hz := !hz +. (hj *. zj);
+    sz := !sz +. (sj *. zj)
+  done;
+  st.norm_rz <- !nrz;
+  st.gap_sz <- !sz;
+  st.hz_dot <- !hz;
+  st.rt <-
+    Vec.dot t.c st.x
+    +. (if t.p = 0 then 0.0 else Vec.dot t.b st.y)
+    +. !hz +. st.kappa;
+  let deg = float_of_int (t.mo + t.nsoc) in
+  st.mu <- (!sz +. (st.tau *. st.kappa)) /. (deg +. 1.0)
+
+(* Largest alpha with v + alpha dv still in the cone, for one SOC
+   block: the smallest positive root of
+   rho(v + alpha dv) = a alpha^2 + 2 b alpha + c0 (c0 > 0). *)
+let soc_max_step ~v0 ~v1 ~v2 ~d0 ~d1 ~d2 =
+  let a = (d0 *. d0) -. (d1 *. d1) -. (d2 *. d2) in
+  let b = (v0 *. d0) -. (v1 *. d1) -. (v2 *. d2) in
+  let c0 = (v0 *. v0) -. (v1 *. v1) -. (v2 *. v2) in
+  let tiny = 1e-14 *. (abs_float a +. abs_float b +. 1.0) in
+  if abs_float a <= tiny then
+    if b < 0.0 then -.c0 /. (2.0 *. b) else infinity
+  else
+    let disc = (b *. b) -. (a *. c0) in
+    if a < 0.0 then ((-.b) -. sqrt disc) /. a
+    else if disc < 0.0 || b >= 0.0 then infinity
+    else ((-.b) -. sqrt disc) /. a
+
+(* Largest feasible step for (s, ds), (z, dz), tau and kappa. *)
+let max_step st =
+  let t = st.t in
+  let alpha = ref infinity in
+  let bound v d = if d < 0.0 && -.v /. d < !alpha then alpha := -.v /. d in
+  let s = st.s and z = st.z and ds = st.ds and dz = st.dz in
+  for i = 0 to t.mo - 1 do
+    let d = Array.unsafe_get ds i in
+    if d < 0.0 then begin
+      let r = -.Array.unsafe_get s i /. d in
+      if r < !alpha then alpha := r
+    end;
+    let d = Array.unsafe_get dz i in
+    if d < 0.0 then begin
+      let r = -.Array.unsafe_get z i /. d in
+      if r < !alpha then alpha := r
+    end
+  done;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) in
+    let a_s =
+      soc_max_step ~v0:st.s.(r0) ~v1:st.s.(r0 + 1) ~v2:st.s.(r0 + 2)
+        ~d0:st.ds.(r0) ~d1:st.ds.(r0 + 1) ~d2:st.ds.(r0 + 2)
+    in
+    if a_s < !alpha then alpha := a_s;
+    let a_z =
+      soc_max_step ~v0:st.z.(r0) ~v1:st.z.(r0 + 1) ~v2:st.z.(r0 + 2)
+        ~d0:st.dz.(r0) ~d1:st.dz.(r0 + 1) ~d2:st.dz.(r0 + 2)
+    in
+    if a_z < !alpha then alpha := a_z
+  done;
+  bound st.tau st.dtau;
+  bound st.kappa st.dkappa;
+  !alpha
+
+(* ------------------------------------------------------------------ *)
+(* Predictor / corrector steps (hot kernels; see lint.manifest)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared tail of both steps.  On entry: rhsn/byv hold the (x, y) RHS,
+   bzv the z RHS of the Newton system, dst_s the scaled
+   complementarity direction lambda \ rhs5, and (bt, btk) the tau and
+   tau-kappa RHS.  Solves for (u2x, u2y), recovers dtau from the
+   precomputed u1/tau quantities, combines dx = u2x + dtau u1x, and
+   reconstructs dz = W^-2 (G dx - bzv - dtau h) and
+   ds = W (dst_s - W dz); W dz and W^-1 ds land in dza/dsa, which is
+   exactly what the corrector's Gamma term needs from the predictor. *)
+let recover_direction st ~r1s ~bt ~btk =
+  let t = st.t in
+  let q = t.mo + (3 * t.nsoc) in
+  solve_xy st ~r1s ~r1v:st.rx ~r3:st.bzv ~r2:st.byv ~ox:st.u2x
+    ~oy:st.u2y;
+  g_mulvec t st.u2x ~dst:st.tmp_q2;
+  let hz2 = ref 0.0 in
+  for j = 0 to q - 1 do
+    hz2 := !hz2 +. (st.w2h.(j) *. (st.tmp_q2.(j) -. st.bzv.(j)))
+  done;
+  let c2 =
+    Vec.dot t.c st.u2x
+    +. (if t.p = 0 then 0.0 else Vec.dot t.b st.u2y)
+    +. !hz2
+  in
+  let dtau =
+    (bt -. (btk /. st.tau) -. c2) /. (st.cbh1 -. (st.kappa /. st.tau))
+  in
+  st.dtau <- dtau;
+  st.dkappa <- (btk -. (st.kappa *. dtau)) /. st.tau;
+  for j = 0 to t.n - 1 do
+    st.dx.(j) <- st.u2x.(j) +. (dtau *. st.u1x.(j))
+  done;
+  for j = 0 to t.p - 1 do
+    st.dy.(j) <- st.u2y.(j) +. (dtau *. st.u1y.(j))
+  done;
+  (* Reconstruct dz = W^-2 (G dx - bzv - dtau h), dza = W dz,
+     dsa = dst_s - dza and ds = W dsa in a single fused pass over the
+     orthant rows (all four scalings are diagonal there) plus a short
+     loop over the SOC blocks. *)
+  let tq2 = st.tmp_q2 and gu1 = st.gu1x and bzv = st.bzv and hi = t.hi in
+  let dz = st.dz and dza = st.dza and dsa = st.dsa and ds = st.ds in
+  let dss = st.dst_s and w2 = st.w2inv_o and wo = st.w_o in
+  for j = 0 to t.mo - 1 do
+    let t2 =
+      Array.unsafe_get tq2 j
+      +. (dtau *. Array.unsafe_get gu1 j)
+      -. Array.unsafe_get bzv j
+      -. (dtau *. Array.unsafe_get hi j)
+    in
+    let dzj = Array.unsafe_get w2 j *. t2 in
+    let w = Array.unsafe_get wo j in
+    let dzaj = w *. dzj in
+    let dsaj = Array.unsafe_get dss j -. dzaj in
+    Array.unsafe_set dz j dzj;
+    Array.unsafe_set dza j dzaj;
+    Array.unsafe_set dsa j dsaj;
+    Array.unsafe_set ds j (w *. dsaj)
+  done;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) and wb = 3 * k in
+    let wb0 = st.wbar.(wb)
+    and wb1 = st.wbar.(wb + 1)
+    and wb2 = st.wbar.(wb + 2) in
+    let e = st.eta.(k) in
+    let e2inv = 1.0 /. (e *. e) in
+    let t20 =
+      tq2.(r0) +. (dtau *. gu1.(r0)) -. bzv.(r0) -. (dtau *. hi.(r0))
+    and t21 =
+      tq2.(r0 + 1) +. (dtau *. gu1.(r0 + 1)) -. bzv.(r0 + 1)
+      -. (dtau *. hi.(r0 + 1))
+    and t22 =
+      tq2.(r0 + 2) +. (dtau *. gu1.(r0 + 2)) -. bzv.(r0 + 2)
+      -. (dtau *. hi.(r0 + 2))
+    in
+    let d = (wb0 *. t20) -. (wb1 *. t21) -. (wb2 *. t22) in
+    let dz0 = e2inv *. ((2.0 *. wb0 *. d) -. t20)
+    and dz1 = e2inv *. ((-2.0 *. wb1 *. d) +. t21)
+    and dz2 = e2inv *. ((-2.0 *. wb2 *. d) +. t22) in
+    dz.(r0) <- dz0;
+    dz.(r0 + 1) <- dz1;
+    dz.(r0 + 2) <- dz2;
+    let dd = (wb1 *. dz1) +. (wb2 *. dz2) in
+    let f = dz0 +. (dd /. (1.0 +. wb0)) in
+    let dza0 = e *. ((wb0 *. dz0) +. dd)
+    and dza1 = e *. (dz1 +. (wb1 *. f))
+    and dza2 = e *. (dz2 +. (wb2 *. f)) in
+    dza.(r0) <- dza0;
+    dza.(r0 + 1) <- dza1;
+    dza.(r0 + 2) <- dza2;
+    let dsa0 = dss.(r0) -. dza0
+    and dsa1 = dss.(r0 + 1) -. dza1
+    and dsa2 = dss.(r0 + 2) -. dza2 in
+    dsa.(r0) <- dsa0;
+    dsa.(r0 + 1) <- dsa1;
+    dsa.(r0 + 2) <- dsa2;
+    let dd2 = (wb1 *. dsa1) +. (wb2 *. dsa2) in
+    let f2 = dsa0 +. (dd2 /. (1.0 +. wb0)) in
+    ds.(r0) <- e *. ((wb0 *. dsa0) +. dd2);
+    ds.(r0 + 1) <- e *. (dsa1 +. (wb1 *. f2));
+    ds.(r0 + 2) <- e *. (dsa2 +. (wb2 *. f2))
+  done
+
+(* Affine-scaling (predictor) direction: Newton towards mu = 0, i.e.
+   full residual RHS and lambda o (W dz + W^-1 ds) = -lambda o lambda,
+   so dst_s = -lambda and the z RHS is -rz - W dst_s = s - rz (W
+   lambda = W^2 z = s, exact for the NT scaling).  Returns the
+   unscaled step to the boundary, capped at 1, which sets sigma. *)
+let predictor_step st =
+  let t = st.t in
+  let q = t.mo + (3 * t.nsoc) in
+  for j = 0 to q - 1 do
+    st.dst_s.(j) <- -.st.lam.(j);
+    st.bzv.(j) <- st.s.(j) -. st.rz.(j)
+  done;
+  for j = 0 to t.p - 1 do
+    st.byv.(j) <- -.st.ry.(j)
+  done;
+  g_tmulvec_w2inv st st.bzv ~dst:st.rhsn;
+  Vec.axpy_into ~dst:st.rhsn (-1.0) st.rx;
+  recover_direction st ~r1s:(-1.0) ~bt:(-.st.rt)
+    ~btk:(-.(st.tau *. st.kappa));
+  st.dtau_a <- st.dtau;
+  st.dkappa_a <- st.dkappa;
+  let a = max_step st in
+  if a < 1.0 then a else 1.0
+
+(* Mehrotra corrector: recenter towards sigma mu and cancel the
+   second-order term Gamma = (W^-1 ds_aff) o (W dz_aff); the linear
+   residuals are scaled by (1 - sigma).  Returns the step to the
+   boundary for the combined direction. *)
+let corrector_step st ~sigma =
+  let t = st.t in
+  let q = t.mo + (3 * t.nsoc) in
+  let smu = sigma *. st.mu in
+  let sc = 1.0 -. sigma in
+  ignore q;
+  (* One fused pass builds rhs5 = sigma mu e - lam o lam - Gamma,
+     divides by lam and maps the result through W straight into the z
+     RHS: orthant rows are all diagonal; each SOC block inlines the
+     Jordan product/division and the W apply. *)
+  let lam = st.lam and dsa = st.dsa and dza = st.dza in
+  let dss = st.dst_s and bzv = st.bzv and rz = st.rz and wo = st.w_o in
+  for i = 0 to t.mo - 1 do
+    let l = Array.unsafe_get lam i in
+    let r5 =
+      smu -. (l *. l)
+      -. (Array.unsafe_get dsa i *. Array.unsafe_get dza i)
+    in
+    let d = r5 /. l in
+    Array.unsafe_set dss i d;
+    Array.unsafe_set bzv i
+      ((-.sc *. Array.unsafe_get rz i) -. (Array.unsafe_get wo i *. d))
+  done;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) and wb = 3 * k in
+    let l0 = lam.(r0) and l1 = lam.(r0 + 1) and l2 = lam.(r0 + 2) in
+    let a0 = dsa.(r0) and a1 = dsa.(r0 + 1) and a2 = dsa.(r0 + 2) in
+    let b0 = dza.(r0) and b1 = dza.(r0 + 1) and b2 = dza.(r0 + 2) in
+    let r50 =
+      smu -. ((l0 *. l0) +. (l1 *. l1) +. (l2 *. l2))
+      -. ((a0 *. b0) +. (a1 *. b1) +. (a2 *. b2))
+    and r51 = -.(2.0 *. l0 *. l1) -. ((a0 *. b1) +. (b0 *. a1))
+    and r52 = -.(2.0 *. l0 *. l2) -. ((a0 *. b2) +. (b0 *. a2)) in
+    let det = (l0 *. l0) -. (l1 *. l1) -. (l2 *. l2) in
+    let u0 = ((l0 *. r50) -. (l1 *. r51) -. (l2 *. r52)) /. det in
+    let u1 = (r51 -. (u0 *. l1)) /. l0
+    and u2 = (r52 -. (u0 *. l2)) /. l0 in
+    dss.(r0) <- u0;
+    dss.(r0 + 1) <- u1;
+    dss.(r0 + 2) <- u2;
+    let wb0 = st.wbar.(wb)
+    and wb1 = st.wbar.(wb + 1)
+    and wb2 = st.wbar.(wb + 2) in
+    let e = st.eta.(k) in
+    let dd = (wb1 *. u1) +. (wb2 *. u2) in
+    let f = u0 +. (dd /. (1.0 +. wb0)) in
+    bzv.(r0) <- (-.sc *. rz.(r0)) -. (e *. ((wb0 *. u0) +. dd));
+    bzv.(r0 + 1) <- (-.sc *. rz.(r0 + 1)) -. (e *. (u1 +. (wb1 *. f)));
+    bzv.(r0 + 2) <- (-.sc *. rz.(r0 + 2)) -. (e *. (u2 +. (wb2 *. f)))
+  done;
+  for j = 0 to t.p - 1 do
+    st.byv.(j) <- -.sc *. st.ry.(j)
+  done;
+  g_tmulvec_w2inv st st.bzv ~dst:st.rhsn;
+  Vec.axpy_into ~dst:st.rhsn (-.sc) st.rx;
+  let btk =
+    -.(st.tau *. st.kappa) +. smu -. (st.dtau_a *. st.dkappa_a)
+  in
+  recover_direction st ~r1s:(-.sc) ~bt:(-.sc *. st.rt) ~btk;
+  max_step st
+
+(* ------------------------------------------------------------------ *)
+(* Initialization, termination                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold start: the canonical central point of each cone (internal
+   form: all-ones orthant, (1, 0, 0) per SOC block) for both s and z,
+   x = y = 0, tau = kappa = 1 — so mu = 1 exactly. *)
+let init_cold st =
+  let t = st.t in
+  Vec.fill st.x 0.0;
+  Vec.fill st.y 0.0;
+  for i = 0 to t.mo - 1 do
+    st.s.(i) <- 1.0;
+    st.z.(i) <- 1.0
+  done;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) in
+    st.s.(r0) <- 1.0; st.s.(r0 + 1) <- 0.0; st.s.(r0 + 2) <- 0.0;
+    st.z.(r0) <- 1.0; st.z.(r0 + 1) <- 0.0; st.z.(r0 + 2) <- 0.0
+  done;
+  st.tau <- 1.0;
+  st.kappa <- 1.0
+
+(* Warm start from a primal seed: s = h - G x pushed strictly inside
+   the cone, z on the central path at mu0 = warm_mu (per cone
+   z = -(mu0/nu') grad F(s), normalized so s'z = mu0 per cone), and
+   kappa = mu0 so the complementarity measure starts at mu0 < 1.
+
+   With a dual seed (a neighbouring solve's constraint multipliers,
+   in the of_barrier constraint order), z is rebuilt from it instead
+   of placed on the central path: an orthant row takes the seed
+   multiplier floored at mu0 / s_i (so inactive rows still sit on the
+   central path at mu0 rather than contributing huge s_i z_i
+   products), and an Epi_square block's full dual is pinned by
+   complementarity — z = 2 lam (v, u, -w) up to the internal rotation
+   — from its single seed multiplier lam and the lift values already
+   in s.  The pair then starts (approximately) complementary and
+   stationary for the instance the seed came from; that pays off when
+   the active set carries over, and loses a few iterations to the
+   central-path dual when it does not (the thermal sweep's moving
+   floor is the latter case, so Offline seeds the primal only). *)
+let init_warm st seed ~dual ~mu0 =
+  let t = st.t in
+  Vec.blit ~src:seed ~dst:st.x;
+  Vec.fill st.y 0.0;
+  g_mulvec t st.x ~dst:st.s;
+  let q = t.mo + (3 * t.nsoc) in
+  for j = 0 to q - 1 do
+    st.s.(j) <- t.hi.(j) -. st.s.(j)
+  done;
+  let margin = 1e-3 in
+  for i = 0 to t.mo - 1 do
+    if st.s.(i) < margin then st.s.(i) <- margin
+  done;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) in
+    let s1 = st.s.(r0 + 1) and s2 = st.s.(r0 + 2) in
+    let nrm = sqrt ((s1 *. s1) +. (s2 *. s2)) in
+    if st.s.(r0) < nrm +. margin then st.s.(r0) <- nrm +. margin
+  done;
+  (match dual with
+  | Some lam ->
+      Array.iteri
+        (fun j dm ->
+          let l = lam.(j) in
+          match dm with
+          | Dual_orth i ->
+              st.z.(i) <- Float.max l (mu0 /. st.s.(i))
+          | Dual_soc k ->
+              let r0 = t.mo + (3 * k) in
+              let s0 = st.s.(r0) and s1 = st.s.(r0 + 1) in
+              let u = inv_sqrt2 *. (s0 +. s1) and w = st.s.(r0 + 2) in
+              let l = Float.max l 0.0 in
+              let z0 = inv_sqrt2 *. l *. (1.0 +. (2.0 *. u)) in
+              let z1 = inv_sqrt2 *. l *. (1.0 -. (2.0 *. u)) in
+              let z2 = -2.0 *. l *. w in
+              let nrm = sqrt ((z1 *. z1) +. (z2 *. z2)) in
+              let z0 =
+                Float.max z0 (nrm +. (mu0 /. s0))
+              in
+              st.z.(r0) <- z0;
+              st.z.(r0 + 1) <- z1;
+              st.z.(r0 + 2) <- z2)
+        t.duals_map
+  | None ->
+      for i = 0 to t.mo - 1 do
+        st.z.(i) <- mu0 /. st.s.(i)
+      done;
+      for k = 0 to t.nsoc - 1 do
+        let r0 = t.mo + (3 * k) in
+        let s0 = st.s.(r0) and s1 = st.s.(r0 + 1) and s2 = st.s.(r0 + 2) in
+        let rho = (s0 *. s0) -. (s1 *. s1) -. (s2 *. s2) in
+        st.z.(r0) <- mu0 *. s0 /. rho;
+        st.z.(r0 + 1) <- -.mu0 *. s1 /. rho;
+        st.z.(r0 + 2) <- -.mu0 *. s2 /. rho
+      done);
+  st.tau <- 1.0;
+  st.kappa <- mu0
+
+(* Rotate the internal slack/dual back to the caller's row order and
+   tau-normalize everything into a solution record. *)
+let extract_solution st ~iterations =
+  let t = st.t in
+  let q = t.mo + (3 * t.nsoc) in
+  let inv_tau = 1.0 /. st.tau in
+  let s = Vec.zeros q and z = Vec.zeros q in
+  for i = 0 to t.mo - 1 do
+    let e = t.orth_ext.(i) in
+    s.(e) <- st.s.(i) *. inv_tau;
+    z.(e) <- st.z.(i) *. inv_tau
+  done;
+  for k = 0 to t.nsoc - 1 do
+    let r0 = t.mo + (3 * k) and e = t.soc_ext.(k) in
+    s.(e) <- inv_sqrt2 *. (st.s.(r0) +. st.s.(r0 + 1)) *. inv_tau;
+    s.(e + 1) <- inv_sqrt2 *. (st.s.(r0) -. st.s.(r0 + 1)) *. inv_tau;
+    s.(e + 2) <- st.s.(r0 + 2) *. inv_tau;
+    z.(e) <- inv_sqrt2 *. (st.z.(r0) +. st.z.(r0 + 1)) *. inv_tau;
+    z.(e + 1) <- inv_sqrt2 *. (st.z.(r0) -. st.z.(r0 + 1)) *. inv_tau;
+    z.(e + 2) <- st.z.(r0 + 2) *. inv_tau
+  done;
+  {
+    x = Vec.scale inv_tau st.x;
+    y = Vec.scale inv_tau st.y;
+    s;
+    z;
+    objective_value = (Vec.dot t.c st.x *. inv_tau) +. t.obj_const;
+    gap = Vec.dot st.s st.z *. inv_tau *. inv_tau;
+    iterations;
+  }
+
+(* Convergence and certificate tests on the current residuals; also
+   tracks the best iterate seen so far so that a destabilized endgame
+   (the scalings blow up as mu -> 0) can fall back to it. *)
+let check_termination ?(tol_scale = 1.0) st options ~iterations =
+  let t = st.t in
+  let pres_y =
+    if t.p = 0 then 0.0
+    else Vec.norm_inf st.ry /. Float.max 1.0 st.norm_b
+  in
+  let pres_z = st.norm_rz /. Float.max 1.0 st.norm_h in
+  let pres = Float.max pres_y pres_z /. st.tau in
+  let dres =
+    Vec.norm_inf st.rx /. (Float.max 1.0 st.norm_c *. st.tau)
+  in
+  let gap_abs = st.gap_sz /. (st.tau *. st.tau) in
+  let pobj = Vec.dot t.c st.x /. st.tau in
+  let relgap = gap_abs /. Float.max 1.0 (abs_float pobj) in
+  (* Certificate residuals, computed before the merit: on an
+     infeasible instance tau -> 0 and the optimality merit (all
+     tau-normalized) stops improving long before the certificate is
+     clean, so the stall guard must watch whichever of the three
+     convergence channels is actually making progress. *)
+  let hz = (if t.p = 0 then 0.0 else Vec.dot t.b st.y) +. st.hz_dot in
+  let pinf_res =
+    if hz < 0.0 then begin
+      (* A'y + G'z = rx - c tau *)
+      Vec.blit ~src:st.rx ~dst:st.tmp_n;
+      Vec.axpy_into ~dst:st.tmp_n (-.st.tau) t.c;
+      Vec.norm_inf st.tmp_n /. (Float.max 1.0 st.norm_c *. -.hz)
+    end
+    else infinity
+  in
+  let cx = Vec.dot t.c st.x in
+  let dinf_res =
+    if cx < 0.0 then begin
+      let ax =
+        if t.p = 0 then 0.0
+        else begin
+          (* A x = ry + b tau *)
+          Vec.blit ~src:st.ry ~dst:st.tmp_p;
+          Vec.axpy_into ~dst:st.tmp_p st.tau t.b;
+          Vec.norm_inf st.tmp_p
+        end
+      in
+      (* G x + s = rz + h tau *)
+      Vec.blit ~src:st.rz ~dst:st.tmp_q;
+      Vec.axpy_into ~dst:st.tmp_q st.tau t.hi;
+      Float.max ax (Vec.norm_inf st.tmp_q)
+      /. (Float.max 1.0 st.norm_h *. -.cx)
+    end
+    else infinity
+  in
+  let merit =
+    Float.min
+      (Float.max (Float.max pres dres) relgap)
+      (Float.min pinf_res dinf_res)
+  in
+  if merit < st.best_merit then begin
+    st.stall_count <- 0;
+    st.best_merit <- merit;
+    Vec.blit ~src:st.x ~dst:st.best_x;
+    Vec.blit ~src:st.y ~dst:st.best_y;
+    Vec.blit ~src:st.s ~dst:st.best_s;
+    Vec.blit ~src:st.z ~dst:st.best_z;
+    st.best_tau <- st.tau;
+    st.best_kappa <- st.kappa
+  end
+  else if st.mu < 1e-6 then st.stall_count <- st.stall_count + 1;
+  let feas_tol = tol_scale *. options.feas_tol in
+  if
+    pres <= feas_tol && dres <= feas_tol
+    && (gap_abs <= tol_scale *. options.gap_abs_tol
+       || relgap <= tol_scale *. options.gap_rel_tol)
+  then Some (Optimal (extract_solution st ~iterations))
+  else if pinf_res <= feas_tol then begin
+    (* Primal-infeasibility certificate: (y, z) with z in K*,
+       A'y + G'z ~ 0, normalized to b'y + h'z = -1. *)
+    let sc = -1.0 /. hz in
+    let sol = extract_solution st ~iterations in
+    Some
+      (Primal_infeasible
+         {
+           y = Vec.scale (sc *. st.tau) sol.y;
+           z = Vec.scale (sc *. st.tau) sol.z;
+         })
+  end
+  else if dinf_res <= feas_tol then
+    (* Dual-infeasibility certificate (unbounded primal ray): x with
+       A x ~ 0 and G x + s ~ 0 (so -G x in K), normalized to
+       c'x = -1. *)
+    Some (Dual_infeasible { x = Vec.scale (-1.0 /. cx) st.x })
+  else None
+
+(* Failure exit: rewind to the best iterate seen, and accept it as
+   optimal if it meets the tolerances relaxed by 100x (the endgame
+   often overshoots into numerical noise one step after an acceptable
+   iterate); otherwise report Unknown with that iterate. *)
+let finish_unknown st options ~iterations =
+  if st.best_merit < infinity then begin
+    Vec.blit ~src:st.best_x ~dst:st.x;
+    Vec.blit ~src:st.best_y ~dst:st.y;
+    Vec.blit ~src:st.best_s ~dst:st.s;
+    Vec.blit ~src:st.best_z ~dst:st.z;
+    st.tau <- st.best_tau;
+    st.kappa <- st.best_kappa
+  end;
+  compute_residuals st;
+  match check_termination ~tol_scale:100.0 st options ~iterations with
+  | Some status -> status
+  | None -> Unknown (extract_solution st ~iterations)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let take_step st alpha =
+  let t = st.t in
+  let q = t.mo + (3 * t.nsoc) in
+  Vec.axpy_into ~dst:st.x alpha st.dx;
+  if t.p > 0 then Vec.axpy_into ~dst:st.y alpha st.dy;
+  let s = st.s and z = st.z and ds = st.ds and dz = st.dz in
+  for j = 0 to q - 1 do
+    Array.unsafe_set z j
+      (Array.unsafe_get z j +. (alpha *. Array.unsafe_get dz j));
+    Array.unsafe_set s j
+      (Array.unsafe_get s j +. (alpha *. Array.unsafe_get ds j))
+  done;
+  st.tau <- st.tau +. (alpha *. st.dtau);
+  st.kappa <- st.kappa +. (alpha *. st.dkappa)
+
+let debug = Sys.getenv_opt "CONIC_DEBUG" <> None
+
+let solve ?(options = default_options) ?warm ?warm_dual ?stats_into ?ws t =
+  let st =
+    match ws with
+    | Some st ->
+        rebind_ws st t;
+        st
+    | None -> make_ws t options
+  in
+  let iterations = ref 0 in
+  let predictor_steps = ref 0 and corrector_steps = ref 0 in
+  let factorizations = ref 0 and jitter_retries = ref 0 in
+  let warm_active = ref false in
+  (match warm with
+  | Some seed when Vec.dim seed = t.n ->
+      let dual =
+        match warm_dual with
+        | Some lam when Vec.dim lam = Array.length t.duals_map -> Some lam
+        | _ -> None
+      in
+      init_warm st seed ~dual ~mu0:options.warm_mu;
+      warm_active := true
+  | _ -> init_cold st);
+  (* Warm-start rescue: a seed can be arbitrarily misleading (the
+     canonical case is the sweep column just past the feasibility
+     boundary, warm-started from the last feasible optimum), and an
+     aggressive warm_mu leaves no centrality headroom to recover from
+     one.  Rather than surfacing Unknown — which sends Model.solve to
+     the barrier fallback at ten times the cost — restart the same
+     solve from the cold central point the moment a warm iterate
+     stalls (or degenerates: vanishing step, non-finite mu), and only
+     then let the usual give-up paths apply.  Iteration counters keep
+     accumulating across the restart, so stats stay honest. *)
+  let restart_cold () =
+    init_cold st;
+    st.best_merit <- infinity;
+    st.stall_count <- 0;
+    st.refine_passes <- 1;
+    warm_active := false
+  in
+
+  let result = ref None in
+  (try
+     while !result = None do
+       compute_residuals st;
+       let give_up () =
+         (* The relaxed re-check can still promote the best iterate to
+            Optimal; a warm start is rescued only when it cannot. *)
+         match finish_unknown st options ~iterations:!iterations with
+         | Unknown _ when !warm_active && !iterations < options.max_iter ->
+             restart_cold ()
+         | status -> result := Some status
+       in
+       if not (Float.is_finite st.mu) then give_up ()
+       else
+         match check_termination st options ~iterations:!iterations with
+         | Some status -> result := Some status
+         | None ->
+             if !iterations >= options.max_iter || st.stall_count >= 2 then
+               give_up ()
+             else begin
+               incr iterations;
+               (* Iterative refinement only once the scalings start
+                  amplifying rounding (mu < 1e-4), and twice in the
+                  endgame, for the tau-recovery and direction solves
+                  alike. *)
+               st.refine_passes <-
+                 (if st.mu < 1e-7 then 2
+                  else if st.mu < 1e-4 then 1
+                  else 0);
+               compute_scaling st;
+               assemble_m st;
+               let tries = factorize_m st in
+               incr factorizations;
+               jitter_retries := !jitter_retries + tries - 1;
+               if t.p > 0 then begin
+                 let stries = build_schur st in
+                 incr factorizations;
+                 jitter_retries := !jitter_retries + stries - 1
+               end;
+               prepare_tau_recovery st;
+               let alpha_aff = predictor_step st in
+               incr predictor_steps;
+               let sigma =
+                 let v = 1.0 -. alpha_aff in
+                 let s3 = v *. v *. v in
+                 if s3 < 0.0 then 0.0 else if s3 > 1.0 then 1.0 else s3
+               in
+               let alpha_max = corrector_step st ~sigma in
+               incr corrector_steps;
+               let alpha = Float.min (options.step_frac *. alpha_max) 1.0 in
+               if debug then
+                 Format.eprintf
+                   "it %d: mu=%.3e tau=%.3e kap=%.3e a_aff=%.3e sig=%.3e \
+                    a=%.3e rx=%.3e rz=%.3e rt=%.3e@."
+                   !iterations st.mu st.tau st.kappa alpha_aff sigma alpha
+                   (Vec.norm_inf st.rx) (Vec.norm_inf st.rz) st.rt;
+               if alpha < 1e-10 || not (Float.is_finite alpha) then
+                 give_up ()
+               else take_step st alpha
+             end
+     done
+   with Chol.Not_positive_definite _ ->
+     result := Some (finish_unknown st options ~iterations:!iterations));
+  let status =
+    match !result with Some s -> s | None -> assert false
+  in
+  (match stats_into with
+  | None -> ()
+  | Some acc ->
+      let outcome =
+        match status with
+        | Optimal _ -> { stats_zero with optimal = 1 }
+        | Primal_infeasible _ -> { stats_zero with primal_infeasible = 1 }
+        | Dual_infeasible _ -> { stats_zero with dual_infeasible = 1 }
+        | Unknown _ -> { stats_zero with unknown = 1 }
+      in
+      acc :=
+        stats_add !acc
+          {
+            outcome with
+            iterations = !iterations;
+            predictor_steps = !predictor_steps;
+            corrector_steps = !corrector_steps;
+            factorizations = !factorizations;
+            jitter_retries = !jitter_retries;
+          });
+  status
+
+let constraint_duals t (sol : solution) =
+  let m = Array.length t.duals_map in
+  if m = 0 then
+    invalid_arg "Conic.constraint_duals: not an of_barrier instance";
+  Vec.init m (fun j ->
+      match t.duals_map.(j) with
+      | Dual_orth i -> sol.z.(t.orth_ext.(i))
+      | Dual_soc k -> sol.z.(t.soc_ext.(k)))
+
+let pp_status fmt = function
+  | Optimal s ->
+      Format.fprintf fmt "optimal: obj = %.9g, gap = %.3g (%d iters)"
+        s.objective_value s.gap s.iterations
+  | Primal_infeasible _ -> Format.fprintf fmt "primal infeasible"
+  | Dual_infeasible _ -> Format.fprintf fmt "dual infeasible"
+  | Unknown s ->
+      Format.fprintf fmt "unknown: obj = %.9g, gap = %.3g (%d iters)"
+        s.objective_value s.gap s.iterations

@@ -1,0 +1,172 @@
+(** Primal-dual predictor-corrector conic solver.
+
+    Solves the conic pair
+
+    {v
+      (P)  minimize    c'x                 (D)  maximize  -b'y - h'z
+           subject to  b - A x  = 0             subject to G'z + A'y + c = 0
+                       h - G x  in K                       z in K*
+    v}
+
+    where [K] is a product of the cones of {!Cone} (nonnegative
+    orthant and rotated-quadratic / power-epigraph blocks), by a
+    Mehrotra-style predictor-corrector method on the homogeneous
+    self-dual embedding with Nesterov-Todd scaling.  Unlike the
+    log-barrier path ({!Barrier} + {!Phase1}), no strictly feasible
+    starting point is required, and an infeasible instance terminates
+    with an exact {e certificate} instead of a phase-I failure:
+
+    - {e primal infeasible}: [(y, z)] with [z in K*],
+      [A'y + G'z ~ 0] and [b'y + h'z = -1] — a separating hyperplane
+      proving no [x] satisfies the constraints;
+    - {e dual infeasible} (primal unbounded): [x] with [c'x = -1],
+      [A x ~ 0] and [-G x in K] — an improving ray.
+
+    Each iteration costs one scaled normal-equations factorization
+    [G' W^-2 G] plus three triangular solves.  The factorization
+    backend is selectable: dense Cholesky, or {!Block_tridiag} when
+    the caller knows a block partition of the variables under which
+    the normal equations are block-tridiagonal (the thermal models'
+    (frequency, power, gradient-bound) order; see {!Block_tridiag}).
+
+    Warm starts seed [x] from a neighbouring solution: the slack is
+    rebuilt as [h - G x] pushed to a margin inside the cone, and the
+    dual is placed on the central path at a reduced [mu], which is
+    what makes sweep-adjacent solves measurably cheaper than cold
+    ones. *)
+
+open Linalg
+
+type t
+(** An immutable problem instance.  Safe to share across solves and
+    domains; all mutable state is allocated per {!solve}. *)
+
+val make :
+  ?a:Mat.t -> ?b:Vec.t -> c:Vec.t -> g:Mat.t -> h:Vec.t ->
+  cones:Cone.t array -> unit -> t
+(** [make ~c ~g ~h ~cones ()] builds an instance.  [g] has one row
+    per cone coordinate, in the order listed by [cones]; [a]/[b]
+    (default empty) carry the equality rows.  Rotated-quadratic
+    blocks are rotated onto the standard second-order cone internally
+    once, here.  [Invalid_argument] on any dimension mismatch. *)
+
+val of_barrier : Barrier.problem -> t
+(** Convert a {!Barrier.problem} whose objective is affine and whose
+    non-affine constraints are rank-one quadratics
+    [(a'x)^2 + q'x + r <= 0] — exactly the shape of the thermal
+    models (affine thermal/box/floor rows plus per-core power-law
+    epigraphs).  Affine rows become orthant rows; each rank-one
+    quadratic becomes one [Epi_square] block via the lift
+    [(u, v, w) = (-q'x - r, 1/2, a'x)].  Retains the constraint-row
+    mapping so {!constraint_duals} can report multipliers in the
+    original constraint order.  [Invalid_argument] when the objective
+    is not affine or a quadratic constraint is not rank-one. *)
+
+val with_constraint_constant : t -> index:int -> float -> t
+(** For an {!of_barrier} instance: replace the constant term of the
+    affine constraint [index] (in the original constraint order),
+    sharing everything but the orthant offset vector — the conic
+    analog of {!Compiled.with_constant}, used to re-target the
+    throughput floor per sweep cell.  [Invalid_argument] if the
+    instance did not come from {!of_barrier} or the constraint is not
+    affine. *)
+
+val dim : t -> int
+val n_rows : t -> int
+(** Total cone rows (the dimension of [s] and [z]). *)
+
+type kkt = [ `Dense | `Blocks of int array ]
+(** Factorization backend for the scaled normal equations
+    [G' W^-2 G]: dense Cholesky, or block-tridiagonal under the given
+    variable partition (sizes must sum to {!dim}). *)
+
+type options = {
+  feas_tol : float;  (** Residual tolerance (default [1e-7]). *)
+  gap_abs_tol : float;  (** Absolute complementarity gap (default [1e-8]). *)
+  gap_rel_tol : float;  (** Relative complementarity gap (default [1e-6]). *)
+  max_iter : int;  (** Iteration cap (default [100]). *)
+  step_frac : float;
+      (** Fraction-to-boundary step scaling (default [0.98]). *)
+  warm_mu : float;
+      (** Initial complementarity for warm starts (default [3e-3] —
+          sweep-neighbour seeds are near-optimal, and starting the
+          embedding this close is what the warm-start win is made of;
+          cold starts begin at [1]). *)
+  kkt : kkt;  (** Default [`Dense]. *)
+}
+
+val default_options : options
+
+type stats = {
+  iterations : int;
+  predictor_steps : int;
+  corrector_steps : int;
+  factorizations : int;
+      (** One scaled normal-equations factorization per iteration. *)
+  jitter_retries : int;
+  optimal : int;
+  primal_infeasible : int;
+  dual_infeasible : int;
+  unknown : int;  (** Certificate-outcome counters, one per solve. *)
+}
+
+val stats_zero : stats
+val stats_add : stats -> stats -> stats
+
+type solution = {
+  x : Vec.t;
+  y : Vec.t;
+  s : Vec.t;  (** Cone slack [h - G x], in the caller's row order. *)
+  z : Vec.t;  (** Cone dual, in the caller's row order. *)
+  objective_value : float;
+  gap : float;  (** Complementarity gap [s'z]. *)
+  iterations : int;
+}
+
+type status =
+  | Optimal of solution
+  | Primal_infeasible of { y : Vec.t; z : Vec.t }
+      (** Certificate normalized to [b'y + h'z = -1]. *)
+  | Dual_infeasible of { x : Vec.t }
+      (** Improving ray normalized to [c'x = -1]. *)
+  | Unknown of solution
+      (** No certificate within the iteration cap; payload is the
+          best (tau-normalized) iterate.  Callers fall back to the
+          reference barrier path. *)
+
+type workspace
+(** Preallocated solver state (iterate, scalings, KKT factors) — about
+    a megabyte for the thermal cells, and the dominant per-solve
+    allocation when solves take a few milliseconds. *)
+
+val make_workspace : ?kkt:kkt -> t -> workspace
+(** [make_workspace ?kkt t] preallocates a workspace reusable across
+    {!solve} calls on [t] or any structurally identical instance (same
+    dimensions and cone layout — e.g. the sweep's per-column
+    {!with_constraint_constant} re-targets).  The workspace fixes the
+    factorization backend ([kkt] defaults to [`Dense]); a [solve] that
+    is handed a workspace ignores [options.kkt].  A workspace serves
+    one solve at a time: share instances across domains, not
+    workspaces. *)
+
+val solve :
+  ?options:options -> ?warm:Vec.t -> ?warm_dual:Vec.t ->
+  ?stats_into:stats ref -> ?ws:workspace -> t -> status
+(** [warm] is a primal seed of dimension {!dim} (ignored otherwise),
+    typically the previous sweep column's [x].  [warm_dual] —
+    meaningful only alongside [warm], on an {!of_barrier} instance,
+    with one entry per original constraint (the {!constraint_duals}
+    of a neighbouring solve) — additionally rebuilds the cone dual
+    from the seed multipliers, so the solver starts from an
+    (approximately) complementary pair instead of the central path.
+    [stats_into] accumulates work counters across solves.  [ws]
+    reuses a preallocated {!workspace} instead of allocating one
+    ([Invalid_argument] on shape mismatch). *)
+
+val constraint_duals : t -> solution -> Vec.t
+(** Multipliers of the original {!Barrier.problem} constraints (the
+    orthant dual for affine rows, the epigraph block's [u] dual for
+    rank-one quadratic rows).  [Invalid_argument] unless the instance
+    came from {!of_barrier}. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -19,6 +19,7 @@ type result = {
   iterations : int;
   backtracks : int;
   factorizations : int;
+  jitter_retries : int;
   outcome : outcome;
 }
 
@@ -60,9 +61,11 @@ let minimize ?(options = default_options) ?workspace:ws (oracle : oracle) x0 =
   let fx = ref f0 in
   let backtracks = ref 0 in
   let factorizations = ref 0 in
+  let jitter_retries = ref 0 in
   let finish k decrement outcome =
     { x; value = !fx; decrement; iterations = k;
-      backtracks = !backtracks; factorizations = !factorizations; outcome }
+      backtracks = !backtracks; factorizations = !factorizations;
+      jitter_retries = !jitter_retries; outcome }
   in
   let rec iterate k =
     if k >= options.max_iter then finish k infinity Iteration_limit
@@ -72,8 +75,12 @@ let minimize ?(options = default_options) ?workspace:ws (oracle : oracle) x0 =
          numerically semidefinite Hessian still yields a descent
          direction.  The factor, direction and line-search candidate
          all live in the preallocated workspace. *)
+      (* One logical factorization per Newton step; extra attempts the
+         jitter schedule needed are retries, counted separately so the
+         factorization count lines up with the iteration count. *)
       let _jitter, tries = Chol.factorize_jittered_into ws.w_fact ws.w_h in
-      factorizations := !factorizations + tries;
+      incr factorizations;
+      jitter_retries := !jitter_retries + tries - 1;
       Chol.solve_factorized_into ws.w_fact ws.w_g ~dst:ws.w_d;
       Vec.scale_into ~dst:ws.w_d (-1.0);
       let decrement = -0.5 *. Vec.dot ws.w_g ws.w_d in

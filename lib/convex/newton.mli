@@ -56,8 +56,10 @@ type result = {
   iterations : int;
   backtracks : int;  (** Total rejected line-search trial steps. *)
   factorizations : int;
-      (** Total Cholesky factorization attempts (jitter retries
-          included). *)
+      (** Logical Cholesky factorizations — one per Newton step. *)
+  jitter_retries : int;
+      (** Extra factorization attempts forced by the jitter schedule
+          on numerically semidefinite Hessians. *)
   outcome : outcome;
 }
 

@@ -5,7 +5,7 @@ type solution = {
   objective_value : float;
   dual : Vec.t;
   gap : float;
-  kkt : Kkt.residuals;
+  kkt : Kkt.residuals Lazy.t;
   outer_iterations : int;
   newton_iterations : int;
   stats : Barrier.stats;
@@ -72,7 +72,7 @@ let solve ?(options = Barrier.default_options) ?backend ?compiled ?stats_into
           objective_value = r.Barrier.objective_value;
           dual = r.Barrier.dual;
           gap = r.Barrier.gap;
-          kkt = Kkt.residuals p r.Barrier.x r.Barrier.dual;
+          kkt = lazy (Kkt.residuals p r.Barrier.x r.Barrier.dual);
           outer_iterations = r.Barrier.outer_iterations;
           newton_iterations = r.Barrier.newton_iterations;
           stats = !acc;
@@ -81,6 +81,6 @@ let solve ?(options = Barrier.default_options) ?backend ?compiled ?stats_into
 let pp_status ppf = function
   | Optimal s ->
       Format.fprintf ppf "optimal: obj=%.6g gap=%.2e (%a)" s.objective_value
-        s.gap Kkt.pp s.kkt
+        s.gap Kkt.pp (Lazy.force s.kkt)
   | Infeasible worst ->
       Format.fprintf ppf "infeasible (best max g = %.3e)" worst

@@ -13,7 +13,10 @@ type solution = {
   objective_value : float;
   dual : Vec.t;
   gap : float;  (** Guaranteed duality-gap bound. *)
-  kkt : Kkt.residuals;
+  kkt : Kkt.residuals Lazy.t;
+      (** KKT residual audit of [(x, dual)], computed on first force —
+          sweep-style callers that only read frequencies never pay for
+          it. *)
   outer_iterations : int;
   newton_iterations : int;
   stats : Barrier.stats;

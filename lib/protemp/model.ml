@@ -22,7 +22,18 @@ type built = {
   frontier_problem : Convex.Barrier.problem Lazy.t;
   compiled : Convex.Compiled.t Lazy.t;
   frontier_compiled : Convex.Compiled.t Lazy.t;
+  conic : Convex.Conic.t Lazy.t;
 }
+
+(* The normal-equations matrix G' W^-2 G of the conic form couples
+   variables only through shared constraint rows; in the models'
+   (frequency, power, gradient-bound) variable order that coupling is
+   block-tridiagonal, which is what the conic solver's `Blocks
+   factorization exploits. *)
+let conic_blocks layout =
+  match layout.bounds_offset with
+  | Some _ -> [| layout.n_f; layout.n_p; 2 |]
+  | None -> [| layout.n_f; layout.n_p |]
 
 let make_layout (spec : Spec.t) ~n_cores =
   let n_f = match spec.Spec.variant with Spec.Uniform -> 1 | Spec.Variable -> n_cores in
@@ -85,6 +96,9 @@ type prepared = {
      the Jacobian. *)
   p_compiled : Convex.Compiled.t Lazy.t;
   p_frontier_compiled : Convex.Compiled.t Lazy.t;
+  (* Conic form with a floor constant of 0; {!instantiate} re-offsets
+     the floor row per [ftarget] without re-packing G. *)
+  p_conic : Convex.Conic.t Lazy.t;
 }
 
 let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
@@ -276,6 +290,15 @@ let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
         (Convex.Compiled.make
            ~objective:(Quad.affine total_f_coeffs 0.0)
            ~constraints:(Array.append pre_floor post_floor));
+    p_conic =
+      lazy
+        (Convex.Conic.of_barrier
+           {
+             Convex.Barrier.objective = power_objective;
+             constraints =
+               Array.concat
+                 [ pre_floor; [| Quad.affine total_f_coeffs 0.0 |]; post_floor ];
+           });
   }
 
 let uniform_t0 machine tstart =
@@ -313,6 +336,11 @@ let instantiate p ~ftarget =
            (Lazy.force p.p_compiled)
            ~index:(Array.length p.pre_floor) floor_const);
     frontier_compiled = p.p_frontier_compiled;
+    conic =
+      lazy
+        (Convex.Conic.with_constraint_constant
+           (Lazy.force p.p_conic)
+           ~index:(Array.length p.pre_floor) floor_const);
   }
 
 let frontier_of_prepared p =
@@ -327,6 +355,7 @@ let frontier_of_prepared p =
     frontier_problem = p.p_frontier;
     compiled = p.p_frontier_compiled;
     frontier_compiled = p.p_frontier_compiled;
+    conic = lazy (Convex.Conic.of_barrier (Lazy.force p.p_frontier));
   }
 
 let build ~machine ~spec ~tstart ~ftarget =
@@ -451,8 +480,9 @@ let solve_frontier ?options ?(backend = `Compiled) ?stats_into built =
         dual = r.Convex.Barrier.dual;
         gap = r.Convex.Barrier.gap;
         kkt =
-          Convex.Kkt.residuals built.problem r.Convex.Barrier.x
-            r.Convex.Barrier.dual;
+          lazy
+            (Convex.Kkt.residuals built.problem r.Convex.Barrier.x
+               r.Convex.Barrier.dual);
         outer_iterations = r.Convex.Barrier.outer_iterations;
         newton_iterations = r.Convex.Barrier.newton_iterations;
         stats = r.Convex.Barrier.stats;
@@ -519,7 +549,7 @@ let feasible_start_via_frontier ?options ?(backend = `Compiled) ?stats_into
         Some r.Convex.Barrier.x
       else None
 
-let solve ?options ?(backend = `Compiled) ?stats_into ?start built =
+let solve_barrier ?options ?(backend = `Compiled) ?stats_into ?start built =
   let strictly_ok x =
     Vec.dim x = built.layout.dim
     && Convex.Barrier.is_strictly_feasible built.problem x
@@ -547,6 +577,67 @@ let solve ?options ?(backend = `Compiled) ?stats_into ?start built =
       with
       | Convex.Solve.Optimal raw -> Feasible (solution_of_x built raw)
       | Convex.Solve.Infeasible _ -> Infeasible)
+
+(* Conic path: no start hint, no frontier climb — the homogeneous
+   embedding starts cold (or from a primal-only warm seed) and an
+   infeasible cell terminates with a primal-infeasibility certificate
+   instead of a failed climb.  A dual-infeasibility certificate cannot
+   occur for a well-posed cell (the objective is bounded below on the
+   box), and [Unknown] means the iterate stalled before any
+   certificate: both fall back to the reference barrier path rather
+   than guessing. *)
+let raw_of_conic built t (s : Convex.Conic.solution) =
+  let dual = Convex.Conic.constraint_duals t s in
+  {
+    Convex.Solve.x = s.Convex.Conic.x;
+    objective_value = s.Convex.Conic.objective_value;
+    dual;
+    gap = s.Convex.Conic.gap;
+    kkt = lazy (Convex.Kkt.residuals built.problem s.Convex.Conic.x dual);
+    outer_iterations = s.Convex.Conic.iterations;
+    newton_iterations = s.Convex.Conic.iterations;
+    stats = Convex.Barrier.stats_zero;
+  }
+
+let solve_conic ?conic_options ?conic_stats_into ?conic_ws ?start ?start_dual
+    built =
+  let t = Lazy.force built.conic in
+  let options =
+    match conic_options with
+    | Some o -> o
+    | None ->
+        {
+          Convex.Conic.default_options with
+          Convex.Conic.kkt = `Blocks (conic_blocks built.layout);
+        }
+  in
+  let warm =
+    match start with
+    | Some x when Vec.dim x = built.layout.dim -> Some x
+    | Some _ | None -> None
+  in
+  let warm_dual = match warm with Some _ -> start_dual | None -> None in
+  match
+    Convex.Conic.solve ~options ?warm ?warm_dual
+      ?stats_into:conic_stats_into ?ws:conic_ws t
+  with
+  | Convex.Conic.Optimal s ->
+      `Done (Feasible (solution_of_x built (raw_of_conic built t s)))
+  | Convex.Conic.Primal_infeasible _ -> `Done Infeasible
+  | Convex.Conic.Dual_infeasible _ | Convex.Conic.Unknown _ -> `Fallback
+
+let solve ?(solver = `Conic) ?options ?conic_options ?backend ?stats_into
+    ?conic_stats_into ?conic_ws ?start ?start_dual built =
+  match solver with
+  | `Barrier -> solve_barrier ?options ?backend ?stats_into ?start built
+  | `Conic -> (
+      match
+        solve_conic ?conic_options ?conic_stats_into ?conic_ws ?start
+          ?start_dual built
+      with
+      | `Done outcome -> outcome
+      | `Fallback ->
+          solve_barrier ?options ?backend ?stats_into ?start built)
 
 let predicted_peak built frequencies =
   let machine = built.machine in

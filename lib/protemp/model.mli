@@ -65,7 +65,17 @@ type built = {
   frontier_compiled : Convex.Compiled.t Lazy.t;
       (** Packed form of the frontier problem, shared like
           [frontier_problem]. *)
+  conic : Convex.Conic.t Lazy.t;
+      (** Conic (orthant + epigraph) form of [problem].  Instances
+          made from one {!prepared} context share the packed cone
+          matrix — only the throughput-floor offset differs — so a
+          sweep row converts once. *)
 }
+
+val conic_blocks : layout -> int array
+(** The variable partition under which the conic normal equations are
+    block-tridiagonal: [(n_f, n_p)] plus the two gradient bounds when
+    present.  Pass as [`Blocks] to {!Convex.Conic}. *)
 
 type prepared
 (** The [(machine, spec, t0)]-dependent part of a model: the
@@ -135,16 +145,43 @@ type solution = {
 type outcome = Feasible of solution | Infeasible
 
 val solve :
+  ?solver:[ `Conic | `Barrier ] ->
   ?options:Convex.Barrier.options ->
+  ?conic_options:Convex.Conic.options ->
   ?backend:Convex.Barrier.backend ->
   ?stats_into:Convex.Barrier.stats ref ->
+  ?conic_stats_into:Convex.Conic.stats ref ->
+  ?conic_ws:Convex.Conic.workspace ->
   ?start:Vec.t ->
+  ?start_dual:Vec.t ->
   built ->
   outcome
-(** Solve an Eq. 3/5 instance.  Feasibility is established
-    structurally: if the start point is not strictly feasible, the
-    frontier problem is driven until the throughput floor is cleared
-    (or shown unreachable), side-stepping the generic phase I.
+(** Solve an Eq. 3/5 instance.
+
+    [solver] picks the algorithm (default [`Conic]): the primal-dual
+    predictor-corrector method of {!Convex.Conic} on the homogeneous
+    self-dual embedding, with the block-tridiagonal factorization from
+    {!conic_blocks}, [start] as a primal warm seed, and [start_dual]
+    (a neighbouring solution's [raw.dual], used only together with
+    [start]) seeding the cone dual as well.  No feasible
+    point is needed — an infeasible cell ends with a
+    primal-infeasibility certificate, so the frontier climb never
+    runs.  In the two residual conic outcomes (dual-infeasibility
+    certificate, which a well-posed cell cannot produce, and a stalled
+    [Unknown]) the call falls back to the [`Barrier] path below, so
+    the result is always grounded in one of the two solvers.
+    [conic_options] overrides the conic defaults ({b including} the
+    [`Blocks] factorization — pass [kkt] explicitly when setting it);
+    [conic_stats_into] accumulates conic work counters, whose
+    certificate-outcome fields also count the fallbacks; [conic_ws]
+    reuses a preallocated solver workspace across the solves of a
+    sweep row (see {!Convex.Conic.make_workspace}).
+
+    With [~solver:`Barrier] (the reference path): feasibility is
+    established structurally — if the start point is not strictly
+    feasible, the frontier problem is driven until the throughput
+    floor is cleared (or shown unreachable), side-stepping the generic
+    phase I.
 
     [start] is a warm-start point, typically the previous column's
     [raw.x] when sweeping [ftarget] upward.  It is used directly when

@@ -12,36 +12,27 @@ type progress = {
 
 type sweep_stats = {
   solves : int;
-  centering_steps : int;
-  newton_iterations : int;
-  backtracks : int;
-  factorizations : int;
+  barrier : Convex.Barrier.stats;
+  conic : Convex.Conic.stats;
 }
 
 let sweep_stats_zero =
-  { solves = 0; centering_steps = 0; newton_iterations = 0; backtracks = 0;
-    factorizations = 0 }
+  {
+    solves = 0;
+    barrier = Convex.Barrier.stats_zero;
+    conic = Convex.Conic.stats_zero;
+  }
 
 let sweep_stats_add a b =
   {
     solves = a.solves + b.solves;
-    centering_steps = a.centering_steps + b.centering_steps;
-    newton_iterations = a.newton_iterations + b.newton_iterations;
-    backtracks = a.backtracks + b.backtracks;
-    factorizations = a.factorizations + b.factorizations;
+    barrier = Convex.Barrier.stats_add a.barrier b.barrier;
+    conic = Convex.Conic.stats_add a.conic b.conic;
   }
 
-let sweep_stats_of_barrier ~solves (s : Convex.Barrier.stats) =
-  {
-    solves;
-    centering_steps = s.Convex.Barrier.centering_steps;
-    newton_iterations = s.Convex.Barrier.newton_iterations;
-    backtracks = s.Convex.Barrier.backtracks;
-    factorizations = s.Convex.Barrier.factorizations;
-  }
-
-let solve_point ?options ?backend ~machine ~spec ~tstart ~ftarget () =
-  Model.solve ?options ?backend (Model.build ~machine ~spec ~tstart ~ftarget)
+let solve_point ?solver ?options ?backend ~machine ~spec ~tstart ~ftarget () =
+  Model.solve ?solver ?options ?backend
+    (Model.build ~machine ~spec ~tstart ~ftarget)
 
 (* One table row: prepare the [(machine, spec, tstart)] context once,
    then walk the [ftarget] columns upward, seeding each solve from the
@@ -50,12 +41,19 @@ let solve_point ?options ?backend ~machine ~spec ~tstart ~ftarget () =
    [ftarget]).  The row is a pure function of its inputs — column
    order is sequential within the row — so the table is the same
    whichever domain runs it, and however many domains run at once. *)
-let sweep_row ?options ?backend ~machine ~spec ~ftargets ~warm_starts ~report
-    tstart =
+let sweep_row ?solver ?options ?backend ~machine ~spec ~ftargets ~warm_starts
+    ~report tstart =
   let prepared = Model.prepare ~machine ~spec ~tstart in
   let infeasible_from = ref None in
   let warm = ref None in
-  let stats = ref Convex.Barrier.stats_zero in
+  (* One conic workspace serves the whole row: the per-column
+     instances share their structure (only the floor constant moves),
+     and reallocating the megabyte of solver state per cell is
+     measurable against millisecond solves.  Only materialized when
+     the conic solver actually runs. *)
+  let conic_ws = ref None in
+  let bstats = ref Convex.Barrier.stats_zero in
+  let cstats = ref Convex.Conic.stats_zero in
   let solves = ref 0 in
   let cells =
     Array.map
@@ -68,11 +66,29 @@ let sweep_row ?options ?backend ~machine ~spec ~ftargets ~warm_starts ~report
             let t0 = Unix.gettimeofday () in
             let built = Model.instantiate prepared ~ftarget in
             incr solves;
+            let ws =
+              match (solver, !conic_ws) with
+              | Some `Barrier, _ -> None
+              | _, (Some _ as w) -> w
+              | _, None ->
+                  let w =
+                    Convex.Conic.make_workspace
+                      ~kkt:(`Blocks (Model.conic_blocks built.Model.layout))
+                      (Lazy.force built.Model.conic)
+                  in
+                  conic_ws := Some w;
+                  !conic_ws
+            in
             match
-              Model.solve ?options ?backend ~stats_into:stats ?start:!warm
-                built
+              Model.solve ?solver ?options ?backend ~stats_into:bstats
+                ~conic_stats_into:cstats ?conic_ws:ws ?start:!warm built
             with
             | Model.Feasible s ->
+                (* Primal-only seeding: the floor shift between columns
+                   moves the active set enough that re-seeding the cone
+                   dual from the neighbour's multipliers (start_dual)
+                   measures slightly worse than the central-path dual
+                   at warm_mu. *)
                 if warm_starts then warm := Some s.Model.raw.Convex.Solve.x;
                 report
                   { tstart; ftarget; outcome = `Feasible;
@@ -86,14 +102,15 @@ let sweep_row ?options ?backend ~machine ~spec ~ftargets ~warm_starts ~report
                 Table.Infeasible))
       ftargets
   in
-  (cells, sweep_stats_of_barrier ~solves:!solves !stats)
+  (cells, { solves = !solves; barrier = !bstats; conic = !cstats })
 
-(* Warm starts default off: with the boundary-aware line search and
-   the blended frontier-climb seeding, a BENCH_sweep comparison shows
-   the warm and cold paths within measurement noise of each other
-   (the start hint already skips phase I on almost every cell), and
-   the cold path does marginally fewer Newton iterations. *)
-let sweep_with_stats ?options ?backend ?domains ?(warm_starts = false)
+(* Warm starts default on: the conic solver seeds the homogeneous
+   embedding from the neighbouring column's primal optimum at a
+   reduced initial mu, which BENCH_sweep measures as a solid win over
+   cold starts (warm_vs_cold well under 0.8).  (On the reference
+   barrier path the effect stays within noise — the start hint already
+   skips phase I on almost every cell.) *)
+let sweep_with_stats ?solver ?options ?backend ?domains ?(warm_starts = true)
     ?(tstarts = default_tstarts) ?(ftargets = default_ftargets) ?on_progress
     ~machine ~spec () =
   let domains =
@@ -116,8 +133,8 @@ let sweep_with_stats ?options ?backend ?domains ?(warm_starts = false)
   let rows =
     Parallel.Pool.map ~domains
       (fun i ->
-        sweep_row ?options ?backend ~machine ~spec ~ftargets ~warm_starts
-          ~report tstarts.(i))
+        sweep_row ?solver ?options ?backend ~machine ~spec ~ftargets
+          ~warm_starts ~report tstarts.(i))
       (Array.length tstarts)
   in
   let stats =
@@ -127,10 +144,10 @@ let sweep_with_stats ?options ?backend ?domains ?(warm_starts = false)
   in
   (Table.make ~tstarts ~ftargets (Array.map fst rows), stats)
 
-let sweep ?options ?backend ?domains ?warm_starts ?tstarts ?ftargets
+let sweep ?solver ?options ?backend ?domains ?warm_starts ?tstarts ?ftargets
     ?on_progress ~machine ~spec () =
   fst
-    (sweep_with_stats ?options ?backend ?domains ?warm_starts ?tstarts
+    (sweep_with_stats ?solver ?options ?backend ?domains ?warm_starts ?tstarts
        ?ftargets ?on_progress ~machine ~spec ())
 
 let frontier_point ?options ?backend ~machine ~spec ~tstart () =

@@ -29,19 +29,21 @@ type progress = {
 
 type sweep_stats = {
   solves : int;  (** Cells actually solved (pruned cells excluded). *)
-  centering_steps : int;
-  newton_iterations : int;
-  backtracks : int;
-  factorizations : int;
+  barrier : Convex.Barrier.stats;
+      (** Barrier-path work — frontier climbs, phase-I runs and conic
+          fallbacks included. *)
+  conic : Convex.Conic.stats;
+      (** Conic-path work, with per-solve certificate outcomes. *)
 }
-(** Aggregated solver work counters for a whole sweep — frontier
-    climbs and phase-I runs included.  Deterministic for fixed inputs
-    (independent of the domain count). *)
+(** Aggregated solver work counters for a whole sweep, split by
+    solver.  Deterministic for fixed inputs (independent of the
+    domain count). *)
 
 val sweep_stats_zero : sweep_stats
 val sweep_stats_add : sweep_stats -> sweep_stats -> sweep_stats
 
 val sweep :
+  ?solver:[ `Conic | `Barrier ] ->
   ?options:Convex.Barrier.options ->
   ?backend:Convex.Barrier.backend ->
   ?domains:int ->
@@ -53,21 +55,23 @@ val sweep :
   spec:Spec.t ->
   unit ->
   Table.t
-(** [domains] is the worker-pool size (default
+(** [solver] is passed to every {!Model.solve} (default [`Conic]).
+    [domains] is the worker-pool size (default
     {!Parallel.Pool.default_domains}, i.e. the [PROTEMP_DOMAINS]
     environment variable or the hardware count); [1] runs the classic
     sequential loop on the calling domain.  [warm_starts] (default
-    [false]) seeds each solve from the previous column's optimum,
-    blended toward the interior; benchmarking shows it within noise of
-    the cold path — the start hint already skips phase I on almost
-    every cell — so it stays off by default and exists for
-    measurement.  [backend] selects the barrier
+    [true]) seeds each solve from the previous column's optimum — a
+    measured win for the conic solver, which restarts the homogeneous
+    embedding from the seed at a reduced initial mu (BENCH_sweep's
+    [warm_vs_cold] ratio); on the barrier path it stays within noise
+    of cold and exists for measurement.  [backend] selects the barrier
     oracle (default [`Compiled]); the [`Reference] path exists for
     differential testing.  With [domains > 1], [on_progress] is
     invoked from worker domains — calls are serialized under a mutex,
     but rows interleave, so expect out-of-order cells. *)
 
 val sweep_with_stats :
+  ?solver:[ `Conic | `Barrier ] ->
   ?options:Convex.Barrier.options ->
   ?backend:Convex.Barrier.backend ->
   ?domains:int ->
@@ -105,6 +109,7 @@ val max_feasible_ftarget :
     when even idling is infeasible. *)
 
 val solve_point :
+  ?solver:[ `Conic | `Barrier ] ->
   ?options:Convex.Barrier.options ->
   ?backend:Convex.Barrier.backend ->
   machine:Sim.Machine.t ->

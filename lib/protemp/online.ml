@@ -32,7 +32,7 @@ type t = {
 
 let next_id = Atomic.make 0
 
-let create ?options ?fallback ?(margin = 0.0) ~machine ~spec () =
+let create ?solver ?options ?fallback ?(margin = 0.0) ~machine ~spec () =
   if margin < 0.0 then invalid_arg "Online.create: negative margin";
   if margin >= spec.Spec.tmax then
     invalid_arg "Online.create: margin leaves no thermal envelope";
@@ -71,7 +71,7 @@ let create ?options ?fallback ?(margin = 0.0) ~machine ~spec () =
       Model.build_with_profile ~machine ~spec ~t0:(profile_of obs)
         ~ftarget:obs.Sim.Policy.required_frequency
     in
-    match Model.solve ?options built with
+    match Model.solve ?solver ?options built with
     | Model.Feasible s ->
         Atomic.incr n_solved;
         s.Model.frequencies

@@ -51,6 +51,7 @@ type t
 (** One controller instance with its decision counters. *)
 
 val create :
+  ?solver:[ `Conic | `Barrier ] ->
   ?options:Convex.Barrier.options ->
   ?fallback:Table.t ->
   ?margin:float ->
@@ -58,7 +59,8 @@ val create :
   spec:Spec.t ->
   unit ->
   t
-(** [margin] (degrees, default [0.0] — the unguarded controller of
+(** [solver] is passed to every per-period {!Model.solve} (default
+    [`Conic]).  [margin] (degrees, default [0.0] — the unguarded controller of
     the paper's idealized sensing) is subtracted from [spec]'s [tmax]
     before solving; raises [Invalid_argument] when negative or at
     least [tmax].  At [margin = 0.0] the controller's decisions are

@@ -531,7 +531,7 @@ let test_solve_end_to_end () =
   match Solve.solve { Barrier.objective = obj; constraints } ~start:[| 10.0 |] with
   | Solve.Optimal s ->
       check_float 1e-4 "optimum" 3.0 s.Solve.x.(0);
-      check_bool "kkt" true (Kkt.max_residual s.Solve.kkt < 1e-3)
+      check_bool "kkt" true (Kkt.max_residual (Lazy.force s.Solve.kkt) < 1e-3)
   | Solve.Infeasible _ -> Alcotest.fail "expected optimal"
 
 let test_solve_reports_infeasible () =
@@ -542,6 +542,169 @@ let test_solve_reports_infeasible () =
   match Solve.solve { Barrier.objective = obj; constraints } with
   | Solve.Optimal _ -> Alcotest.fail "expected infeasible"
   | Solve.Infeasible _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Conic *)
+
+(* minimize x0 + x1 s.t. 0 <= x <= 1 in raw conic form:
+   s = h - Gx >= 0 with G = [-I; I], h = [0; 0; 1; 1]. *)
+let box_lp_conic () =
+  let g =
+    Mat.of_rows
+      [| [| -1.0; 0.0 |]; [| 0.0; -1.0 |]; [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |]
+  in
+  Conic.make ~c:[| 1.0; 1.0 |] ~g ~h:[| 0.0; 0.0; 1.0; 1.0 |]
+    ~cones:[| Cone.Nonneg 4 |] ()
+
+let test_conic_box_lp () =
+  match Conic.solve (box_lp_conic ()) with
+  | Conic.Optimal s ->
+      check_float 1e-6 "value" 0.0 s.Conic.objective_value;
+      check_bool "at corner" true (Vec.norm_inf s.Conic.x < 1e-6);
+      check_bool "slack matches" true
+        (Vec.approx_equal ~tol:1e-6 s.Conic.s [| 0.0; 0.0; 1.0; 1.0 |]);
+      (* Both lower bounds are active: their duals carry the cost. *)
+      check_float 1e-5 "dual of x0 >= 0" 1.0 s.Conic.z.(0);
+      check_float 1e-5 "dual of x1 >= 0" 1.0 s.Conic.z.(1)
+  | st -> Alcotest.failf "expected optimal, got %a" Conic.pp_status st
+
+let test_conic_equality_rows () =
+  (* minimize x0 s.t. x0 + x1 = 1, x >= 0: optimum (0, 1). *)
+  let t =
+    Conic.make ~a:(Mat.of_rows [| [| 1.0; 1.0 |] |]) ~b:[| 1.0 |]
+      ~c:[| 1.0; 0.0 |]
+      ~g:(Mat.of_rows [| [| -1.0; 0.0 |]; [| 0.0; -1.0 |] |])
+      ~h:[| 0.0; 0.0 |] ~cones:[| Cone.Nonneg 2 |] ()
+  in
+  match Conic.solve t with
+  | Conic.Optimal s ->
+      check_bool "argmin" true
+        (Vec.approx_equal ~tol:1e-6 s.Conic.x [| 0.0; 1.0 |])
+  | st -> Alcotest.failf "expected optimal, got %a" Conic.pp_status st
+
+let test_conic_primal_infeasible_certificate () =
+  (* x <= 0 and x >= 1 cannot hold together.  The certificate must be
+     a separating hyperplane: z in K*, G'z ~ 0, h'z = -1. *)
+  let t =
+    Conic.make ~c:[| 1.0 |]
+      ~g:(Mat.of_rows [| [| 1.0 |]; [| -1.0 |] |])
+      ~h:[| 0.0; -1.0 |] ~cones:[| Cone.Nonneg 2 |] ()
+  in
+  match Conic.solve t with
+  | Conic.Primal_infeasible { z; _ } ->
+      check_bool "z in dual cone" true (Vec.min z >= -1e-9);
+      check_float 1e-6 "G'z ~ 0" 0.0 (Float.abs (z.(0) -. z.(1)));
+      check_float 1e-6 "h'z = -1" (-1.0) (-.z.(1))
+  | st -> Alcotest.failf "expected primal infeasible, got %a" Conic.pp_status st
+
+let test_conic_dual_infeasible_certificate () =
+  (* minimize -x s.t. x >= 0 is unbounded below.  The certificate is
+     an improving ray: c'x = -1 with -Gx in K. *)
+  let t =
+    Conic.make ~c:[| -1.0 |] ~g:(Mat.of_rows [| [| -1.0 |] |]) ~h:[| 0.0 |]
+      ~cones:[| Cone.Nonneg 1 |] ()
+  in
+  match Conic.solve t with
+  | Conic.Dual_infeasible { x } ->
+      check_float 1e-6 "c'x = -1" (-1.0) (-.x.(0));
+      check_bool "-Gx in cone" true (x.(0) >= 0.0)
+  | st -> Alcotest.failf "expected dual infeasible, got %a" Conic.pp_status st
+
+(* minimize x0 s.t. x0^2 <= x1, x1 <= 2 — a rank-one quadratic plus an
+   affine row, exactly the shape [Conic.of_barrier] accepts.  Optimum
+   x = (-sqrt 2, 2), value -sqrt 2. *)
+let epigraph_problem () =
+  let obj = Quad.affine [| 1.0; 0.0 |] 0.0 in
+  let constraints =
+    [|
+      Quad.add
+        (Quad.square_of_affine [| 1.0; 0.0 |] 0.0)
+        (Quad.affine [| 0.0; -1.0 |] 0.0);
+      Quad.affine [| 0.0; 1.0 |] (-2.0);
+    |]
+  in
+  { Barrier.objective = obj; constraints }
+
+let test_conic_of_barrier_agreement () =
+  let p = epigraph_problem () in
+  let conic =
+    match Conic.solve (Conic.of_barrier p) with
+    | Conic.Optimal s -> s
+    | st -> Alcotest.failf "conic: expected optimal, got %a" Conic.pp_status st
+  in
+  check_float 1e-6 "conic value" (-.sqrt 2.0) conic.Conic.objective_value;
+  match Solve.solve p ~start:[| 0.0; 1.0 |] with
+  | Solve.Optimal b ->
+      check_bool "argmin agrees with barrier" true
+        (Vec.approx_equal ~tol:1e-5 conic.Conic.x b.Solve.x)
+  | Solve.Infeasible _ -> Alcotest.fail "barrier: expected optimal"
+
+let test_conic_constraint_duals () =
+  let p = epigraph_problem () in
+  let t = Conic.of_barrier p in
+  let s =
+    match Conic.solve t with
+    | Conic.Optimal s -> s
+    | st -> Alcotest.failf "expected optimal, got %a" Conic.pp_status st
+  in
+  let duals = Conic.constraint_duals t s in
+  check_int "one dual per constraint" 2 (Vec.dim duals);
+  (* KKT stationarity: 1 + lambda0 * 2 x0 = 0 at x0 = -sqrt 2, and the
+     x1 column gives -lambda0 + lambda1 = 0. *)
+  check_float 1e-4 "epigraph multiplier" (1.0 /. (2.0 *. sqrt 2.0)) duals.(0);
+  check_float 1e-4 "affine multiplier" duals.(0) duals.(1);
+  check_bool "raw instances have no mapping" true
+    (try
+       ignore (Conic.constraint_duals (box_lp_conic ()) s);
+       false
+     with Invalid_argument _ -> true)
+
+let test_conic_warm_start_and_stats () =
+  let p = epigraph_problem () in
+  let t = Conic.of_barrier p in
+  let stats = ref Conic.stats_zero in
+  let cold =
+    match Conic.solve ~stats_into:stats t with
+    | Conic.Optimal s -> s
+    | st -> Alcotest.failf "cold: expected optimal, got %a" Conic.pp_status st
+  in
+  let cold_iters = !stats.Conic.iterations in
+  check_bool "counted iterations" true (cold_iters > 0);
+  check_int "one factorization per iteration" cold_iters
+    !stats.Conic.factorizations;
+  check_int "optimal outcome counted" 1 !stats.Conic.optimal;
+  (* Re-target the affine bound slightly and warm-start from the
+     neighbouring optimum, as the sweep does column to column. *)
+  let t' = Conic.with_constraint_constant t ~index:1 (-2.1) in
+  let warm =
+    match
+      Conic.solve ~stats_into:stats ~warm:cold.Conic.x
+        ~warm_dual:(Conic.constraint_duals t cold) t'
+    with
+    | Conic.Optimal s -> s
+    | st -> Alcotest.failf "warm: expected optimal, got %a" Conic.pp_status st
+  in
+  check_float 1e-6 "re-targeted optimum" (-.sqrt 2.1)
+    warm.Conic.objective_value;
+  check_int "outcomes accumulate" 2 !stats.Conic.optimal
+
+let test_conic_workspace_reuse () =
+  let t = Conic.of_barrier (epigraph_problem ()) in
+  let ws = Conic.make_workspace t in
+  let solve_with inst =
+    match Conic.solve ~ws inst with
+    | Conic.Optimal s -> s.Conic.objective_value
+    | st -> Alcotest.failf "expected optimal, got %a" Conic.pp_status st
+  in
+  check_float 1e-6 "first solve" (-.sqrt 2.0) (solve_with t);
+  check_float 1e-6 "re-targeted reuse" (-.sqrt 3.0)
+    (solve_with (Conic.with_constraint_constant t ~index:1 (-3.0)));
+  check_float 1e-6 "back to the first instance" (-.sqrt 2.0) (solve_with t);
+  check_bool "shape mismatch rejected" true
+    (try
+       ignore (Conic.solve ~ws (box_lp_conic ()));
+       false
+     with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Linprog *)
@@ -862,6 +1025,23 @@ let () =
           Alcotest.test_case "end to end" `Quick test_solve_end_to_end;
           Alcotest.test_case "reports infeasible" `Quick
             test_solve_reports_infeasible;
+        ] );
+      ( "conic",
+        [
+          Alcotest.test_case "box LP" `Quick test_conic_box_lp;
+          Alcotest.test_case "equality rows" `Quick test_conic_equality_rows;
+          Alcotest.test_case "primal-infeasible certificate" `Quick
+            test_conic_primal_infeasible_certificate;
+          Alcotest.test_case "dual-infeasible certificate" `Quick
+            test_conic_dual_infeasible_certificate;
+          Alcotest.test_case "agrees with barrier" `Quick
+            test_conic_of_barrier_agreement;
+          Alcotest.test_case "constraint duals" `Quick
+            test_conic_constraint_duals;
+          Alcotest.test_case "warm start and stats" `Quick
+            test_conic_warm_start_and_stats;
+          Alcotest.test_case "workspace reuse" `Quick
+            test_conic_workspace_reuse;
         ] );
       ( "linprog",
         [

@@ -436,6 +436,142 @@ let test_tridiag_matches_dense () =
   check_bool "matches dense LU" true (Vec.approx_equal ~tol:1e-9 x_tri x_lu)
 
 (* ------------------------------------------------------------------ *)
+(* Block_tridiag *)
+
+(* Block index of each coordinate under a partition. *)
+let block_of_index sizes =
+  let n = Array.fold_left ( + ) 0 sizes in
+  let blk = Array.make n 0 in
+  let i = ref 0 in
+  Array.iteri
+    (fun k nk ->
+      for _ = 1 to nk do
+        blk.(!i) <- k;
+        incr i
+      done)
+    sizes;
+  blk
+
+(* Random SPD matrix supported on the block band: a symmetric random
+   matrix masked to the band, made diagonally dominant. *)
+let random_block_banded st sizes =
+  let n = Array.fold_left ( + ) 0 sizes in
+  let blk = block_of_index sizes in
+  let a = random_mat st n n in
+  let m =
+    Mat.init n n (fun i j ->
+        if abs (blk.(i) - blk.(j)) <= 1 then
+          0.5 *. (Mat.get a i j +. Mat.get a j i)
+        else 0.0)
+  in
+  for i = 0 to n - 1 do
+    let row = ref 1.0 in
+    for j = 0 to n - 1 do
+      if j <> i then row := !row +. Float.abs (Mat.get m i j)
+    done;
+    Mat.set m i i (!row +. Float.abs (Mat.get m i i))
+  done;
+  m
+
+let test_block_tridiag_matches_dense () =
+  let st = mk_rand 53 in
+  let sizes = [| 3; 4; 2; 3 |] in
+  let a = random_block_banded st sizes in
+  let n = Mat.rows a in
+  let fac = Block_tridiag.preallocate sizes in
+  check_int "dim" n (Block_tridiag.dim fac);
+  let jitter, tries = Block_tridiag.factorize_jittered_into fac a in
+  check_float "no jitter needed" 0.0 jitter;
+  check_int "one attempt" 1 tries;
+  let b = random_vec st n in
+  let x = Vec.zeros n in
+  Block_tridiag.solve_factorized_into fac b ~dst:x;
+  let x_dense = Chol.solve a b in
+  check_bool "matches dense cholesky" true
+    (Vec.approx_equal ~tol:1e-10 x x_dense)
+
+let test_block_tridiag_scalar_blocks () =
+  (* All-scalar partition degenerates to an ordinary tridiagonal
+     system; cross-check against the Thomas solver. *)
+  let st = mk_rand 59 in
+  let n = 7 in
+  let sizes = Array.make n 1 in
+  let a = random_block_banded st sizes in
+  let fac = Block_tridiag.preallocate sizes in
+  ignore (Block_tridiag.factorize_jittered_into fac a);
+  let b = random_vec st n in
+  let x = Vec.zeros n in
+  Block_tridiag.solve_factorized_into fac b ~dst:x;
+  let diag = Vec.init n (fun i -> Mat.get a i i) in
+  let lower = Vec.init (n - 1) (fun i -> Mat.get a (i + 1) i) in
+  let upper = Vec.init (n - 1) (fun i -> Mat.get a i (i + 1)) in
+  let x_tri = Tridiag.solve ~lower ~diag ~upper ~rhs:b in
+  check_bool "matches thomas" true (Vec.approx_equal ~tol:1e-10 x x_tri)
+
+let test_block_tridiag_ignores_out_of_band () =
+  (* Only in-band entries of the lower triangle are read: garbage
+     outside the band must not change the factorization. *)
+  let st = mk_rand 61 in
+  let sizes = [| 2; 3; 2 |] in
+  let a = random_block_banded st sizes in
+  let n = Mat.rows a in
+  let blk = block_of_index sizes in
+  let dirty = Mat.init n n (fun i j -> Mat.get a i j) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if abs (blk.(i) - blk.(j)) > 1 then Mat.set dirty i j 1e12
+    done
+  done;
+  let b = random_vec st n in
+  let solve_with m =
+    let fac = Block_tridiag.preallocate sizes in
+    ignore (Block_tridiag.factorize_jittered_into fac m);
+    let x = Vec.zeros n in
+    Block_tridiag.solve_factorized_into fac b ~dst:x;
+    x
+  in
+  check_bool "garbage outside band ignored" true
+    (Vec.approx_equal ~tol:1e-12 (solve_with a) (solve_with dirty))
+
+let test_block_tridiag_singular_leading_block () =
+  (* A singular leading block fails the bare attempt and forces the
+     jitter-retry schedule; the factor then solves A + jitter*I. *)
+  let st = mk_rand 67 in
+  let sizes = [| 3; 4; 2 |] in
+  let a = random_block_banded st sizes in
+  for i = 0 to sizes.(0) - 1 do
+    for j = 0 to sizes.(0) - 1 do
+      Mat.set a i j 0.0
+    done
+  done;
+  let fac = Block_tridiag.preallocate sizes in
+  check_bool "bare attempt rejects" true
+    (try
+       Block_tridiag.factorize_attempt_into fac ~jitter:0.0 a;
+       false
+     with Chol.Not_positive_definite _ -> true);
+  let jitter, tries = Block_tridiag.factorize_jittered_into fac a in
+  check_bool "jitter applied" true (jitter > 0.0);
+  check_bool "retried" true (tries > 1);
+  let n = Mat.rows a in
+  let b = random_vec st n in
+  let x = Vec.zeros n in
+  Block_tridiag.solve_factorized_into fac b ~dst:x;
+  let shifted =
+    Mat.init n n (fun i j ->
+        Mat.get a i j +. if i = j then jitter else 0.0)
+  in
+  check_bool "solves the jittered system" true
+    (Vec.approx_equal ~tol:1e-8 x (Lu.solve shifted b))
+
+let test_block_tridiag_rejects_bad_partition () =
+  check_bool "zero block size" true
+    (try
+       ignore (Block_tridiag.preallocate [| 2; 0; 3 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Sparse *)
 
 let sparse_of_dense m =
@@ -624,6 +760,19 @@ let () =
         [
           Alcotest.test_case "solve small" `Quick test_tridiag_solve;
           Alcotest.test_case "matches dense" `Quick test_tridiag_matches_dense;
+        ] );
+      ( "block_tridiag",
+        [
+          Alcotest.test_case "matches dense cholesky" `Quick
+            test_block_tridiag_matches_dense;
+          Alcotest.test_case "scalar blocks match thomas" `Quick
+            test_block_tridiag_scalar_blocks;
+          Alcotest.test_case "ignores out-of-band entries" `Quick
+            test_block_tridiag_ignores_out_of_band;
+          Alcotest.test_case "singular leading block jitters" `Quick
+            test_block_tridiag_singular_leading_block;
+          Alcotest.test_case "rejects bad partition" `Quick
+            test_block_tridiag_rejects_bad_partition;
         ] );
       ( "sparse",
         [

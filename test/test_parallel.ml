@@ -193,15 +193,22 @@ let test_sweep_stats_domain_invariant () =
   in
   let s1 = run 1 and s4 = run 4 in
   check_int "solves" s1.Protemp.Offline.solves s4.Protemp.Offline.solves;
-  check_int "centerings" s1.Protemp.Offline.centering_steps
-    s4.Protemp.Offline.centering_steps;
-  check_int "newton" s1.Protemp.Offline.newton_iterations
-    s4.Protemp.Offline.newton_iterations;
-  check_int "backtracks" s1.Protemp.Offline.backtracks
-    s4.Protemp.Offline.backtracks;
-  check_int "factorizations" s1.Protemp.Offline.factorizations
-    s4.Protemp.Offline.factorizations;
-  check_bool "non-trivial" true (s1.Protemp.Offline.newton_iterations > 0)
+  let b1 = s1.Protemp.Offline.barrier and b4 = s4.Protemp.Offline.barrier in
+  check_int "centerings" b1.Convex.Barrier.centering_steps
+    b4.Convex.Barrier.centering_steps;
+  check_int "newton" b1.Convex.Barrier.newton_iterations
+    b4.Convex.Barrier.newton_iterations;
+  check_int "backtracks" b1.Convex.Barrier.backtracks
+    b4.Convex.Barrier.backtracks;
+  check_int "factorizations" b1.Convex.Barrier.factorizations
+    b4.Convex.Barrier.factorizations;
+  let c1 = s1.Protemp.Offline.conic and c4 = s4.Protemp.Offline.conic in
+  check_int "conic iterations" c1.Convex.Conic.iterations
+    c4.Convex.Conic.iterations;
+  check_int "conic factorizations" c1.Convex.Conic.factorizations
+    c4.Convex.Conic.factorizations;
+  check_int "conic optimal" c1.Convex.Conic.optimal c4.Convex.Conic.optimal;
+  check_bool "non-trivial" true (c1.Convex.Conic.iterations > 0)
 
 (* Instantiating from a prepared context must yield the same problem
    as a from-scratch build, so the same optimum. *)
