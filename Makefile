@@ -4,12 +4,17 @@
 # `dune runtest` also executes both benchmarks in fast mode
 # (PROTEMP_BENCH_FAST=1, see bench/dune): the sweep smoke cross-checks
 # the compiled vs reference barrier backends and the parallel vs
-# sequential tables, and the sim smoke checks the allocation-free
+# sequential tables, walks the dense-table pipeline end to end (fill,
+# domain invariance, warm-start hit-rate gate, mmap store, both
+# serving paths), and the sim smoke checks the allocation-free
 # engine against the reference engine, the campaign (including its
 # fault axis) across domain counts, and the fault sweep's golden
 # guarantee gate — a zero-fault configuration reporting any tmax
 # violation, or the guard-banded table failing to absorb an injected
-# fault, exits non-zero.  `dune runtest` additionally self-lints the
+# fault, exits non-zero.  The table_store suite also pins the serving
+# format against test/table_store_header.golden: a format/version
+# change must update that committed header consciously or ci fails.
+# `dune runtest` additionally self-lints the
 # whole tree (see the root `dune` rule), and `lint` below runs the
 # same pass standalone; ci runs it explicitly so a lint regression is
 # reported even if the runtest alias is filtered.

@@ -3,19 +3,33 @@ open Linalg
 let name = "pro-temp"
 
 let create ~table =
+  (* One lookup buffer per controller instance: the engine consumes
+     the decision vector element-by-element at the epoch boundary, so
+     reusing the buffer across epochs keeps the per-epoch table lookup
+     allocation-free (Table.lookup used to [Vec.copy] every hit). *)
+  let buf =
+    match Table.core_count table with
+    | Some n -> Vec.zeros n
+    | None -> Vec.zeros 0
+  in
   {
     Sim.Policy.controller_name = name;
     decide =
       (fun obs ->
         let n = Vec.dim obs.Sim.Policy.core_temperatures in
-        match
-          Table.lookup table
+        if Vec.dim buf = 0 then
+          (* Every cell infeasible: lookups can never hit; stop. *)
+          Vec.zeros n
+        else if Vec.dim buf <> n then
+          invalid_arg "Protemp.Controller: table core count mismatch"
+        else if
+          Table.lookup_into table
             ~temperature:obs.Sim.Policy.max_core_temperature
-            ~required:obs.Sim.Policy.required_frequency
-        with
-        | Some frequencies ->
-            if Vec.dim frequencies <> n then
-              invalid_arg "Protemp.Controller: table core count mismatch";
-            frequencies
-        | None -> Vec.zeros n);
+            ~required:obs.Sim.Policy.required_frequency ~into:buf
+        then buf
+        else begin
+          (* No feasible entry: stop the cores for a window. *)
+          Vec.fill buf 0.0;
+          buf
+        end);
   }

@@ -1,0 +1,115 @@
+(** Dense Phase-1 grids as a product: demand-driven cell solving,
+    certified interpolation between grid points, and export to the
+    mmap-able serving format.
+
+    The paper's table is 6x10; a production deployment wants 100x100+
+    grids per floorplan per power-law revision.  A {!t} is a memoized
+    grid over [(tstart, ftarget)]: {!cell} solves lazily through the
+    conic solver with a neighbour warm start, a certified-infeasible
+    cell prunes everything hotter {e and} faster through the monotone
+    feasibility frontier, and {!fill} fans the remaining cells across
+    {!Parallel.Pool} with domain-count-invariant results.  {!lookup}
+    serves points {e between} grid cells by bilinear interpolation,
+    with a monotonicity-repair pass that clamps any blend whose
+    {!Guarantee.window_peak} certificate would exceed the envelope
+    back to the paper's discrete rule — so interpolated lookups are
+    never less safe than discrete ones.  (DESIGN.md section 6h.) *)
+
+open Linalg
+
+type t
+
+val create :
+  ?solver:[ `Conic | `Barrier ] ->
+  ?options:Convex.Barrier.options ->
+  ?margin:float ->
+  machine:Sim.Machine.t ->
+  spec:Spec.t ->
+  tstarts:float array ->
+  ftargets:float array ->
+  unit ->
+  t
+(** An empty memoized grid.  [margin] (default [0.0]) tightens the
+    spec's [tmax] once, so solved cells and the interpolation repair
+    pass certify against the same guard-banded envelope; raises
+    [Invalid_argument] when negative, at least [tmax], or when an axis
+    is empty or not strictly increasing.  [solver] defaults to
+    {!Model.solve}'s default ([`Conic]).
+
+    A [t] memoizes in place and is {e not} safe for concurrent
+    mutation from several domains — {!fill} parallelizes internally
+    (one row per task); on-demand {!cell}/{!lookup} calls belong on
+    one domain.  Export with {!to_table}/{!Table_store.write} and
+    share the image instead. *)
+
+val tstarts : t -> float array
+val ftargets : t -> float array
+
+val cell : t -> int -> int -> Table.cell
+(** Solve (or recall) cell [(i, j)].  A fresh solve is seeded from the
+    already-solved adjacent cell with the closest [ftarget] (so a
+    same-column vertical neighbour beats a horizontal one), falling
+    back to a cold start; one {!Convex.Conic.workspace} and one
+    {!Model.prepared} context are reused per row.  If any known
+    infeasible cell sits at or below [(i, j)] on the monotone frontier
+    (cooler row, same-or-slower column), the cell is certified
+    infeasible without a solve and counted as pruned.  Raises
+    [Invalid_argument] out of range. *)
+
+val computed : t -> int
+(** Memoized cells so far (solved + pruned). *)
+
+type fill_stats = {
+  cells : int;  (** Cells this {!fill} materialized (not yet memoized). *)
+  solves : int;  (** Solver invocations among them. *)
+  warm_hits : int;  (** Solves seeded from a neighbour's optimum. *)
+  pruned : int;  (** Cells certified infeasible via the frontier, no solve. *)
+  feasible : int;  (** Feasible cells among [cells]. *)
+}
+
+val fill : ?domains:int -> t -> fill_stats
+(** Materialize every remaining cell.  Rows are fanned across a
+    {!Parallel.Pool} ([domains] defaults to
+    {!Parallel.Pool.default_domains}); within a row, columns run left
+    to right, each solve seeded from the previous feasible column, and
+    the cross-row frontier is snapshotted before the fan-out — so the
+    resulting grid is a pure function of the pre-fill memo state,
+    bit-identical at any domain count. *)
+
+val stats : t -> fill_stats
+(** Cumulative counters over the whole life of [t] (on-demand calls
+    included); [cells] equals {!computed}. *)
+
+val lookup :
+  t ->
+  temperature:float ->
+  required:float ->
+  [ `Interpolated of Vec.t | `Clamped of Vec.t | `None ]
+(** Serve a point between grid cells, solving the (up to four)
+    surrounding corners on demand.
+
+    [`Interpolated v] is the bilinear blend of the four corner
+    vectors, returned only when its {!Guarantee.window_peak} from the
+    conservative covering row's [tstart] stays inside the (possibly
+    guard-banded) envelope — the repair-pass certificate.  Otherwise
+    the result falls back to the paper's discrete rule on the same
+    grid and is reported as [`Clamped] (also used when a corner is
+    infeasible or the requirement exceeds the grid).  [`None] mirrors
+    {!Table.lookup}'s [None]: observation hotter than every row, or no
+    feasible column.  Never less safe than the discrete rule: every
+    interpolated vector carries the same simulate-and-check
+    certificate the {!Guarantee} audits use. *)
+
+val discrete : t -> temperature:float -> required:float -> Vec.t option
+(** The paper's discrete rule served from the memoized grid (corners
+    solved on demand): covering row, round the requirement up, walk
+    down to the first feasible column. *)
+
+val to_table : ?domains:int -> t -> Table.t
+(** {!fill} (if needed) then snapshot the grid as an immutable
+    {!Table.t} — the hand-off point to {!Table_store.write}. *)
+
+val audit : t -> Guarantee.audit
+(** {!fill} (if needed) then {!Guarantee.audit_table} against the
+    grid's (guard-banded) envelope — the whole-grid certification
+    pass. *)

@@ -45,13 +45,20 @@ let create ?solver ?options ?fallback ?(margin = 0.0) ~machine ~spec () =
   let n_stops = Atomic.make 0 in
   let n_cores = machine.Sim.Machine.n_cores in
   let stop = Vec.zeros n_cores in
+  (* Per-instance lookup buffer: the engine consumes the decision
+     vector at the epoch boundary, so the allocation-free
+     [Table.lookup_into] can reuse it across fallback epochs. *)
+  let fallback_buf = Vec.zeros n_cores in
   let fallback_frequencies obs =
     match fallback with
     | None -> None
     | Some table ->
-        Table.lookup table
-          ~temperature:obs.Sim.Policy.max_core_temperature
-          ~required:obs.Sim.Policy.required_frequency
+        if
+          Table.lookup_into table
+            ~temperature:obs.Sim.Policy.max_core_temperature
+            ~required:obs.Sim.Policy.required_frequency ~into:fallback_buf
+        then Some fallback_buf
+        else None
   in
   let profile_of obs =
     (* Sensors exist per core; unsensed nodes are bounded above by the

@@ -55,27 +55,55 @@ let cell t i j =
     invalid_arg "Table.cell: column out of range";
   t.cells.(i).(j)
 
+(* Both axis searches are binary: the axes are strictly increasing, a
+   control epoch does one row search and every interpolation corner
+   does a column search, and on a 100x100 production grid the old
+   linear scans were O(rows + cols) per lookup. *)
+
+(* Smallest [i] with [tstarts.(i) >= temperature]; [-1] when the
+   observation exceeds the hottest row.  Int-returning (no option) so
+   the alloc-free [lookup_into] path can use it directly. *)
+let row_index t temperature =
+  let ts = t.tstarts in
+  let n = Array.length ts in
+  if ts.(n - 1) < temperature then -1
+  else begin
+    (* Invariant: ts.(hi) >= temperature, every index < lo is
+       < temperature; the answer is in [lo, hi]. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ts.(mid) >= temperature then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+(* Smallest column with [ftargets.(j) >= required], clamped to the top
+   column when the requirement exceeds the grid — the paper's
+   round-up-then-fall-back starting point. *)
+let col_start t required =
+  let fa = t.ftargets in
+  let n = Array.length fa in
+  if fa.(n - 1) < required then n - 1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fa.(mid) >= required then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
 let row_for_temperature t temperature =
-  let n = Array.length t.tstarts in
-  let rec go i =
-    if i >= n then None
-    else if t.tstarts.(i) >= temperature then Some i
-    else go (i + 1)
-  in
-  go 0
+  match row_index t temperature with -1 -> None | i -> Some i
 
 let lookup t ~temperature ~required =
-  match row_for_temperature t temperature with
-  | None -> None
-  | Some row ->
-      let cols = Array.length t.ftargets in
-      (* Start from the smallest column satisfying the requirement (or
-         the top column when the requirement exceeds the grid), then
-         walk down to the first feasible one. *)
-      let start =
-        let rec go j = if j < cols && t.ftargets.(j) < required then go (j + 1) else j in
-        Stdlib.min (go 0) (cols - 1)
-      in
+  match row_index t temperature with
+  | -1 -> None
+  | row ->
+      (* Start from the smallest column satisfying the requirement,
+         then walk down to the first feasible one. *)
+      let start = col_start t required in
       let rec down j =
         if j < 0 then None
         else
@@ -84,6 +112,35 @@ let lookup t ~temperature ~required =
           | Infeasible -> down (j - 1)
       in
       down start
+
+(* Allocation-free variant for the online-controller hot path: the
+   same rule as [lookup], but the result is blitted into a
+   caller-owned vector instead of copied into a fresh one. *)
+let lookup_into t ~temperature ~required ~into =
+  let row = row_index t temperature in
+  if row < 0 then false
+  else begin
+    let j = ref (col_start t required) in
+    let found = ref false in
+    while (not !found) && !j >= 0 do
+      (match t.cells.(row).(!j) with
+      | Frequencies f ->
+          Vec.blit ~src:f ~dst:into;
+          found := true
+      | Infeasible -> ());
+      if not !found then decr j
+    done;
+    !found
+  end
+
+let core_count t =
+  let n = ref None in
+  Array.iter
+    (Array.iter (function
+      | Infeasible -> ()
+      | Frequencies f -> if !n = None then n := Some (Vec.dim f)))
+    t.cells;
+  !n
 
 let feasible_frontier t =
   Array.mapi

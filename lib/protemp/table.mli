@@ -31,12 +31,36 @@ val cell : t -> int -> int -> cell
 val row_for_temperature : t -> float -> int option
 (** Smallest row whose [tstart] is >= the observed temperature —
     the conservative covering row; [None] when the observation
-    exceeds the hottest row. *)
+    exceeds the hottest row.  Binary search (the axes are strictly
+    increasing). *)
+
+val row_index : t -> float -> int
+(** {!row_for_temperature} without the option: [-1] when the
+    observation exceeds the hottest row.  The allocation-free form
+    used on the controller hot path. *)
+
+val col_start : t -> float -> int
+(** Smallest column whose [ftarget] is >= the requirement, clamped to
+    the top column when the requirement exceeds the grid — the
+    starting point of the paper's round-up-then-fall-back column rule.
+    Binary search. *)
 
 val lookup : t -> temperature:float -> required:float -> Vec.t option
 (** The paper's run-time rule.  Returns [None] when the temperature
     exceeds every row or no column in the row is feasible (the caller
     should then stop the cores for a window). *)
+
+val lookup_into :
+  t -> temperature:float -> required:float -> into:Vec.t -> bool
+(** Allocation-free {!lookup}: on success the entry is blitted into
+    [into] and the call returns [true]; [false] is {!lookup}'s [None]
+    and leaves [into] untouched.  Raises [Invalid_argument] when
+    [into]'s length differs from the table's core count.  Listed in
+    [lint.manifest] — the body must stay free of allocation sites. *)
+
+val core_count : t -> int option
+(** Number of cores per feasible cell ([Table.make] enforces it is
+    uniform); [None] when every cell is infeasible. *)
 
 val feasible_frontier : t -> (float * float option) array
 (** Per row: the largest feasible [ftarget] ([None] if none) — the

@@ -1,0 +1,238 @@
+(* Tests for the dense-grid pipeline: on-demand memoized cells against
+   the one-shot solver, warm-start and frontier-pruning accounting,
+   domain-count-invariant fills, agreement with the offline sweep, and
+   the certified-interpolation safety property. *)
+
+open Linalg
+module D = Protemp.Dense_table
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let machine = lazy (Sim.Machine.niagara ())
+let fast_spec = { Protemp.Spec.default with Protemp.Spec.constraint_stride = 4 }
+
+(* A cool, mostly-feasible grid: exercises warm starts and
+   interpolation without fighting the thermal cap. *)
+let cool_tstarts = [| 60.0; 80.0; 95.0 |]
+let cool_ftargets = [| 2e8; 5e8; 8e8 |]
+
+let cool_dense () =
+  D.create ~machine:(Lazy.force machine) ~spec:fast_spec
+    ~tstarts:cool_tstarts ~ftargets:cool_ftargets ()
+
+(* Shared across the lookup tests: cells memoize, so the 9 solves are
+   paid once. *)
+let shared = lazy (cool_dense ())
+
+let test_create_validation () =
+  let m = Lazy.force machine in
+  let bad f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check_bool "negative margin" true
+    (bad (fun () ->
+         D.create ~margin:(-1.0) ~machine:m ~spec:fast_spec
+           ~tstarts:cool_tstarts ~ftargets:cool_ftargets ()));
+  check_bool "margin swallows envelope" true
+    (bad (fun () ->
+         D.create ~margin:fast_spec.Protemp.Spec.tmax ~machine:m
+           ~spec:fast_spec ~tstarts:cool_tstarts ~ftargets:cool_ftargets ()));
+  check_bool "unsorted tstarts" true
+    (bad (fun () ->
+         D.create ~machine:m ~spec:fast_spec ~tstarts:[| 80.0; 60.0 |]
+           ~ftargets:cool_ftargets ()));
+  check_bool "empty axis" true
+    (bad (fun () ->
+         D.create ~machine:m ~spec:fast_spec ~tstarts:cool_tstarts
+           ~ftargets:[||] ()))
+
+let test_cell_matches_solve_point () =
+  let m = Lazy.force machine in
+  let dt = cool_dense () in
+  (* First touch of a fresh grid is a cold solve — the same problem
+     solve_point poses. *)
+  let c = D.cell dt 1 1 in
+  let direct =
+    Protemp.Offline.solve_point ~machine:m ~spec:fast_spec ~tstart:cool_tstarts.(1)
+      ~ftarget:cool_ftargets.(1) ()
+  in
+  (match (c, direct) with
+  | Protemp.Table.Frequencies f, Protemp.Model.Feasible s ->
+      check_bool "frequencies agree" true
+        (Vec.approx_equal ~tol:1e4 f s.Protemp.Model.frequencies)
+  | Protemp.Table.Infeasible, Protemp.Model.Infeasible -> ()
+  | _ -> Alcotest.fail "on-demand cell disagrees with solve_point");
+  (* Memoized: a second read is free. *)
+  let solves = (D.stats dt).D.solves in
+  ignore (D.cell dt 1 1);
+  check_int "memoized" solves (D.stats dt).D.solves;
+  check_int "computed" 1 (D.computed dt)
+
+let test_fill_stats_and_warm_rate () =
+  let dt = cool_dense () in
+  let s = D.fill ~domains:2 dt in
+  check_int "all cells" 9 s.D.cells;
+  check_int "accounted" 9 (s.D.solves + s.D.pruned);
+  check_bool "mostly feasible grid" true (s.D.feasible >= 6);
+  (* Within each row every solve after the first feasible column is
+     warm-seeded: on this grid the warm rate must clear the serving
+     gate. *)
+  check_bool
+    (Printf.sprintf "warm rate %d/%d > 0.5" s.D.warm_hits s.D.solves)
+    true
+    (float_of_int s.D.warm_hits > 0.5 *. float_of_int s.D.solves);
+  (* fill is idempotent. *)
+  let again = D.fill dt in
+  check_int "nothing left" 0 again.D.cells
+
+let test_fill_domain_invariance () =
+  let csv_at domains =
+    let dt = cool_dense () in
+    ignore (D.fill ~domains dt);
+    Protemp.Table.to_csv (D.to_table dt)
+  in
+  (* Bit-identical grids at 1 vs 4 domains (CSV is %.17g, i.e. exact). *)
+  Alcotest.(check string) "domains 1 = domains 4" (csv_at 1) (csv_at 4)
+
+let test_fill_matches_offline_sweep () =
+  let m = Lazy.force machine in
+  let dt = cool_dense () in
+  ignore (D.fill dt);
+  let dense = D.to_table dt in
+  let swept =
+    Protemp.Offline.sweep ~machine:m ~spec:fast_spec ~tstarts:cool_tstarts
+      ~ftargets:cool_ftargets ()
+  in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      match (Protemp.Table.cell dense i j, Protemp.Table.cell swept i j) with
+      | Protemp.Table.Infeasible, Protemp.Table.Infeasible -> ()
+      | Protemp.Table.Frequencies a, Protemp.Table.Frequencies b ->
+          check_bool (Printf.sprintf "cell (%d,%d)" i j) true
+            (Vec.approx_equal ~tol:1e4 a b)
+      | _ -> Alcotest.fail (Printf.sprintf "feasibility differs at (%d,%d)" i j)
+    done
+  done
+
+let test_frontier_prunes_across_rows () =
+  let m = Lazy.force machine in
+  (* Full speed from a hair under the cap: the window peak must blow
+     through tmax, so the cool row's infeasibility certificate is
+     available to prune the hotter row without touching the solver. *)
+  let dt =
+    D.create ~machine:m ~spec:fast_spec ~tstarts:[| 99.0; 99.5 |]
+      ~ftargets:[| 9.5e8; 1e9 |] ()
+  in
+  (match D.cell dt 0 1 with
+  | Protemp.Table.Infeasible -> ()
+  | Protemp.Table.Frequencies _ ->
+      Alcotest.fail "full speed at 99C should be infeasible");
+  let solves = (D.stats dt).D.solves in
+  (match D.cell dt 1 1 with
+  | Protemp.Table.Infeasible -> ()
+  | Protemp.Table.Frequencies _ -> Alcotest.fail "pruned cell must be infeasible");
+  let s = D.stats dt in
+  check_int "no extra solve" solves s.D.solves;
+  check_bool "counted as pruned" true (s.D.pruned >= 1);
+  (* And a fill of the remainder keeps the books balanced. *)
+  let f = D.fill ~domains:2 dt in
+  check_int "remaining cells" 2 f.D.cells;
+  check_int "grid complete" 4 (D.computed dt)
+
+let test_lookup_at_grid_point () =
+  let dt = Lazy.force shared in
+  (* At the cool corner both axis weights collapse to 1.0, so the blend
+     is bit-for-bit the corner cell. *)
+  let corner =
+    match D.cell dt 0 0 with
+    | Protemp.Table.Frequencies f -> f
+    | Protemp.Table.Infeasible -> Alcotest.fail "cool corner infeasible"
+  in
+  (match
+     D.lookup dt ~temperature:cool_tstarts.(0) ~required:cool_ftargets.(0)
+   with
+  | `Interpolated v | `Clamped v ->
+      check_bool "corner exact" true (Vec.approx_equal ~tol:0.0 corner v)
+  | `None -> Alcotest.fail "corner lookup served nothing");
+  (* Hotter than every row mirrors Table.lookup's None. *)
+  check_bool "too hot" true
+    (match D.lookup dt ~temperature:96.0 ~required:2e8 with
+    | `None -> true
+    | _ -> false)
+
+let test_lookup_beyond_grid_clamps () =
+  let dt = Lazy.force shared in
+  (* Requirement above the fastest column: no corner to blend toward,
+     so the discrete round-down must serve. *)
+  match D.lookup dt ~temperature:70.0 ~required:9.9e8 with
+  | `Clamped v ->
+      check_bool "discrete agrees" true
+        (match D.discrete dt ~temperature:70.0 ~required:9.9e8 with
+        | Some d -> Vec.approx_equal ~tol:0.0 d v
+        | None -> false)
+  | `Interpolated _ -> Alcotest.fail "nothing to interpolate beyond the grid"
+  | `None -> Alcotest.fail "grid should still serve its fastest column"
+
+let test_audit_certifies_grid () =
+  let dt = Lazy.force shared in
+  let a = D.audit dt in
+  check_bool "cells checked" true (a.Protemp.Guarantee.cells_checked > 0);
+  check_bool
+    (Printf.sprintf "worst margin %g >= 0" a.Protemp.Guarantee.worst_margin)
+    true
+    (a.Protemp.Guarantee.worst_margin >= 0.0)
+
+(* The tentpole safety property: whenever the paper's discrete rule
+   would serve a cap-honouring vector, the interpolating lookup's
+   served vector honours the cap too — the repair pass may clamp, but
+   never serves something less safe. *)
+let prop_interpolation_never_less_safe =
+  QCheck2.Test.make ~name:"dense: interpolated lookups never violate tmax"
+    ~count:40
+    QCheck2.Gen.(pair (float_range 50.0 100.0) (float_range 1e8 9e8))
+    (fun (temperature, required) ->
+      let m = Lazy.force machine in
+      let dt = Lazy.force shared in
+      let peak_of v =
+        Protemp.Guarantee.window_peak ~machine:m
+          ~dfs_period:fast_spec.Protemp.Spec.dfs_period ~tstart:temperature
+          ~frequencies:v
+      in
+      let tmax = fast_spec.Protemp.Spec.tmax in
+      match D.lookup dt ~temperature ~required with
+      | `None -> D.discrete dt ~temperature ~required = None
+      | `Interpolated v | `Clamped v -> (
+          match D.discrete dt ~temperature ~required with
+          | None -> false (* a served vector implies a discrete fallback *)
+          | Some d ->
+              (* Only constrained when the discrete rule itself is safe
+                 at this (between-grid-point) temperature. *)
+              peak_of d > tmax +. 1e-9 || peak_of v <= tmax +. 1e-9))
+
+let () =
+  Alcotest.run "dense_table"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "on-demand cell" `Slow test_cell_matches_solve_point;
+          Alcotest.test_case "frontier pruning" `Slow
+            test_frontier_prunes_across_rows;
+        ] );
+      ( "fill",
+        [
+          Alcotest.test_case "stats and warm rate" `Slow
+            test_fill_stats_and_warm_rate;
+          Alcotest.test_case "domain invariance" `Slow
+            test_fill_domain_invariance;
+          Alcotest.test_case "matches offline sweep" `Slow
+            test_fill_matches_offline_sweep;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "grid-point lookup" `Slow test_lookup_at_grid_point;
+          Alcotest.test_case "beyond-grid clamp" `Slow
+            test_lookup_beyond_grid_clamps;
+          Alcotest.test_case "whole-grid audit" `Slow test_audit_certifies_grid;
+          QCheck_alcotest.to_alcotest prop_interpolation_never_less_safe;
+        ] );
+    ]

@@ -97,6 +97,64 @@ let test_table_lookup_none_when_too_hot () =
   check_bool "none" true
     (Protemp.Table.lookup t ~temperature:120.0 ~required:1e8 = None)
 
+(* The binary searches behind row/column selection, pinned against the
+   obvious linear scans on randomized axes. *)
+let test_table_binary_search_matches_linear () =
+  let st = Random.State.make [| 0x7ab1e |] in
+  for _ = 1 to 50 do
+    let rows = 1 + Random.State.int st 7 in
+    let cols = 1 + Random.State.int st 7 in
+    let tstarts =
+      Array.init rows (fun i -> 30.0 +. (10.0 *. float_of_int i))
+    in
+    let ftargets =
+      Array.init cols (fun j -> 1e8 +. (1e8 *. float_of_int j))
+    in
+    let t =
+      Protemp.Table.make ~tstarts ~ftargets
+        (Array.make_matrix rows cols (freqs 1e8))
+    in
+    for _ = 1 to 40 do
+      let temperature = 20.0 +. Random.State.float st 100.0 in
+      let required = Random.State.float st 1e9 in
+      let linear_row =
+        let r = ref (-1) in
+        for i = rows - 1 downto 0 do
+          if tstarts.(i) >= temperature then r := i
+        done;
+        !r
+      in
+      let linear_col =
+        let c = ref (cols - 1) in
+        for j = cols - 1 downto 0 do
+          if ftargets.(j) >= required then c := j
+        done;
+        !c
+      in
+      check_int "row_index" linear_row (Protemp.Table.row_index t temperature);
+      check_int "col_start" linear_col (Protemp.Table.col_start t required)
+    done
+  done
+
+(* lookup_into is lookup without the copy: same hit/miss decisions,
+   same vector, written into the caller's buffer. *)
+let test_table_lookup_into_agrees () =
+  let t = synthetic_table () in
+  let buf = Vec.zeros 8 in
+  for it = 0 to 299 do
+    let temperature = 20.0 +. (float_of_int (it mod 30) *. 3.7) in
+    let required = float_of_int (it mod 12) *. 0.8e8 in
+    match Protemp.Table.lookup t ~temperature ~required with
+    | Some f ->
+        check_bool "hit agrees" true
+          (Protemp.Table.lookup_into t ~temperature ~required ~into:buf
+          && Vec.approx_equal ~tol:0.0 f buf)
+    | None ->
+        check_bool "miss agrees" true
+          (not (Protemp.Table.lookup_into t ~temperature ~required ~into:buf))
+  done;
+  check_bool "core_count" true (Protemp.Table.core_count t = Some 8)
+
 let test_table_frontier () =
   let t = synthetic_table () in
   let frontier = Protemp.Table.feasible_frontier t in
@@ -802,6 +860,10 @@ let () =
             test_table_lookup_falls_back_down;
           Alcotest.test_case "lookup too hot" `Quick
             test_table_lookup_none_when_too_hot;
+          Alcotest.test_case "binary search vs linear" `Quick
+            test_table_binary_search_matches_linear;
+          Alcotest.test_case "lookup_into agrees" `Quick
+            test_table_lookup_into_agrees;
           Alcotest.test_case "frontier" `Quick test_table_frontier;
           Alcotest.test_case "csv roundtrip" `Quick test_table_csv_roundtrip;
           Alcotest.test_case "csv rejects duplicates" `Quick

@@ -1,0 +1,254 @@
+(* Tests for the mmap-able binary serving format: byte-for-byte
+   round-trips against Table's CSV semantics, header validation
+   (magic, version, size, endianness sentinel), the committed golden
+   header, allocation-free lookups, and identical lookups from
+   concurrent readers sharing one image across domains. *)
+
+open Linalg
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let freqs a = Protemp.Table.Frequencies a
+
+(* The canonical fixture behind the committed golden header: 3 rows, 2
+   columns, 2 cores, one infeasible corner.  Changing the format
+   version or header layout must change the golden file consciously. *)
+let canonical_table () =
+  Protemp.Table.make ~tstarts:[| 50.0; 80.0; 100.0 |] ~ftargets:[| 2e8; 5e8 |]
+    [|
+      [| freqs [| 2e8; 2.5e8 |]; freqs [| 5e8; 5.5e8 |] |];
+      [| freqs [| 1.5e8; 2e8 |]; freqs [| 4e8; 4.5e8 |] |];
+      [| freqs [| 1e8; 1.25e8 |]; Protemp.Table.Infeasible |];
+    |]
+
+let with_store table f =
+  let path = Filename.temp_file "protemp_store" ".ptbl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Protemp.Table_store.write table path;
+      f path (Protemp.Table_store.open_file path))
+
+let with_image bytes f =
+  let path = Filename.temp_file "protemp_store" ".ptbl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      f path)
+
+let opens_with_failure bytes =
+  with_image bytes (fun path ->
+      match Protemp.Table_store.open_file path with
+      | _ -> None
+      | exception Failure msg -> Some msg)
+
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_csv_semantics () =
+  let t = canonical_table () in
+  with_store t (fun _path store ->
+      (* CSV is %.17g — exact for every finite double — so string
+         equality is bit-for-bit cell equality. *)
+      check_string "csv round-trip" (Protemp.Table.to_csv t)
+        (Protemp.Table.to_csv (Protemp.Table_store.to_table store));
+      check_int "rows" 3 (Protemp.Table_store.n_rows store);
+      check_int "cols" 2 (Protemp.Table_store.n_cols store);
+      check_int "cores" 2 (Protemp.Table_store.n_cores store))
+
+let test_lookup_matches_table () =
+  let t = canonical_table () in
+  with_store t (fun _path store ->
+      let buf = Vec.zeros 2 in
+      let agree temperature required =
+        let expected = Protemp.Table.lookup t ~temperature ~required in
+        let got =
+          Protemp.Table_store.lookup_into store ~temperature ~required
+            ~into:buf
+        in
+        match (expected, got) with
+        | None, false -> true
+        | Some f, true -> Vec.approx_equal ~tol:0.0 f buf
+        | Some _, false | None, true -> false
+      in
+      for it = 0 to 499 do
+        let temperature = 20.0 +. (float_of_int (it mod 25) *. 4.0) in
+        let required = float_of_int (it mod 20) *. 0.5e8 in
+        check_bool
+          (Printf.sprintf "lookup (%g, %g)" temperature required)
+          true
+          (agree temperature required)
+      done)
+
+let test_all_infeasible_image () =
+  let t =
+    Protemp.Table.make ~tstarts:[| 50.0 |] ~ftargets:[| 2e8 |]
+      [| [| Protemp.Table.Infeasible |] |]
+  in
+  with_store t (fun _path store ->
+      check_int "zero cores" 0 (Protemp.Table_store.n_cores store);
+      check_bool "lookup misses" false
+        (Protemp.Table_store.lookup_into store ~temperature:40.0 ~required:1e8
+           ~into:(Vec.zeros 0));
+      check_string "csv round-trip" (Protemp.Table.to_csv t)
+        (Protemp.Table.to_csv (Protemp.Table_store.to_table store)))
+
+let test_golden_header () =
+  let image = Protemp.Table_store.serialize (canonical_table ()) in
+  let hex = Buffer.create 64 in
+  String.iteri
+    (fun i c ->
+      if i < 32 then Buffer.add_string hex (Printf.sprintf "%02x" (Char.code c)))
+    image;
+  let ic = open_in "table_store_header.golden" in
+  let golden = String.trim (input_line ic) in
+  close_in ic;
+  check_string "committed golden header (format version 1)" golden
+    (Buffer.contents hex)
+
+let test_rejects_truncated () =
+  let image = Protemp.Table_store.serialize (canonical_table ()) in
+  (* Truncated header. *)
+  check_bool "truncated header" true
+    (opens_with_failure (String.sub image 0 16) <> None);
+  (* Truncated payload: header intact, cells cut short. *)
+  check_bool "truncated payload" true
+    (opens_with_failure (String.sub image 0 (String.length image - 8)) <> None);
+  (* Trailing garbage: size no longer matches the declared layout. *)
+  check_bool "trailing garbage" true
+    (opens_with_failure (image ^ "XXXXXXXX") <> None)
+
+let test_rejects_bad_magic_and_version () =
+  let image = Protemp.Table_store.serialize (canonical_table ()) in
+  let patch off c =
+    let b = Bytes.of_string image in
+    Bytes.set b off c;
+    Bytes.to_string b
+  in
+  (match opens_with_failure (patch 0 'X') with
+  | Some msg -> check_bool "magic message" true (String.length msg > 0)
+  | None -> Alcotest.fail "bad magic accepted");
+  (* Version 2 is from the future. *)
+  check_bool "future version" true (opens_with_failure (patch 4 '\002') <> None);
+  (* A big-endian writer would produce version bytes 00 00 00 01. *)
+  let be = patch 4 '\000' in
+  let be = Bytes.of_string be in
+  Bytes.set be 7 '\001';
+  check_bool "big-endian version field" true
+    (opens_with_failure (Bytes.to_string be) <> None)
+
+let test_rejects_corrupt_sentinel () =
+  let image = Protemp.Table_store.serialize (canonical_table ()) in
+  let b = Bytes.of_string image in
+  (* The float-view sentinel lives at bytes 24..31. *)
+  Bytes.set b 27 '\055';
+  check_bool "corrupt sentinel" true
+    (opens_with_failure (Bytes.to_string b) <> None)
+
+let test_rejects_unsorted_axis () =
+  let image = Protemp.Table_store.serialize (canonical_table ()) in
+  let b = Bytes.of_string image in
+  (* Overwrite tstarts.(1) (bytes 40..47) with a value below
+     tstarts.(0): the axis must be strictly increasing. *)
+  let bits = Int64.bits_of_float 10.0 in
+  for k = 0 to 7 do
+    Bytes.set b (40 + k)
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * k)) 0xFFL)))
+  done;
+  check_bool "unsorted axis" true
+    (opens_with_failure (Bytes.to_string b) <> None)
+
+let test_lookup_allocation_free () =
+  let t = canonical_table () in
+  with_store t (fun _path store ->
+      (* Queries live in a tuple array so the floats are already boxed:
+         passing them to lookup_into allocates nothing, and the
+         lookup itself must not either (lint.manifest covers the
+         syntactic half; this is the runtime half, like Engine.run's
+         zero-words golden). *)
+      let queries =
+        Array.init 512 (fun i ->
+            ( 20.0 +. (float_of_int (i mod 29) *. 3.5),
+              float_of_int (i mod 23) *. 0.4e8 ))
+      in
+      let buf = Vec.zeros 2 in
+      let run () =
+        for i = 0 to Array.length queries - 1 do
+          let temperature, required = queries.(i) in
+          ignore
+            (Protemp.Table_store.lookup_into store ~temperature ~required
+               ~into:buf)
+        done
+      in
+      run ();
+      (* Warm-up forced any one-time lazies. *)
+      let before = Gc.minor_words () in
+      run ();
+      let words = Gc.minor_words () -. before in
+      Alcotest.(check (float 0.0)) "minor words for 512 lookups" 0.0 words)
+
+let test_concurrent_readers_share_image () =
+  let t = canonical_table () in
+  with_store t (fun _path store ->
+      let temps = Array.init 40 (fun i -> 20.0 +. (float_of_int i *. 2.5)) in
+      let reqs = Array.init 20 (fun j -> float_of_int j *. 0.4e8) in
+      let snapshot () =
+        let buf = Vec.zeros 2 in
+        Array.map
+          (fun temperature ->
+            Array.map
+              (fun required ->
+                if
+                  Protemp.Table_store.lookup_into store ~temperature ~required
+                    ~into:buf
+                then Some (Vec.copy buf)
+                else None)
+              reqs)
+          temps
+      in
+      let reference = snapshot () in
+      (* One mapped image, read from >= 4 domains at once: every
+         reader must see exactly the reference lookups. *)
+      let results = Parallel.Pool.map ~domains:4 (fun _ -> snapshot ()) 8 in
+      Array.iteri
+        (fun k snap ->
+          check_bool (Printf.sprintf "reader %d identical" k) true
+            (snap = reference))
+        results)
+
+let () =
+  Alcotest.run "table_store"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "csv round-trip" `Quick
+            test_roundtrip_csv_semantics;
+          Alcotest.test_case "lookup matches table" `Quick
+            test_lookup_matches_table;
+          Alcotest.test_case "all-infeasible image" `Quick
+            test_all_infeasible_image;
+          Alcotest.test_case "golden header" `Quick test_golden_header;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "rejects truncated" `Quick test_rejects_truncated;
+          Alcotest.test_case "rejects bad magic/version" `Quick
+            test_rejects_bad_magic_and_version;
+          Alcotest.test_case "rejects corrupt sentinel" `Quick
+            test_rejects_corrupt_sentinel;
+          Alcotest.test_case "rejects unsorted axis" `Quick
+            test_rejects_unsorted_axis;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "allocation-free lookups" `Quick
+            test_lookup_allocation_free;
+          Alcotest.test_case "concurrent readers" `Quick
+            test_concurrent_readers_share_image;
+        ] );
+    ]
