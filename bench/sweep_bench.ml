@@ -298,7 +298,9 @@ let () =
     invariance_domains dense_identical;
   let store_path = Filename.temp_file "protemp_dense" ".ptbl" in
   let t0 = Unix.gettimeofday () in
-  Protemp.Table_store.write dense_table store_path;
+  (* v2 images record the ceilings the cells were certified against. *)
+  Protemp.Table_store.write ~core_fmax:machine.Sim.Machine.core_fmax
+    dense_table store_path;
   let store_write_seconds = Unix.gettimeofday () -. t0 in
   let t0 = Unix.gettimeofday () in
   let store = Protemp.Table_store.open_file store_path in
@@ -352,6 +354,81 @@ let () =
      interpolated lookups/s (%d/%d served)\n\
      %!"
     store_lookups_per_sec interp_lookups_per_sec !interp_served n_interp;
+  (* ---------------------------------------------------------------- *)
+  (* Heterogeneous grid (the platform refactor, DESIGN.md 6i): the
+     same Phase-1 sweep on the asymmetric big.LITTLE machine — per-core
+     frequency bounds and power laws flow through Model and both
+     solver backends.  Correctness gates (solver agreement, every
+     stored frequency under its own core's ceiling) run in both modes;
+     FAST shrinks the grid like everywhere else. *)
+  let het_machine = Sim.Machine.biglittle () in
+  let het_tstarts =
+    if fast then [| 50.0; 80.0 |] else [| 27.0; 40.0; 55.0; 70.0; 85.0 |]
+  in
+  let het_ftargets =
+    if fast then [| 1e8; 3e8 |]
+    else Array.init 6 (fun i -> float_of_int (i + 1) *. 1e8)
+  in
+  let het_cells = Array.length het_tstarts * Array.length het_ftargets in
+  Printf.printf "Heterogeneous grid (biglittle): %dx%d grid\n%!"
+    (Array.length het_tstarts) (Array.length het_ftargets);
+  let het_sweep solver =
+    let t0 = Unix.gettimeofday () in
+    let table =
+      Protemp.Offline.sweep ~solver ~machine:het_machine ~spec ~domains:hw
+        ~tstarts:het_tstarts ~ftargets:het_ftargets ()
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    Printf.printf "  solver=%-7s: %7.2f s (%.2f cells/s)\n%!"
+      (solver_name solver) seconds
+      (float_of_int het_cells /. seconds);
+    (table, seconds)
+  in
+  let het_conic, het_conic_seconds = het_sweep `Conic in
+  let het_barrier, het_barrier_seconds = het_sweep `Barrier in
+  let het_fmax = het_machine.Sim.Machine.fmax in
+  let het_agree =
+    tables_equal ~mean_tol:(1e-6 *. het_fmax) ~core_tol:(1e-4 *. het_fmax)
+      het_barrier het_conic
+  in
+  let het_caps_ok =
+    let ok = ref true in
+    let check table =
+      Array.iteri
+        (fun i _ ->
+          Array.iteri
+            (fun j _ ->
+              match Protemp.Table.cell table i j with
+              | Protemp.Table.Infeasible -> ()
+              | Protemp.Table.Frequencies f ->
+                  Array.iteri
+                    (fun c hz ->
+                      if hz > het_machine.Sim.Machine.core_fmax.(c) +. 1e-3
+                      then ok := false)
+                    f)
+            (Protemp.Table.ftargets table))
+        (Protemp.Table.tstarts table)
+    in
+    check het_conic;
+    check het_barrier;
+    !ok
+  in
+  let het_feasible =
+    let n = ref 0 in
+    Array.iteri
+      (fun i _ ->
+        Array.iteri
+          (fun j _ ->
+            match Protemp.Table.cell het_conic i j with
+            | Protemp.Table.Frequencies _ -> incr n
+            | Protemp.Table.Infeasible -> ())
+          (Protemp.Table.ftargets het_conic))
+      (Protemp.Table.tstarts het_conic);
+    !n
+  in
+  Printf.printf
+    "  solvers agree: %b, per-core caps respected: %b, %d/%d feasible\n%!"
+    het_agree het_caps_ok het_feasible het_cells;
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -403,7 +480,7 @@ let () =
         \"feasible\": %d, \"identical_across_domains\": %b, \"store\": \
         {\"file_bytes\": %d, \"write_ms\": %.3f, \"mmap_open_ms\": %.3f, \
         \"lookups_per_sec\": %.0f}, \"interpolated_lookups_per_sec\": %.1f, \
-        \"interpolated_served_fraction\": %.3f}\n"
+        \"interpolated_served_fraction\": %.3f},\n"
        dense_rows dense_cols dense_cells
        dense_spec.Protemp.Spec.constraint_stride fill_seconds
        dense_cells_per_sec fstats.Protemp.Dense_table.solves
@@ -414,6 +491,15 @@ let () =
        (store_open_seconds *. 1e3)
        store_lookups_per_sec interp_lookups_per_sec
        (float_of_int !interp_served /. float_of_int n_interp));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"heterogeneous\": {\"platform\": \"biglittle\", \"rows\": %d, \
+        \"cols\": %d, \"cells\": %d, \"conic_seconds\": %.3f, \
+        \"barrier_seconds\": %.3f, \"solvers_agree_1e6\": %b, \
+        \"per_core_caps_respected\": %b, \"feasible\": %d}\n"
+       (Array.length het_tstarts) (Array.length het_ftargets) het_cells
+       het_conic_seconds het_barrier_seconds het_agree het_caps_ok
+       het_feasible);
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_sweep.json" in
   output_string oc (Buffer.contents buf);
@@ -433,6 +519,20 @@ let () =
   end;
   if not dense_identical then begin
     Printf.printf "FAIL: dense fill differs across domain counts\n";
+    exit 1
+  end;
+  if not het_agree then begin
+    Printf.printf
+      "FAIL: heterogeneous conic and barrier tables disagree (>1e-6 fmax)\n";
+    exit 1
+  end;
+  if not het_caps_ok then begin
+    Printf.printf
+      "FAIL: heterogeneous table stores a frequency above its core's ceiling\n";
+    exit 1
+  end;
+  if het_feasible = 0 then begin
+    Printf.printf "FAIL: heterogeneous grid has no feasible cells\n";
     exit 1
   end;
   (* The neighbour-seeding design target: most solves of a dense fill

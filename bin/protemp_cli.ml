@@ -10,7 +10,9 @@
 
 open Cmdliner
 
-let machine = lazy (Sim.Machine.niagara ())
+let machine_of = function
+  | `Niagara -> Sim.Machine.niagara ()
+  | `Biglittle -> Sim.Machine.biglittle ()
 
 let spec_of ~uniform ~gradient ~stride =
   let base =
@@ -26,6 +28,16 @@ let spec_of ~uniform ~gradient ~stride =
   | Some weight -> Protemp.Spec.with_gradient ~weight base
 
 (* ----- shared options ----- *)
+
+let platform =
+  Arg.(
+    value
+    & opt (enum [ ("niagara", `Niagara); ("biglittle", `Biglittle) ]) `Niagara
+    & info [ "platform" ] ~docv:"NAME"
+        ~doc:
+          "Hardware platform: niagara (the paper's homogeneous 8-core chip, \
+           the default) or biglittle (4 big + 4 little asymmetric cores with \
+           per-core power laws).")
 
 let uniform =
   Arg.(value & flag & info [ "uniform" ] ~doc:"Uniform frequency variant.")
@@ -72,10 +84,10 @@ let solve_cmd =
       & opt (some float) None
       & info [ "ftarget" ] ~docv:"MHZ" ~doc:"Required average frequency.")
   in
-  let run uniform gradient stride tstart ftarget =
+  let run platform uniform gradient stride tstart ftarget =
     let spec = spec_of ~uniform ~gradient ~stride in
     let built =
-      Protemp.Model.build ~machine:(Lazy.force machine) ~spec ~tstart
+      Protemp.Model.build ~machine:(machine_of platform) ~spec ~tstart
         ~ftarget:(ftarget *. 1e6)
     in
     match Protemp.Model.solve built with
@@ -93,15 +105,15 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve one Eq. 3/5 design point.")
-    Term.(const run $ uniform $ gradient $ stride $ tstart $ ftarget)
+    Term.(const run $ platform $ uniform $ gradient $ stride $ tstart $ ftarget)
 
 (* ----- frontier ----- *)
 
 let frontier_cmd =
-  let run uniform gradient stride tstart =
+  let run platform uniform gradient stride tstart =
     let spec = spec_of ~uniform ~gradient ~stride in
     match
-      Protemp.Offline.frontier_point ~machine:(Lazy.force machine) ~spec
+      Protemp.Offline.frontier_point ~machine:(machine_of platform) ~spec
         ~tstart ()
     with
     | Protemp.Model.Infeasible ->
@@ -116,7 +128,7 @@ let frontier_cmd =
   Cmd.v
     (Cmd.info "frontier"
        ~doc:"Maximum supportable frequency from a starting temperature.")
-    Term.(const run $ uniform $ gradient $ stride $ tstart)
+    Term.(const run $ platform $ uniform $ gradient $ stride $ tstart)
 
 (* ----- table ----- *)
 
@@ -159,7 +171,8 @@ let table_cmd =
              margin, so the stored table tolerates bounded sensor error up \
              to the margin at run time.")
   in
-  let run uniform gradient stride tstarts ftargets domains margin solver out =
+  let run platform uniform gradient stride tstarts ftargets domains margin
+      solver out =
     let spec = spec_of ~uniform ~gradient ~stride in
     let spec =
       (* Bit-exact: 0.0 is the flag default meaning "no margin". *)
@@ -170,7 +183,7 @@ let table_cmd =
         { spec with Protemp.Spec.tmax = spec.Protemp.Spec.tmax -. margin }
     in
     let table =
-      Protemp.Offline.sweep ~solver ~machine:(Lazy.force machine) ~spec
+      Protemp.Offline.sweep ~solver ~machine:(machine_of platform) ~spec
         ?domains
         ~tstarts:(Array.of_list tstarts)
         ~ftargets:(Array.of_list (List.map (fun f -> f *. 1e6) ftargets))
@@ -193,8 +206,8 @@ let table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Run the Phase-1 sweep and store the table.")
     Term.(
-      const run $ uniform $ gradient $ stride $ tstarts $ ftargets $ domains
-      $ margin $ solver $ out_file)
+      const run $ platform $ uniform $ gradient $ stride $ tstarts $ ftargets
+      $ domains $ margin $ solver $ out_file)
 
 (* ----- validate ----- *)
 
@@ -212,11 +225,11 @@ let load_table file =
   Protemp.Table.of_csv s
 
 let validate_cmd =
-  let run stride table_file =
+  let run platform stride table_file =
     let spec = spec_of ~uniform:false ~gradient:None ~stride in
     let table = load_table table_file in
     let audit =
-      Protemp.Guarantee.audit_table ~machine:(Lazy.force machine) ~spec table
+      Protemp.Guarantee.audit_table ~machine:(machine_of platform) ~spec table
     in
     Printf.printf "%d feasible cells re-simulated\n"
       audit.Protemp.Guarantee.cells_checked;
@@ -236,7 +249,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Audit a table against the thermal simulator.")
-    Term.(const run $ stride $ table_file)
+    Term.(const run $ platform $ stride $ table_file)
 
 (* ----- simulate ----- *)
 
@@ -247,10 +260,12 @@ let simulate_cmd =
       & opt
           (enum
              [ ("no-tc", `No_tc); ("basic-dfs", `Basic); ("pro-temp", `Pro);
-               ("online", `Online) ])
+               ("online", `Online); ("integral", `Integral) ])
           `Pro
       & info [ "controller" ] ~docv:"NAME"
-          ~doc:"no-tc, basic-dfs, pro-temp or online (MPC re-solve).")
+          ~doc:
+            "no-tc, basic-dfs, pro-temp, online (MPC re-solve) or integral \
+             (pure feedback).")
   in
   let ladder =
     Arg.(
@@ -340,9 +355,10 @@ let simulate_cmd =
              ladder (actuator-side; contrast with --ladder, which quantizes \
              the table itself).")
   in
-  let run controller table_file mix tasks seed coolest ladder migration margin
-      sensor_noise stale stuck_core stuck_at fault_seed actuator_levels =
-    let machine = Lazy.force machine in
+  let run platform controller table_file mix tasks seed coolest ladder
+      migration margin sensor_noise stale stuck_core stuck_at fault_seed
+      actuator_levels =
+    let machine = machine_of platform in
     let load_quantized f =
       let t = load_table f in
       match ladder with
@@ -365,6 +381,7 @@ let simulate_cmd =
           let t = Protemp.Online.create ?fallback ~margin ~machine ~spec () in
           online := Some t;
           Protemp.Online.controller t
+      | `Integral -> Sim.Policy.integral_feedback ()
       | `Pro -> (
           match table_file with
           | None -> failwith "pro-temp needs --table"
@@ -437,9 +454,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a trace under a controller.")
     Term.(
-      const run $ controller $ table_file $ mix $ tasks $ seed $ coolest
-      $ ladder $ migration $ margin $ sensor_noise $ stale $ stuck_core
-      $ stuck_at $ fault_seed $ actuator_levels)
+      const run $ platform $ controller $ table_file $ mix $ tasks $ seed
+      $ coolest $ ladder $ migration $ margin $ sensor_noise $ stale
+      $ stuck_core $ stuck_at $ fault_seed $ actuator_levels)
 
 (* ----- campaign ----- *)
 
@@ -515,14 +532,15 @@ let campaign_cmd =
             "Add the online MPC controller (per-period re-solve with the \
              selected --solver) to the controller grid.")
   in
-  let run table_file guarded_table_file mixes tasks seed domains noise_axis
-      stale_axis fault_seed online solver =
-    let machine = Lazy.force machine in
+  let run platform table_file guarded_table_file mixes tasks seed domains
+      noise_axis stale_axis fault_seed online solver =
+    let machine = machine_of platform in
     let fmax = machine.Sim.Machine.fmax in
     let controllers =
       [
         ("no-tc", fun () -> Protemp.No_tc.create ~fmax);
         ("basic-dfs", fun () -> Protemp.Basic_dfs.create ~fmax ());
+        ("integral", fun () -> Sim.Policy.integral_feedback ());
       ]
       @ (match table_file with
         | None -> []
@@ -613,8 +631,9 @@ let campaign_cmd =
          "Fan a controller x assignment x workload x fault grid across \
           domains.")
     Term.(
-      const run $ table_file $ guarded_table_file $ mixes $ tasks $ seed
-      $ domains $ noise_axis $ stale_axis $ fault_seed $ online $ solver)
+      const run $ platform $ table_file $ guarded_table_file $ mixes $ tasks
+      $ seed $ domains $ noise_axis $ stale_axis $ fault_seed $ online
+      $ solver)
 
 (* ----- lint ----- *)
 

@@ -23,7 +23,12 @@ let create ?(threshold = 90.0) ?(lag_periods = 1) ~fmax () =
         let wanted =
           Float.min fmax (Float.max 0.0 obs.Sim.Policy.required_frequency)
         in
-        Vec.map
-          (fun temp -> if temp >= threshold then 0.0 else wanted)
-          effective);
+        (* Per-core ceiling: [Float.min core_fmax.(c) wanted] is
+           [wanted] exactly on a homogeneous platform (wanted <= fmax
+           = every ceiling), so the old behavior is reproduced bit
+           for bit. *)
+        let core_fmax = obs.Sim.Policy.core_fmax in
+        Vec.init (Vec.dim effective) (fun c ->
+            if effective.(c) >= threshold then 0.0
+            else Float.min core_fmax.(c) wanted));
   }

@@ -35,7 +35,11 @@ let floor t f =
 
 let quantize_down t v = Vec.map (floor t) v
 
-let quantize_table t table =
+(* Shared by the uniform and per-core quantizers: [floor_of c f] is
+   the ladder floor for core [c].  The re-labelling rule below works
+   in absolute Hz, so it is independent of which ladder produced each
+   entry. *)
+let requantize ~floor_of table =
   let tstarts = Table.tstarts table in
   let ftargets = Table.ftargets table in
   let n_cols = Array.length ftargets in
@@ -48,7 +52,7 @@ let quantize_table t table =
         match Table.cell table i j with
         | Table.Infeasible -> ()
         | Table.Frequencies f ->
-            let q = quantize_down t f in
+            let q = Vec.init (Vec.dim f) (fun c -> floor_of c f.(c)) in
             let sum = Vec.sum q in
             let n = float_of_int (Vec.dim q) in
             (* The highest column whose throughput promise the
@@ -77,3 +81,17 @@ let quantize_table t table =
       done)
     tstarts;
   Table.make ~tstarts ~ftargets cells
+
+let quantize_table t table = requantize ~floor_of:(fun _ f -> floor t f) table
+
+let uniform_per_core ~core_fmax ~levels =
+  if Array.length core_fmax = 0 then
+    invalid_arg "Ladder.uniform_per_core: no cores";
+  Array.map (fun fm -> uniform ~fmax:fm ~levels) core_fmax
+
+let quantize_table_per_core ladders table =
+  (match Table.core_count table with
+  | Some n when n <> Array.length ladders ->
+      invalid_arg "Ladder.quantize_table_per_core: one ladder per core"
+  | Some _ | None -> ());
+  requantize ~floor_of:(fun c f -> floor ladders.(c) f) table

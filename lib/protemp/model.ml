@@ -103,7 +103,28 @@ type prepared = {
 
 let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
   Spec.validate spec;
+  (* Per-core normalization: variable j is stated in units of its own
+     core's ceiling, [fhat_j = f_j / core_fmax.(j)] and
+     [phat_j = p_j / core_pmax.(j)], so the box and power-law rows
+     keep O(1) coefficients on any platform.  The quadratic surrogate
+     [fhat^2 <= phat] over-states the true power [fhat^e] on [0, 1]
+     only when [e >= 2]; a smaller exponent would silently void the
+     thermal guarantee, so it is rejected here. *)
+  Array.iter
+    (fun e ->
+      if e < 2.0 then
+        invalid_arg
+          "Model: power exponent below 2 (the quadratic surrogate would \
+           under-estimate power)")
+    machine.Sim.Machine.core_exponent;
+  (match spec.Spec.variant with
+  | Spec.Uniform
+    when not (Sim.Platform.single_class machine.Sim.Machine.platform) ->
+      invalid_arg "Model: the uniform variant needs a single-class platform"
+  | Spec.Uniform | Spec.Variable -> ());
   let pmax = machine.Sim.Machine.core_pmax in
+  let core_fmax = machine.Sim.Machine.core_fmax in
+  let fref = machine.Sim.Machine.fmax in
   let thermal = machine.Sim.Machine.thermal in
   let dt = thermal.Thermal.Rc_model.dt in
   let steps = int_of_float (Float.round (spec.Spec.dfs_period /. dt)) in
@@ -135,7 +156,10 @@ let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
     add_pre (Quad.scale (-1.0) p_var);
     add_pre (Quad.add_constant p_var (-1.005))
   done;
-  (* Throughput direction: sum over cores of f.  In the uniform
+  (* Throughput direction: sum over cores of f, in units of the chip
+     reference frequency — coefficient [core_fmax.(j) / fref] per
+     normalized variable, which is exactly -1.0 on a single-class
+     platform ([x /. x = 1.0] for finite positive x).  In the uniform
      variant the single f counts n_cores times.  The floor constraint
      itself is per-[ftarget] and built in {!instantiate}. *)
   let total_f_coeffs =
@@ -143,7 +167,7 @@ let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
     (match spec.Spec.variant with
     | Spec.Variable ->
         for j = 0 to layout.n_f - 1 do
-          q.(layout.f_offset + j) <- -1.0
+          q.(layout.f_offset + j) <- -.(core_fmax.(j) /. fref)
         done
     | Spec.Uniform -> q.(layout.f_offset) <- -.float_of_int n_cores);
     q
@@ -185,14 +209,14 @@ let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
               Array.iteri
                 (fun j cn ->
                   q.(layout.p_offset + j) <-
-                    Mat.get !s_k node cn *. b.(cn) *. pmax)
+                    Mat.get !s_k node cn *. b.(cn) *. pmax.(j))
                 core_nodes
           | Spec.Uniform ->
               let acc = ref 0.0 in
               Array.iter
                 (fun cn -> acc := !acc +. (Mat.get !s_k node cn *. b.(cn)))
                 core_nodes;
-              q.(layout.p_offset) <- !acc *. pmax);
+              q.(layout.p_offset) <- !acc *. pmax.(0));
           let base = Mat.get base_traj k node in
           (* base + q.p <= tmax, stated in units of tmax so every
              constraint family has O(1) coefficients (the barrier's
@@ -241,14 +265,17 @@ let prepare_internal ~machine ~(spec : Spec.t) ~t0 =
       | None -> ())
   | None, None -> ()
   | Some _, None | None, Some _ -> assert false);
-  (* Objective of the power problem: total normalized power plus the
-     weighted spread (Eq. 3/5). *)
+  (* Objective of the power problem: total power in units of the
+     largest per-core pmax — coefficient [pmax.(j) / pref] per
+     normalized power, exactly 1.0 on a single-class platform — plus
+     the weighted spread (Eq. 3/5). *)
+  let pref = Array.fold_left Float.max 0.0 pmax in
   let power_objective =
     let q = Vec.zeros dim in
     for j = 0 to layout.n_p - 1 do
       q.(layout.p_offset + j) <-
         (match spec.Spec.variant with
-        | Spec.Variable -> 1.0
+        | Spec.Variable -> pmax.(j) /. pref
         | Spec.Uniform -> float_of_int n_cores)
     done;
     (match (layout.bounds_offset, spec.Spec.gradient) with
@@ -380,10 +407,21 @@ let with_gradient_bounds layout x =
 
 let start_hint built =
   let layout = built.layout in
-  let fmax = built.machine.Sim.Machine.fmax in
-  let fhat = Float.min 1.0015 (built.ftarget /. fmax +. 0.001) in
+  let machine = built.machine in
+  let core_fmax = machine.Sim.Machine.core_fmax in
   let x = Vec.zeros layout.dim in
   for j = 0 to layout.n_f - 1 do
+    (* Per-core normalization: the same demand sits higher on a
+       little core's [0, 1] scale (and may overflow its box, in which
+       case the frontier fallback takes over).  On a single-class
+       platform [core_fmax.(j) = fmax], reproducing the old shared
+       hint bit for bit. *)
+    let fm =
+      match built.spec.Spec.variant with
+      | Spec.Variable -> core_fmax.(j)
+      | Spec.Uniform -> machine.Sim.Machine.fmax
+    in
+    let fhat = Float.min 1.0015 (built.ftarget /. fm +. 0.001) in
     x.(layout.f_offset + j) <- fhat;
     x.(layout.p_offset + j) <- Float.min 1.0045 ((fhat *. fhat) +. 0.001)
   done;
@@ -417,13 +455,22 @@ let expand built per_var =
 let solution_of_x built (raw : Convex.Solve.solution) =
   let layout = built.layout in
   let x = raw.Convex.Solve.x in
-  let fmax = built.machine.Sim.Machine.fmax in
-  let pmax = built.machine.Sim.Machine.core_pmax in
+  let core_fmax = built.machine.Sim.Machine.core_fmax in
+  let core_pmax = built.machine.Sim.Machine.core_pmax in
   let clamp1 v = Vec.map (fun a -> Float.min 1.0 (Float.max 0.0 a)) v in
-  let fhat = clamp1 (Vec.slice x layout.f_offset layout.n_f) in
-  let phat = clamp1 (Vec.slice x layout.p_offset layout.n_p) in
-  let frequencies = Vec.scale fmax (expand built fhat) in
-  let core_powers = Vec.scale pmax (expand built phat) in
+  let fhat = expand built (clamp1 (Vec.slice x layout.f_offset layout.n_f)) in
+  let phat = expand built (clamp1 (Vec.slice x layout.p_offset layout.n_p)) in
+  (* Per-core denormalization, multiply order as [Vec.scale]'s
+     [a *. x_i] so a single-class platform is bit-identical.  The
+     reported powers are the certified (model) powers: for an
+     exponent above 2 the true power is lower, so they remain a safe
+     over-estimate. *)
+  let frequencies =
+    Vec.init layout.n_cores (fun j -> core_fmax.(j) *. fhat.(j))
+  in
+  let core_powers =
+    Vec.init layout.n_cores (fun j -> core_pmax.(j) *. phat.(j))
+  in
   let gradient_spread =
     Option.map
       (fun off -> (x.(off) -. x.(off + 1)) *. built.spec.Spec.tmax)
@@ -437,15 +484,23 @@ let solution_of_x built (raw : Convex.Solve.solution) =
     raw;
   }
 
+(* Total frequency in units of the chip reference [fref], matching
+   [total_f_coeffs]: weight [core_fmax.(j) /. fref] per normalized
+   variable.  On a single-class platform the weight is exactly 1.0 and
+   [1.0 *. x] is bitwise [x], so the accumulated sum is unchanged. *)
 let total_fhat built x =
   let layout = built.layout in
-  let acc = ref 0.0 in
-  for j = 0 to layout.n_f - 1 do
-    acc := !acc +. x.(layout.f_offset + j)
-  done;
   match built.spec.Spec.variant with
-  | Spec.Variable -> !acc
-  | Spec.Uniform -> float_of_int layout.n_cores *. !acc
+  | Spec.Variable ->
+      let core_fmax = built.machine.Sim.Machine.core_fmax in
+      let fref = built.machine.Sim.Machine.fmax in
+      let acc = ref 0.0 in
+      for j = 0 to layout.n_f - 1 do
+        acc := !acc +. (core_fmax.(j) /. fref *. x.(layout.f_offset + j))
+      done;
+      !acc
+  | Spec.Uniform ->
+      float_of_int layout.n_cores *. x.(layout.f_offset)
 
 let add_stats stats_into s =
   match stats_into with

@@ -5,7 +5,7 @@
    so a wrong-endianness or misaligned mapping is rejected before any
    cell is served. *)
 let magic = "PTBL"
-let version = 1
+let version = 2
 let header_bytes = 32
 let sentinel = 1.0
 
@@ -13,7 +13,11 @@ let pad8 n = (n + 7) land lnot 7
 
 let bitmap_bytes ~rows ~cols = pad8 ((rows * cols + 7) / 8)
 
-let payload_floats ~rows ~cols ~cores = 1 + rows + cols + (rows * cols * cores)
+(* v2 payload: sentinel, the two axes, the per-core fmax block (one
+   float per core; zeros when the writer did not know the platform),
+   then the cells. *)
+let payload_floats ~rows ~cols ~cores =
+  1 + rows + cols + cores + (rows * cols * cores)
 
 let file_bytes ~rows ~cols ~cores =
   header_bytes - 8
@@ -26,11 +30,24 @@ let file_bytes ~rows ~cols ~cores =
 let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
 let add_f64 buf x = Buffer.add_int64_le buf (Int64.bits_of_float x)
 
-let serialize table =
+let serialize ?core_fmax table =
   let tstarts = Table.tstarts table in
   let ftargets = Table.ftargets table in
   let rows = Array.length tstarts and cols = Array.length ftargets in
   let cores = match Table.core_count table with Some n -> n | None -> 0 in
+  let core_fmax =
+    match core_fmax with
+    | None -> Array.make cores 0.0 (* "platform unknown" sentinel *)
+    | Some a ->
+        if Array.length a <> cores then
+          invalid_arg "Table_store.serialize: core_fmax length mismatch";
+        Array.iter
+          (fun f ->
+            if not (f >= 0.0) then
+              invalid_arg "Table_store.serialize: negative or NaN core fmax")
+          a;
+        a
+  in
   let buf = Buffer.create (file_bytes ~rows ~cols ~cores) in
   Buffer.add_string buf magic;
   add_u32 buf version;
@@ -41,6 +58,7 @@ let serialize table =
   add_f64 buf sentinel;
   Array.iter (add_f64 buf) tstarts;
   Array.iter (add_f64 buf) ftargets;
+  Array.iter (add_f64 buf) core_fmax;
   let bitmap = Bytes.make (bitmap_bytes ~rows ~cols) '\000' in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
@@ -59,11 +77,11 @@ let serialize table =
   Buffer.add_bytes buf bitmap;
   Buffer.contents buf
 
-let write table path =
+let write ?core_fmax table path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (serialize table))
+    (fun () -> output_string oc (serialize ?core_fmax table))
 
 (* ------------------------------------------------------------------ *)
 (* Reading *)
@@ -74,6 +92,7 @@ type t = {
   n_cores : int;
   tstarts : float array;  (* copied out of the image at open time *)
   ftargets : float array;
+  core_fmax : float array;  (* per-core ceilings; zeros = unknown *)
   view : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
       (* sentinel + axes + cells, mapped from byte 24 *)
   cells_base : int;  (* view index of cell (0, 0, core 0) *)
@@ -117,7 +136,13 @@ let open_file path =
           corrupt path "bad magic (not a PTBL image)"
       done;
       let v = u32_le bytes_view 4 in
-      if v <> version then
+      (* Version before size: a version mismatch must be reported as
+         such, not as the size error the new layout would imply. *)
+      if v = 1 then
+        corrupt path
+          "format version 1 image (pre-platform, no per-core fmax block); \
+           rebuild it with this writer's version 2 format"
+      else if v <> version then
         corrupt path (Printf.sprintf "unsupported version %d (expected %d)" v version);
       let n_rows = u32_le bytes_view 8 in
       let n_cols = u32_le bytes_view 12 in
@@ -143,18 +168,28 @@ let open_file path =
       let ftargets =
         Array.init n_cols (fun j -> Bigarray.Array1.get view (1 + n_rows + j))
       in
+      let core_fmax =
+        Array.init n_cores (fun c ->
+            Bigarray.Array1.get view (1 + n_rows + n_cols + c))
+      in
       if not (strictly_increasing tstarts) then
         corrupt path "tstart axis not strictly increasing";
       if not (strictly_increasing ftargets) then
         corrupt path "ftarget axis not strictly increasing";
+      Array.iter
+        (fun f ->
+          if not (f >= 0.0) then
+            corrupt path "negative or NaN per-core fmax")
+        core_fmax;
       {
         n_rows;
         n_cols;
         n_cores;
         tstarts;
         ftargets;
+        core_fmax;
         view;
-        cells_base = 1 + n_rows + n_cols;
+        cells_base = 1 + n_rows + n_cols + n_cores;
         bytes_view;
         bitmap_off = size - bitmap_bytes ~rows:n_rows ~cols:n_cols;
       })
@@ -164,6 +199,7 @@ let n_cols t = t.n_cols
 let n_cores t = t.n_cores
 let tstarts t = Array.copy t.tstarts
 let ftargets t = Array.copy t.ftargets
+let core_fmax t = Array.copy t.core_fmax
 
 (* ------------------------------------------------------------------ *)
 (* Lookups — the serving hot path, allocation-free (lint.manifest) *)

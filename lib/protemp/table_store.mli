@@ -9,12 +9,12 @@
     (DESIGN.md section 6h): {!Dense_table} fills grids, this module
     ships them to fleets of simulated controllers.
 
-    {2 Layout (version 1, all fields little-endian)}
+    {2 Layout (version 2, all fields little-endian)}
 
     {v
       offset  size  field
       0       4     magic "PTBL"
-      4       4     version (u32) = 1
+      4       4     version (u32) = 2
       8       4     n_rows (u32)
       12      4     n_cols (u32)
       16      4     n_cores (u32)
@@ -23,6 +23,9 @@
                     through the mapped float view
       32      8R    tstarts (f64 x n_rows, strictly increasing)
       ..      8C    ftargets (f64 x n_cols, strictly increasing)
+      ..      8K    core_fmax (f64 x n_cores, per-core frequency
+                    ceilings; all zeros when the writing platform was
+                    unknown)
       ..      8RCK  cells (f64, row-major [i][j][core]; infeasible
                     cells hold zeros)
       ..      B     infeasibility bitmap: ceil(RC/8) bytes padded to a
@@ -30,18 +33,26 @@
                     set iff cell [k = i*n_cols + j] is infeasible
     v}
 
+    Version 2 added the per-core fmax block (the platform refactor:
+    tables built for an asymmetric machine record which ceilings the
+    cells were certified against).  Version-1 images are rejected
+    with a message naming the version so stale fleets fail loudly.
+
     Every numeric region is 8-byte aligned (the header is 32 bytes),
     so the sentinel-through-cells span maps directly as a float64
     {!Bigarray.Array1}. *)
 
 open Linalg
 
-val serialize : Table.t -> string
-(** The version-1 image of a table.  Feasible cells must exist for the
+val serialize : ?core_fmax:float array -> Table.t -> string
+(** The version-2 image of a table.  Feasible cells must exist for the
     core count to be recorded; an all-infeasible table serializes with
-    [n_cores = 0]. *)
+    [n_cores = 0].  [core_fmax] (one ceiling per core, e.g.
+    [Sim.Machine.core_fmax]) defaults to all zeros, meaning the
+    writing platform was unknown; raises [Invalid_argument] on a
+    length mismatch or a negative/NaN entry. *)
 
-val write : Table.t -> string -> unit
+val write : ?core_fmax:float array -> Table.t -> string -> unit
 (** [write table path] writes {!serialize}'s image atomically enough
     for the tests (truncate + write). *)
 
@@ -66,6 +77,10 @@ val n_cores : t -> int
 
 val tstarts : t -> float array
 val ftargets : t -> float array
+
+val core_fmax : t -> float array
+(** Per-core frequency ceilings recorded at write time; all zeros
+    when the writer did not know the platform.  Fresh copy. *)
 
 val row_index : t -> float -> int
 (** As {!Table.row_index}: conservative covering row, [-1] when the

@@ -50,6 +50,8 @@ let run ?(config = default_config) ?(probes = []) (machine : Machine.t)
   let n_cores = machine.Machine.n_cores in
   let n_nodes = machine.Machine.n_nodes in
   let fmax = machine.Machine.fmax in
+  let core_fmax = machine.Machine.core_fmax in
+  let core_classes = machine.Machine.platform.Platform.assignment in
   let tasks = trace.Workload.Trace.tasks in
   let n_tasks = Array.length tasks in
   let ambient = thermal.Thermal.Rc_model.ambient in
@@ -145,6 +147,7 @@ let run ?(config = default_config) ?(probes = []) (machine : Machine.t)
       core_temperatures;
       max_core_temperature = Vec.max core_temperatures;
       required_frequency = Float.min fmax (Float.max 0.0 required);
+      core_fmax;
       utilizations =
         Vec.init n_cores (fun c -> busy_acc.(c) /. config.dfs_period);
       queue_length = !q_tail - !q_head;
@@ -172,7 +175,7 @@ let run ?(config = default_config) ?(probes = []) (machine : Machine.t)
     let continue = ref true in
     while !continue && !q_head < !q_tail && !n_running < n_cores do
       match
-        assignment.Policy.choose ~idle:(idle_list ())
+        assignment.Policy.choose ~idle:(idle_list ()) ~core_classes
           ~core_temperatures:core_temp
       with
       | None -> continue := false
@@ -207,10 +210,13 @@ let run ?(config = default_config) ?(probes = []) (machine : Machine.t)
         invalid_arg "Engine.run: controller returned a NaN frequency"
     done;
     (* Clamp on both sides, in place into the preallocated vector: a
-       buggy controller must not be able to run cores past the
-       hardware ceiling any more than below 0. *)
+       buggy controller must not be able to run cores past their
+       per-core hardware ceiling any more than below 0.  Progress
+       stays in units of the chip reference [fmax]: queued work is
+       seconds at that frequency, so a little core burns it more
+       slowly. *)
     for c = 0 to n_cores - 1 do
-      frequencies.(c) <- Float.min fmax (Float.max 0.0 f.(c));
+      frequencies.(c) <- Float.min core_fmax.(c) (Float.max 0.0 f.(c));
       progress.(c) <- dt *. frequencies.(c) /. fmax
     done;
     power_dirty := true;
@@ -399,6 +405,7 @@ let run_reference ?(config = default_config) (machine : Machine.t) controller
       max_core_temperature = Vec.max core_temperatures;
       required_frequency =
         Float.min machine.Machine.fmax (Float.max 0.0 required);
+      core_fmax = machine.Machine.core_fmax;
       utilizations =
         Vec.init n_cores (fun c -> busy_acc.(c) /. config.dfs_period);
       queue_length = Queue.length queue;
@@ -425,9 +432,8 @@ let run_reference ?(config = default_config) (machine : Machine.t) controller
           invalid_arg "Engine.run: controller returned a NaN frequency"
       done;
       frequencies :=
-        Vec.map
-          (fun x -> Float.min machine.Machine.fmax (Float.max 0.0 x))
-          f;
+        Vec.init n_cores (fun c ->
+            Float.min machine.Machine.core_fmax.(c) (Float.max 0.0 f.(c)));
       Array.fill busy_acc 0 n_cores 0.0;
       if config.migration then begin
         let core_temperatures = Machine.core_temperatures machine !temp in
@@ -464,7 +470,11 @@ let run_reference ?(config = default_config) (machine : Machine.t) controller
         | [] -> ()
         | idle -> (
             let core_temperatures = Machine.core_temperatures machine !temp in
-            match assignment.Policy.choose ~idle ~core_temperatures with
+            match
+              assignment.Policy.choose ~idle
+                ~core_classes:machine.Machine.platform.Platform.assignment
+                ~core_temperatures
+            with
             | None -> ()
             | Some c ->
                 if cores.(c).remaining <> None then

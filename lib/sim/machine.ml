@@ -6,13 +6,15 @@ type t = {
   n_cores : int;
   core_nodes : int array;
   fixed_power : Vec.t;
+  platform : Platform.t;
   fmax : float;
-  core_pmax : float;
-  idle_activity : float;
+  core_fmax : float array;
+  core_pmax : float array;
+  core_exponent : float array;
+  core_idle : float array;
 }
 
-let make ?(idle_activity = 0.3) ~thermal ~core_nodes ~fixed_power ~fmax
-    ~core_pmax () =
+let make_platform ~thermal ~core_nodes ~fixed_power ~platform () =
   let n_nodes = Mat.rows thermal.Thermal.Rc_model.step in
   if Vec.dim fixed_power <> n_nodes then
     invalid_arg "Machine.make: fixed_power length mismatch";
@@ -23,20 +25,36 @@ let make ?(idle_activity = 0.3) ~thermal ~core_nodes ~fixed_power ~fmax
       if i < 0 || i >= n_nodes then
         invalid_arg "Machine.make: core node out of range")
     core_nodes;
-  if fmax <= 0.0 then invalid_arg "Machine.make: non-positive fmax";
-  if core_pmax <= 0.0 then invalid_arg "Machine.make: non-positive core_pmax";
-  if idle_activity < 0.0 || idle_activity > 1.0 then
-    invalid_arg "Machine.make: idle_activity outside [0,1]";
+  if Platform.n_cores platform <> Array.length core_nodes then
+    invalid_arg "Machine.make: platform assigns a different core count";
   {
     thermal;
     n_nodes;
     n_cores = Array.length core_nodes;
     core_nodes;
     fixed_power = Vec.copy fixed_power;
-    fmax;
-    core_pmax;
-    idle_activity;
+    platform;
+    fmax = Platform.max_fmax platform;
+    core_fmax = Platform.core_fmax platform;
+    core_pmax = Platform.core_pmax platform;
+    core_exponent = Platform.core_exponent platform;
+    core_idle = Platform.core_idle_activity platform;
   }
+
+let make ?(idle_activity = 0.3) ~thermal ~core_nodes ~fixed_power ~fmax
+    ~core_pmax () =
+  if fmax <= 0.0 then invalid_arg "Machine.make: non-positive fmax";
+  if core_pmax <= 0.0 then invalid_arg "Machine.make: non-positive core_pmax";
+  if idle_activity < 0.0 || idle_activity > 1.0 then
+    invalid_arg "Machine.make: idle_activity outside [0,1]";
+  if Array.length core_nodes = 0 then
+    invalid_arg "Machine.make: no core nodes";
+  make_platform ~thermal ~core_nodes ~fixed_power
+    ~platform:
+      (Platform.homogeneous ~idle_activity
+         ~n_cores:(Array.length core_nodes)
+         ~fmax ~pmax:core_pmax ())
+    ()
 
 let niagara () =
   let fp = Thermal.Niagara.floorplan () in
@@ -47,10 +65,43 @@ let niagara () =
     ~fixed_power:(Thermal.Niagara.fixed_power fp)
     ~fmax:Thermal.Niagara.fmax ~core_pmax:Thermal.Niagara.core_pmax ()
 
-let core_power m ~frequency ~busy =
+let biglittle () =
+  let fp = Thermal.Biglittle.floorplan () in
+  let model = Thermal.Biglittle.model () in
+  let thermal = Thermal.Rc_model.discretize model ~dt:Thermal.Biglittle.dt in
+  let classes =
+    Array.map
+      (fun (c : Thermal.Biglittle.core_class) ->
+        {
+          Platform.class_name = c.Thermal.Biglittle.class_name;
+          fmax = c.Thermal.Biglittle.fmax;
+          pmax = c.Thermal.Biglittle.pmax;
+          exponent = c.Thermal.Biglittle.exponent;
+          idle_activity = c.Thermal.Biglittle.idle_activity;
+        })
+      (Thermal.Biglittle.classes ())
+  in
+  let platform =
+    Platform.make ~classes ~assignment:(Thermal.Biglittle.class_assignment ())
+  in
+  make_platform ~thermal
+    ~core_nodes:(Thermal.Biglittle.core_nodes fp)
+    ~fixed_power:(Thermal.Biglittle.fixed_power fp)
+    ~platform ()
+
+let core_power m ~core ~frequency ~busy =
+  if core < 0 || core >= m.n_cores then
+    invalid_arg "Machine.core_power: core out of range";
   let f = Float.max 0.0 frequency in
-  let dynamic = m.core_pmax *. (f /. m.fmax) *. (f /. m.fmax) in
-  if busy then dynamic else m.idle_activity *. dynamic
+  let r = f /. m.core_fmax.(core) in
+  let e = m.core_exponent.(core) in
+  (* Bit-exact: the quadratic case must associate exactly as the
+     homogeneous [pmax *. (f /. fmax) *. (f /. fmax)] did. *)
+  let dynamic =
+    if Float.equal e 2.0 then m.core_pmax.(core) *. r *. r
+    else m.core_pmax.(core) *. (r ** e)
+  in
+  if busy then dynamic else m.core_idle.(core) *. dynamic
 
 let power_vector m ~frequencies ~busy =
   if Vec.dim frequencies <> m.n_cores then
@@ -60,7 +111,7 @@ let power_vector m ~frequencies ~busy =
   let p = Vec.copy m.fixed_power in
   Array.iteri
     (fun c node ->
-      p.(node) <- core_power m ~frequency:frequencies.(c) ~busy:busy.(c))
+      p.(node) <- core_power m ~core:c ~frequency:frequencies.(c) ~busy:busy.(c))
     m.core_nodes;
   p
 
@@ -71,18 +122,28 @@ let refresh_core_power m ~frequencies ~busy ~dst =
     invalid_arg "Machine.refresh_core_power: busy array length mismatch";
   if Vec.dim dst <> m.n_nodes then
     invalid_arg "Machine.refresh_core_power: destination length mismatch";
-  let fmax = m.fmax and core_pmax = m.core_pmax in
-  let idle_activity = m.idle_activity in
+  let core_fmax = m.core_fmax and core_pmax = m.core_pmax in
+  let core_exponent = m.core_exponent and core_idle = m.core_idle in
   let core_nodes = m.core_nodes in
   for c = 0 to m.n_cores - 1 do
     (* Inlined [core_power]: same arithmetic, but no boxed calls in
-       the step loop. *)
+       the step loop.  On a single-class quadratic platform every
+       per-core read equals the old scalar field, and
+       [pmax *. r *. r] left-associates exactly as
+       [pmax *. (f /. fmax) *. (f /. fmax)] did, so the produced
+       powers are bit-identical to the homogeneous path. *)
     let f = Array.unsafe_get frequencies c in
     let f = if f < 0.0 then 0.0 else f in
-    let dynamic = core_pmax *. (f /. fmax) *. (f /. fmax) in
+    let r = f /. Array.unsafe_get core_fmax c in
+    let e = Array.unsafe_get core_exponent c in
+    let dynamic =
+      if Float.equal e 2.0 then Array.unsafe_get core_pmax c *. r *. r
+      else Array.unsafe_get core_pmax c *. (r ** e)
+    in
     Array.unsafe_set dst
       (Array.unsafe_get core_nodes c)
-      (if Array.unsafe_get busy c then dynamic else idle_activity *. dynamic)
+      (if Array.unsafe_get busy c then dynamic
+       else Array.unsafe_get core_idle c *. dynamic)
   done
 
 let power_vector_into m ~frequencies ~busy ~dst =

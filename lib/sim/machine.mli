@@ -1,9 +1,12 @@
-(** The simulated multi-core machine: thermal model plus power law.
+(** The simulated multi-core machine: thermal model plus power laws.
 
     Bundles everything the engine needs to know about the hardware:
     the discretized thermal network, which nodes are cores, the static
-    power of the non-core blocks, and the frequency-to-power law
-    (the paper's Eq. 2). *)
+    power of the non-core blocks, and the per-core frequency-to-power
+    laws — the paper's Eq. 2, generalized by {!Platform} to
+    heterogeneous core classes.  The flattened per-core arrays below
+    are derived from the platform once at construction so the
+    stepping hot path never chases the class indirection. *)
 
 open Linalg
 
@@ -13,14 +16,20 @@ type t = {
   n_cores : int;
   core_nodes : int array;  (** Thermal node index of each core. *)
   fixed_power : Vec.t;  (** Per-node static power; zero on cores. *)
+  platform : Platform.t;
   fmax : float;
-  core_pmax : float;
-  idle_activity : float;
-      (** Fraction of the dynamic power an idle (but clocked) core
-          burns; must be in [0, 1] so that the convex model's
-          all-cores-busy assumption stays an upper bound (this is
-          what makes the Pro-Temp guarantee carry over to the
-          simulation). *)
+      (** Chip reference frequency = the largest per-core ceiling.
+          Queued work and throughput targets are stated in seconds at
+          this frequency; on a homogeneous platform it is the one
+          shared [fmax]. *)
+  core_fmax : float array;  (** Per-core frequency ceiling, Hz. *)
+  core_pmax : float array;  (** Per-core dynamic power at its ceiling, W. *)
+  core_exponent : float array;  (** Per-core power-law exponent. *)
+  core_idle : float array;
+      (** Per-core idle activity factor, in [[0, 1]] so that the
+          convex model's all-cores-busy assumption stays an upper
+          bound (this is what makes the Pro-Temp guarantee carry over
+          to the simulation). *)
 }
 
 val make :
@@ -32,16 +41,37 @@ val make :
   core_pmax:float ->
   unit ->
   t
-(** Validates shapes and ranges ([Invalid_argument] otherwise).
+(** The homogeneous constructor: every core shares one quadratic
+    power law — exactly the machine the paper models, and bit-for-bit
+    the machine this library simulated before platforms existed.
+    Validates shapes and ranges ([Invalid_argument] otherwise).
     [idle_activity] defaults to 0.3. *)
 
-val niagara : unit -> t
-(** The calibrated Niagara platform of {!Thermal.Niagara}, discretized
-    at the paper's 0.4 ms step. *)
+val make_platform :
+  thermal:Thermal.Rc_model.discrete ->
+  core_nodes:int array ->
+  fixed_power:Vec.t ->
+  platform:Platform.t ->
+  unit ->
+  t
+(** General constructor: the platform's core count must match
+    [core_nodes].  A single-class platform behaves identically to
+    {!make} with the same numbers. *)
 
-val core_power : t -> frequency:float -> busy:bool -> float
-(** Power of one core at [frequency]: [pmax (f/fmax)^2], scaled by
-    [idle_activity] when the core is idle. *)
+val niagara : unit -> t
+(** The calibrated homogeneous Niagara platform of {!Thermal.Niagara},
+    discretized at the paper's 0.4 ms step. *)
+
+val biglittle : unit -> t
+(** The asymmetric 4 big + 4 little platform of {!Thermal.Biglittle}:
+    two core classes with different ceilings, peak powers and
+    power-law exponents. *)
+
+val core_power : t -> core:int -> frequency:float -> busy:bool -> float
+(** Power of core [core] at [frequency]:
+    [pmax_c (f/fmax_c)^exponent_c], scaled by the core's idle
+    activity when idle.  Raises [Invalid_argument] on a bad core
+    index. *)
 
 val power_vector : t -> frequencies:Vec.t -> busy:bool array -> Vec.t
 (** Full node power vector for one thermal step. *)
@@ -56,7 +86,8 @@ val refresh_core_power :
 (** Rewrite only the core entries of [dst], assuming its non-core
     entries already hold [fixed_power] (they never change).  The
     allocation-free stepping loop initializes [dst] once and calls
-    this on frequency or busy-state changes. *)
+    this on frequency or busy-state changes; listed in
+    [lint.manifest]. *)
 
 val core_temperatures : t -> Vec.t -> Vec.t
 (** Extract the core temperatures from a full node temperature

@@ -5,6 +5,7 @@ type observation = {
   core_temperatures : Vec.t;
   max_core_temperature : float;
   required_frequency : float;
+  core_fmax : Vec.t;
   utilizations : Vec.t;
   queue_length : int;
   queued_work : float;
@@ -14,7 +15,11 @@ type controller = { controller_name : string; decide : observation -> Vec.t }
 
 type assignment = {
   assignment_name : string;
-  choose : idle:int list -> core_temperatures:Vec.t -> int option;
+  choose :
+    idle:int list ->
+    core_classes:int array ->
+    core_temperatures:Vec.t ->
+    int option;
 }
 
 let coldest ~idle ~core_temperatures =
@@ -30,7 +35,7 @@ let first_idle =
   {
     assignment_name = "first-idle";
     choose =
-      (fun ~idle ~core_temperatures:_ ->
+      (fun ~idle ~core_classes:_ ~core_temperatures:_ ->
         match idle with
         | [] -> invalid_arg "Policy.first_idle: no idle core"
         | c :: rest -> Some (List.fold_left Stdlib.min c rest));
@@ -40,7 +45,7 @@ let coolest_first =
   {
     assignment_name = "coolest-first";
     choose =
-      (fun ~idle ~core_temperatures ->
+      (fun ~idle ~core_classes:_ ~core_temperatures ->
         Some (coldest ~idle ~core_temperatures));
   }
 
@@ -48,9 +53,19 @@ let cool_headroom ~threshold =
   {
     assignment_name = Printf.sprintf "cool-headroom@%.0fC" threshold;
     choose =
-      (fun ~idle ~core_temperatures ->
+      (fun ~idle ~core_classes:_ ~core_temperatures ->
         let c = coldest ~idle ~core_temperatures in
         if core_temperatures.(c) < threshold then Some c else None);
+  }
+
+let prefer_class ~cls =
+  {
+    assignment_name = Printf.sprintf "class%d-first" cls;
+    choose =
+      (fun ~idle ~core_classes ~core_temperatures ->
+        match List.filter (fun c -> core_classes.(c) = cls) idle with
+        | [] -> Some (coldest ~idle ~core_temperatures)
+        | preferred -> Some (coldest ~idle:preferred ~core_temperatures));
   }
 
 let clamp ~fmax f = Float.min fmax (Float.max 0.0 f)
@@ -67,7 +82,41 @@ let workload_following ~fmax =
     controller_name = "no-tc";
     decide =
       (fun obs ->
-        Vec.create
+        (* Per-core ceiling: on a homogeneous platform
+           [Float.min fmax core_fmax.(c)] is [fmax] exactly, so this
+           reproduces the old uniform clamp bit for bit. *)
+        let core_fmax = obs.core_fmax in
+        Vec.init
           (Vec.dim obs.core_temperatures)
-          (clamp ~fmax obs.required_frequency));
+          (fun c ->
+            clamp ~fmax:(Float.min fmax core_fmax.(c)) obs.required_frequency));
+  }
+
+let integral_feedback ?(gain = 2e7) ?(setpoint = 100.0) () =
+  if gain <= 0.0 then invalid_arg "Policy.integral_feedback: non-positive gain";
+  (* The adjustable-gain integral law of Rao et al.: per core,
+     accumulate [gain * (setpoint - T_c)] into a frequency state
+     clamped to [[0, core_fmax]], and never run faster than the
+     workload actually asks for.  Pure feedback — no table, no model
+     — so it is cheap and platform-agnostic, but it can only react
+     after the error appears (the contrast with Pro-Temp's
+     feed-forward certification).  State is sized lazily from the
+     first observation so one value works on any machine; each
+     campaign cell builds a fresh instance. *)
+  let state = ref [||] in
+  {
+    controller_name = Printf.sprintf "integral@%.0fC" setpoint;
+    decide =
+      (fun obs ->
+        let n = Vec.dim obs.core_temperatures in
+        if Vec.dim !state <> n then state := Vec.copy obs.core_fmax;
+        let s = !state in
+        Vec.init n (fun c ->
+            let cap = obs.core_fmax.(c) in
+            let next =
+              s.(c) +. (gain *. (setpoint -. obs.core_temperatures.(c)))
+            in
+            let next = Float.min cap (Float.max 0.0 next) in
+            s.(c) <- next;
+            Float.min next (clamp ~fmax:cap obs.required_frequency)));
   }

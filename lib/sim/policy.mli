@@ -13,15 +13,21 @@ type observation = {
   core_temperatures : Vec.t;
   max_core_temperature : float;
   required_frequency : float;
-      (** Average frequency (Hz) needed to clear the current backlog
-          within the window, accounting for how many cores the
-          runnable tasks can actually occupy; already clamped to
+      (** Average frequency (Hz, in units of the chip reference
+          [Machine.fmax]) needed to clear the current backlog within
+          the window, accounting for how many cores the runnable
+          tasks can actually occupy; already clamped to
           [[0, fmax]]. *)
+  core_fmax : Vec.t;
+      (** Per-core frequency ceilings — on an asymmetric platform the
+          requirement above may exceed what a little core can run, so
+          controllers clamp per core against this.  Shared with the
+          machine: treat as read-only. *)
   utilizations : Vec.t;
       (** Per-core busy fraction over the elapsed window. *)
   queue_length : int;
-  queued_work : float;  (** Seconds at fmax, including running tasks'
-                            remaining work. *)
+  queued_work : float;  (** Seconds at the chip reference frequency,
+                            including running tasks' remaining work. *)
 }
 
 type controller = {
@@ -33,10 +39,15 @@ type controller = {
 
 type assignment = {
   assignment_name : string;
-  choose : idle:int list -> core_temperatures:Vec.t -> int option;
+  choose :
+    idle:int list ->
+    core_classes:int array ->
+    core_temperatures:Vec.t ->
+    int option;
       (** Pick one of the [idle] core indices (non-empty), or [None]
           to defer dispatch to a later step (thermally-aware admission
-          control). *)
+          control).  [core_classes] gives each core's platform class
+          index (all zeros on a homogeneous machine; read-only). *)
 }
 
 val first_idle : assignment
@@ -53,11 +64,31 @@ val cool_headroom : threshold:float -> assignment
     [threshold]; otherwise hold the task so the hot cores get a
     breather. *)
 
+val prefer_class : cls:int -> assignment
+(** Heterogeneity-aware: dispatch to the coldest idle core of
+    platform class [cls] when one is idle, else the coldest idle
+    core overall.  [prefer_class ~cls:1] on the big.LITTLE platform
+    keeps work on the cool little cores until they are all busy. *)
+
 val fixed_frequency : fmax:float -> float -> controller
 (** A controller that always answers the same frequency on all cores
     (clamped to [[0, fmax]]); useful for tests and warm-up phases. *)
 
 val workload_following : fmax:float -> controller
 (** Matches the application performance level with no thermal action:
-    every core runs at the observation's [required_frequency].  This
-    is the paper's No-TC reference. *)
+    every core runs at the observation's [required_frequency],
+    clamped per core against both [fmax] and the core's own ceiling.
+    This is the paper's No-TC reference. *)
+
+val integral_feedback : ?gain:float -> ?setpoint:float -> unit -> controller
+(** The adjustable-gain integral controller of Rao et al.
+    (arXiv:1507.06357): per core, a frequency state accumulates
+    [gain * (setpoint - T_c)] each window, clamped to the core's
+    [[0, core_fmax]] range, and the decided frequency is the minimum
+    of that state and the (per-core-clamped) required frequency.
+    Pure feedback — no table, no thermal model — so it is cheap and
+    needs no offline phase, but it reacts only after the temperature
+    error appears.  [gain] is in Hz per degree per window (default
+    2e7: a 5-degree overshoot sheds 100 MHz per window); [setpoint]
+    defaults to the engine's 100-degree tmax.  Stateful: build a
+    fresh instance per run. *)

@@ -1,0 +1,126 @@
+open Linalg
+
+type core_class = {
+  class_name : string;
+  fmax : float;
+  pmax : float;
+  exponent : float;
+  idle_activity : float;
+}
+
+let big = {
+  class_name = "big";
+  fmax = 1.0e9;
+  pmax = 5.0;
+  exponent = 2.0;
+  idle_activity = 0.3;
+}
+
+let little = {
+  class_name = "little";
+  fmax = 0.6e9;
+  pmax = 1.5;
+  exponent = 3.0;
+  idle_activity = 0.2;
+}
+
+let classes () = [| big; little |]
+let class_assignment () = [| 0; 0; 0; 0; 1; 1; 1; 1 |]
+
+let target_peak = 122.0
+let dt = 0.4e-3
+let n_cores = 8
+
+let mm = 1e-3
+
+(* Same 13 x 11.5 mm die as {!Niagara}, re-floorplanned for an
+   asymmetric chip: the bottom core row holds the four big cores
+   (B1-B4, 2.5 mm wide), the top row the four little cores (L1-L4,
+   half the width and power density) packed toward the west flank,
+   with the freed-up top-east area given to an extra SRAM bank.  The
+   crossbar strip and the flanking/boundary L2 banks are as in the
+   homogeneous plan, so the two platforms share a package and differ
+   only in the compute rows. *)
+let floorplan () =
+  let block name kind x y width height =
+    {
+      Floorplan.name;
+      kind;
+      x = x *. mm;
+      y = y *. mm;
+      width = width *. mm;
+      height = height *. mm;
+    }
+  in
+  let big_core i = block (Printf.sprintf "B%d" (i + 1)) Floorplan.Core
+      (1.5 +. (float_of_int i *. 2.5)) 2.5 2.5 2.5 in
+  let little_core i = block (Printf.sprintf "L%d" (i + 1)) Floorplan.Core
+      (1.5 +. (float_of_int i *. 1.25)) 6.5 1.25 2.5 in
+  Floorplan.make
+    ([
+       block "L2_SW" Floorplan.Cache 0.0 0.0 6.5 2.5;
+       block "L2_SE" Floorplan.Cache 6.5 0.0 6.5 2.5;
+       block "L2_W" Floorplan.Cache 0.0 2.5 1.5 6.5;
+       block "L2_E" Floorplan.Cache 11.5 2.5 1.5 6.5;
+     ]
+    @ List.init 4 big_core
+    @ [
+        block "BUF_W" Floorplan.Buffer 1.5 5.0 1.25 1.5;
+        block "XBAR" Floorplan.Interconnect 2.75 5.0 7.5 1.5;
+        block "BUF_E" Floorplan.Buffer 10.25 5.0 1.25 1.5;
+      ]
+    @ List.init 4 little_core
+    @ [
+        block "SRAM_N" Floorplan.Cache 6.5 6.5 5.0 2.5;
+        block "L2_NW" Floorplan.Cache 0.0 9.0 6.5 2.5;
+        block "L2_NE" Floorplan.Cache 6.5 9.0 6.5 2.5;
+      ])
+
+let fixed_power fp =
+  Vec.init (Floorplan.size fp) (fun i ->
+      match (Floorplan.block_of fp i).Floorplan.kind with
+      | Floorplan.Core -> 0.0
+      | Floorplan.Cache -> 1.3
+      | Floorplan.Buffer -> 0.25
+      | Floorplan.Interconnect -> 1.5
+      | Floorplan.Other -> 0.0)
+
+let core_names =
+  [| "B1"; "B2"; "B3"; "B4"; "L1"; "L2"; "L3"; "L4" |]
+
+let core_nodes fp =
+  Array.map (fun name -> Floorplan.index_of fp name) core_names
+
+let core_pmax () =
+  let asg = class_assignment () in
+  let cls = classes () in
+  Vec.init n_cores (fun c -> cls.(asg.(c)).pmax)
+
+let power_vector fp ~core_power =
+  if Vec.dim core_power <> n_cores then
+    invalid_arg "Biglittle.power_vector: need 8 core powers";
+  let p = fixed_power fp in
+  Array.iteri (fun i node -> p.(node) <- core_power.(i)) (core_nodes fp);
+  p
+
+(* Calibrated parameters, computed once; see {!Niagara.params} for
+   why the thin die and why the memo cell must be an [Atomic]. *)
+let params =
+  let cache = Atomic.make None in
+  fun () ->
+    match Atomic.get cache with
+    | Some p -> p
+    | None ->
+        let fp = floorplan () in
+        let base =
+          { Rc_model.default_params with Rc_model.die_thickness = 0.15e-3 }
+        in
+        let full_load = power_vector fp ~core_power:(core_pmax ()) in
+        let tuned =
+          Calibrate.tune_vertical_conductance ~params:base ~floorplan:fp
+            ~power:full_load target_peak
+        in
+        Atomic.set cache (Some tuned);
+        tuned
+
+let model () = Rc_model.build ~params:(params ()) (floorplan ())

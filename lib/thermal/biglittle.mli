@@ -1,0 +1,71 @@
+(** An asymmetric big.LITTLE 8-core platform on the Niagara package.
+
+    Four "big" cores (1 GHz, 5 W, quadratic power law) in the bottom
+    row and four "little" cores (600 MHz, 1.5 W, cubic power law,
+    lower idle activity) in the top row, on the same 13 x 11.5 mm die,
+    crossbar strip and L2 flanks as {!Niagara} — so comparisons
+    between the two platforms isolate the effect of core asymmetry.
+    The per-class numbers follow the big.LITTLE modelling literature
+    (Bhat et al.): little cores trade a lower ceiling and a steeper
+    (super-quadratic) law for much lower absolute power.
+
+    This module only knows thermal/physical facts; [Sim.Machine.biglittle]
+    lifts {!classes} and {!class_assignment} into a [Sim.Platform]. *)
+
+open Linalg
+
+type core_class = {
+  class_name : string;
+  fmax : float;  (** Frequency ceiling, Hz. *)
+  pmax : float;  (** Dynamic power at the ceiling, Watts. *)
+  exponent : float;  (** Power-law exponent. *)
+  idle_activity : float;  (** Idle dynamic-power fraction. *)
+}
+
+val big : core_class
+(** 1 GHz, 5 W, exponent 2, idle activity 0.3. *)
+
+val little : core_class
+(** 600 MHz, 1.5 W, exponent 3, idle activity 0.2. *)
+
+val classes : unit -> core_class array
+(** [[| big; little |]] (fresh array). *)
+
+val class_assignment : unit -> int array
+(** Class index per core: B1-B4 then L1-L4, i.e.
+    [[| 0;0;0;0; 1;1;1;1 |]] (fresh array). *)
+
+val target_peak : float
+(** Calibration anchor: hottest steady-state node with every core at
+    its class [pmax] (122 degrees Celsius, as for {!Niagara}). *)
+
+val dt : float
+(** Thermal integration step, seconds (0.4e-3). *)
+
+val n_cores : int
+(** 8. *)
+
+val floorplan : unit -> Floorplan.t
+(** 18 blocks: 4 big cores, 4 little cores, 6 L2 banks, an SRAM bank
+    filling the top-east area the narrow little cores free up, 2 L2
+    buffers and the crossbar. *)
+
+val params : unit -> Rc_model.params
+(** Calibrated parameters (computed once, then cached). *)
+
+val model : unit -> Rc_model.t
+
+val fixed_power : Floorplan.t -> Vec.t
+(** Static power of the non-core blocks (cores are zero here); same
+    per-kind budget as {!Niagara.fixed_power}. *)
+
+val core_pmax : unit -> Vec.t
+(** Per-core peak dynamic power in core order (the full-load
+    calibration vector). *)
+
+val power_vector : Floorplan.t -> core_power:Vec.t -> Vec.t
+(** Embed 8 per-core powers into a full node power vector, adding the
+    fixed non-core power. *)
+
+val core_nodes : Floorplan.t -> int array
+(** Node indices of B1..B4, L1..L4, in that order. *)

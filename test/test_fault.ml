@@ -17,6 +17,7 @@ let obs ?(time = 0.0) temps =
     core_temperatures = v;
     max_core_temperature = Vec.max v;
     required_frequency = 5e8;
+    core_fmax = Vec.create (Array.length v) 1e9;
     utilizations = Vec.create (Array.length v) 1.0;
     queue_length = 1;
     queued_work = 0.1;

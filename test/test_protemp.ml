@@ -433,6 +433,7 @@ let obs ~temp ~required =
     core_temperatures = Vec.create 8 temp;
     max_core_temperature = temp;
     required_frequency = required;
+    core_fmax = Vec.create 8 1e9;
     utilizations = Vec.zeros 8;
     queue_length = 0;
     queued_work = 0.0;
@@ -590,6 +591,7 @@ let obs_at m temp required =
     core_temperatures = Vec.create n temp;
     max_core_temperature = temp;
     required_frequency = required;
+    core_fmax = Vec.copy m.Sim.Machine.core_fmax;
     utilizations = Vec.create n 1.0;
     queue_length = n;
     queued_work = 1.0;

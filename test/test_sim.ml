@@ -25,13 +25,13 @@ let test_machine_shape () =
 let test_machine_core_power () =
   let m = Lazy.force machine in
   check_float 1e-9 "busy at fmax" 4.0
-    (Sim.Machine.core_power m ~frequency:1e9 ~busy:true);
+    (Sim.Machine.core_power m ~core:0 ~frequency:1e9 ~busy:true);
   check_float 1e-9 "busy at half" 1.0
-    (Sim.Machine.core_power m ~frequency:5e8 ~busy:true);
+    (Sim.Machine.core_power m ~core:0 ~frequency:5e8 ~busy:true);
   check_float 1e-9 "idle scales" (0.3 *. 1.0)
-    (Sim.Machine.core_power m ~frequency:5e8 ~busy:false);
+    (Sim.Machine.core_power m ~core:0 ~frequency:5e8 ~busy:false);
   check_float 1e-9 "negative clamps" 0.0
-    (Sim.Machine.core_power m ~frequency:(-1.0) ~busy:true)
+    (Sim.Machine.core_power m ~core:0 ~frequency:(-1.0) ~busy:true)
 
 let test_machine_idle_never_exceeds_busy () =
   (* The invariant behind the Pro-Temp guarantee carrying over to the
@@ -40,8 +40,8 @@ let test_machine_idle_never_exceeds_busy () =
   List.iter
     (fun f ->
       check_bool "idle <= busy" true
-        (Sim.Machine.core_power m ~frequency:f ~busy:false
-        <= Sim.Machine.core_power m ~frequency:f ~busy:true +. 1e-12))
+        (Sim.Machine.core_power m ~core:0 ~frequency:f ~busy:false
+        <= Sim.Machine.core_power m ~core:0 ~frequency:f ~busy:true +. 1e-12))
     [ 0.0; 1e8; 5e8; 9e8; 1e9 ]
 
 let test_machine_power_vector () =
@@ -76,27 +76,40 @@ let get_pick = function
   | Some c -> c
   | None -> Alcotest.fail "expected a dispatch decision"
 
+let homogeneous_classes n = Array.make n 0
+
 let test_first_idle_lowest () =
   let pick = Sim.Policy.first_idle.Sim.Policy.choose in
   check_int "lowest" 1
-    (get_pick (pick ~idle:[ 3; 1; 5 ] ~core_temperatures:(Vec.zeros 8)))
+    (get_pick
+       (pick ~idle:[ 3; 1; 5 ] ~core_classes:(homogeneous_classes 8)
+          ~core_temperatures:(Vec.zeros 8)))
 
 let test_coolest_first () =
   let temps = [| 90.0; 50.0; 70.0; 40.0; 95.0; 60.0; 55.0; 45.0 |] in
   let pick = Sim.Policy.coolest_first.Sim.Policy.choose in
   check_int "coolest among idle" 3
-    (get_pick (pick ~idle:[ 0; 2; 3; 4 ] ~core_temperatures:temps));
+    (get_pick
+       (pick ~idle:[ 0; 2; 3; 4 ] ~core_classes:(homogeneous_classes 8)
+          ~core_temperatures:temps));
   check_int "coolest overall" 3
-    (get_pick (pick ~idle:[ 0; 1; 2; 3; 4; 5; 6; 7 ] ~core_temperatures:temps))
+    (get_pick
+       (pick
+          ~idle:[ 0; 1; 2; 3; 4; 5; 6; 7 ]
+          ~core_classes:(homogeneous_classes 8) ~core_temperatures:temps))
 
 let test_cool_headroom_defers () =
   let temps = [| 91.0; 93.0; 89.0; 95.0 |] in
   let policy = Sim.Policy.cool_headroom ~threshold:90.0 in
   let pick = policy.Sim.Policy.choose in
   check_int "dispatches below threshold" 2
-    (get_pick (pick ~idle:[ 0; 1; 2; 3 ] ~core_temperatures:temps));
+    (get_pick
+       (pick ~idle:[ 0; 1; 2; 3 ] ~core_classes:(homogeneous_classes 4)
+          ~core_temperatures:temps));
   check_bool "defers when all hot" true
-    (pick ~idle:[ 0; 1; 3 ] ~core_temperatures:temps = None)
+    (pick ~idle:[ 0; 1; 3 ] ~core_classes:(homogeneous_classes 4)
+       ~core_temperatures:temps
+    = None)
 
 let test_workload_following_clamps () =
   let c = Sim.Policy.workload_following ~fmax:1e9 in
@@ -106,6 +119,7 @@ let test_workload_following_clamps () =
       core_temperatures = Vec.zeros 8;
       max_core_temperature = 0.0;
       required_frequency = required;
+      core_fmax = Vec.create 8 1e9;
       utilizations = Vec.zeros 8;
       queue_length = 0;
       queued_work = 0.0;

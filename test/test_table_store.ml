@@ -97,6 +97,30 @@ let test_all_infeasible_image () =
       check_string "csv round-trip" (Protemp.Table.to_csv t)
         (Protemp.Table.to_csv (Protemp.Table_store.to_table store)))
 
+let test_core_fmax_roundtrip () =
+  let t = canonical_table () in
+  (* Default: platform unknown, recorded as zeros. *)
+  with_store t (fun _path store ->
+      check_bool "unknown platform is all zeros" true
+        (Protemp.Table_store.core_fmax store = [| 0.0; 0.0 |]));
+  (* Explicit ceilings round-trip exactly. *)
+  let path = Filename.temp_file "protemp_store" ".ptbl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Protemp.Table_store.write ~core_fmax:[| 1e9; 6e8 |] t path;
+      let store = Protemp.Table_store.open_file path in
+      check_bool "ceilings round-trip" true
+        (Protemp.Table_store.core_fmax store = [| 1e9; 6e8 |]));
+  (* Length mismatches and negative ceilings are writer errors. *)
+  let rejects core_fmax =
+    match Protemp.Table_store.serialize ~core_fmax t with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "length mismatch rejected" true (rejects [| 1e9 |]);
+  check_bool "negative ceiling rejected" true (rejects [| 1e9; -1.0 |])
+
 let test_golden_header () =
   let image = Protemp.Table_store.serialize (canonical_table ()) in
   let hex = Buffer.create 64 in
@@ -107,7 +131,7 @@ let test_golden_header () =
   let ic = open_in "table_store_header.golden" in
   let golden = String.trim (input_line ic) in
   close_in ic;
-  check_string "committed golden header (format version 1)" golden
+  check_string "committed golden header (format version 2)" golden
     (Buffer.contents hex)
 
 let test_rejects_truncated () =
@@ -132,14 +156,34 @@ let test_rejects_bad_magic_and_version () =
   (match opens_with_failure (patch 0 'X') with
   | Some msg -> check_bool "magic message" true (String.length msg > 0)
   | None -> Alcotest.fail "bad magic accepted");
-  (* Version 2 is from the future. *)
-  check_bool "future version" true (opens_with_failure (patch 4 '\002') <> None);
-  (* A big-endian writer would produce version bytes 00 00 00 01. *)
+  (* Version 3 is from the future. *)
+  check_bool "future version" true (opens_with_failure (patch 4 '\003') <> None);
+  (* A big-endian writer would produce version bytes 00 00 00 02. *)
   let be = patch 4 '\000' in
   let be = Bytes.of_string be in
-  Bytes.set be 7 '\001';
+  Bytes.set be 7 '\002';
   check_bool "big-endian version field" true
     (opens_with_failure (Bytes.to_string be) <> None)
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_rejects_v1_with_versioned_message () =
+  (* A stale pre-platform fleet image: same payload a v1 writer would
+     have produced (no core_fmax block), version byte 1.  The error
+     must name the version so operators know to rebuild, not debug. *)
+  let image = Protemp.Table_store.serialize (canonical_table ()) in
+  let b = Bytes.of_string image in
+  Bytes.set b 4 '\001';
+  match opens_with_failure (Bytes.to_string b) with
+  | None -> Alcotest.fail "v1 image accepted"
+  | Some msg ->
+      check_bool
+        (Printf.sprintf "message names version 1: %s" msg)
+        true
+        (contains_substring ~needle:"version 1" msg)
 
 let test_rejects_corrupt_sentinel () =
   let image = Protemp.Table_store.serialize (canonical_table ()) in
@@ -232,6 +276,8 @@ let () =
             test_lookup_matches_table;
           Alcotest.test_case "all-infeasible image" `Quick
             test_all_infeasible_image;
+          Alcotest.test_case "core_fmax round-trip" `Quick
+            test_core_fmax_roundtrip;
           Alcotest.test_case "golden header" `Quick test_golden_header;
         ] );
       ( "validation",
@@ -239,6 +285,8 @@ let () =
           Alcotest.test_case "rejects truncated" `Quick test_rejects_truncated;
           Alcotest.test_case "rejects bad magic/version" `Quick
             test_rejects_bad_magic_and_version;
+          Alcotest.test_case "rejects v1 with versioned message" `Quick
+            test_rejects_v1_with_versioned_message;
           Alcotest.test_case "rejects corrupt sentinel" `Quick
             test_rejects_corrupt_sentinel;
           Alcotest.test_case "rejects unsorted axis" `Quick
