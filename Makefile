@@ -1,7 +1,7 @@
 .PHONY: ci build test lint bench clean
 
 # Everything the tier-1 gate runs: full build, then the test suites.
-# `dune runtest` also executes both benchmarks in fast mode
+# `dune runtest` also executes the benchmarks in fast mode
 # (PROTEMP_BENCH_FAST=1, see bench/dune): the sweep smoke cross-checks
 # the compiled vs reference barrier backends and the parallel vs
 # sequential tables, walks the dense-table pipeline end to end (fill,
@@ -11,7 +11,11 @@
 # fault axis) across domain counts, and the fault sweep's golden
 # guarantee gate — a zero-fault configuration reporting any tmax
 # violation, or the guard-banded table failing to absorb an injected
-# fault, exits non-zero.  The table_store suite also pins the serving
+# fault, exits non-zero.  The fleet smoke runs all three fleet gates
+# on a small rack: zero violations under the shared guard-banded
+# store, bit-identical aggregates across domain counts, and
+# coolest-headroom strictly beating round-robin on the hot-aisle
+# scenario.  The table_store suite also pins the serving
 # format against test/table_store_header.golden: a format/version
 # change must update that committed header consciously or ci fails.
 # `dune runtest` additionally self-lints the
@@ -32,10 +36,12 @@ test:
 lint:
 	dune exec bin/protemp_cli.exe -- lint --manifest lint.manifest
 
-# Full-size benchmarks; rewrite BENCH_sweep.json / BENCH_sim.json.
+# Full-size benchmarks; rewrite BENCH_sweep.json / BENCH_sim.json /
+# BENCH_fleet.json.
 bench:
 	dune exec bench/sweep_bench.exe
 	dune exec bench/sim_bench.exe
+	dune exec bench/fleet_bench.exe
 
 clean:
 	dune clean

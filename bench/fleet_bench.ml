@@ -1,0 +1,220 @@
+(* Fleet-scale serving benchmark: one arrival stream partitioned over
+   a rack of chips, each running the Pro-Temp controller off a single
+   shared read-only Table_store image, fronted by the thermal-aware
+   balancer.  Emits BENCH_fleet.json (fleet steps/s, waiting-time tail
+   percentiles, fleet-wide violation counts) so the serving trajectory
+   can be tracked across PRs.
+
+   Every timed section doubles as a gate:
+     - the shared-store Pro-Temp fleet must report zero tmax
+       violations (the per-chip guarantee must survive fleet routing);
+     - the aggregate must be bit-identical at 1 domain and at the
+       machine's domain count;
+     - on the heterogeneous hot-aisle scenario the coolest-headroom
+       balancer must show strictly fewer fleet-wide violating steps
+       than thermally-blind round-robin.
+   Any failed gate exits non-zero.
+
+   Run with:  dune exec bench/fleet_bench.exe             (full sizes)
+              PROTEMP_BENCH_FAST=1 dune exec bench/fleet_bench.exe
+              (small sizes, seconds — wired into `dune runtest` as a
+              smoke test) *)
+
+let fast = Sys.getenv_opt "PROTEMP_BENCH_FAST" <> None
+let machine = Sim.Machine.niagara ()
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    Printf.printf "  [FAIL] %s\n%!" what;
+    incr failures
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The serving fleet: N chips, every controller polling one mapped
+   guard-banded table image. *)
+
+let serve_chips = if fast then 8 else 120
+let serve_tasks = if fast then 4000 else 50000
+let guard_margin = 5.0
+
+let store =
+  let spec = Protemp.Spec.default in
+  let tstarts = Array.init 74 (fun i -> 27.0 +. float_of_int i) in
+  let ftargets = Array.init 9 (fun i -> float_of_int (i + 1) *. 1e8) in
+  let table =
+    Protemp.Guarantee.uniform_table ~machine ~spec ~margin:guard_margin
+      ~tstarts ~ftargets ()
+  in
+  let path = Filename.temp_file "fleet_bench" ".ptbl" in
+  Protemp.Table_store.write ~core_fmax:machine.Sim.Machine.core_fmax table
+    path;
+  let store = Protemp.Table_store.open_file path in
+  (* The mapping keeps the pages alive; the name can go. *)
+  Sys.remove path;
+  store
+
+let serve_trace =
+  (* Sized for the whole rack: the generator's offered-load scaling is
+     per core, so asking for half the fleet's cores puts the fleet at
+     roughly half duty — heavy enough to exercise the balancer, light
+     enough that the guard-banded table never needs to emergency-stop
+     for long. *)
+  Workload.Trace.generate
+    ~n_cores:(serve_chips * 4)
+    ~seed:2008L ~n_tasks:serve_tasks Workload.Mix.paper_mix
+
+let serve_config =
+  {
+    Fleet.Cluster.default_config with
+    Fleet.Cluster.n_chips = serve_chips;
+    thermal_penalty = 50.0;
+  }
+
+let serve_chip _ =
+  Fleet.Chip.create ~machine
+    ~controller:(Protemp.Controller.of_store ~store)
+    ~assignment:Sim.Policy.first_idle ()
+
+let serve_at domains =
+  Fleet.Cluster.run ~config:serve_config ~domains
+    ~balancer:(Fleet.Balancer.coolest_headroom ())
+    ~chip:serve_chip serve_trace
+
+(* ------------------------------------------------------------------ *)
+(* The balancer gate: a heterogeneous rack where odd chips sit in a
+   hot aisle (fixed power x6, idling near 87 C).  Round-robin's fair
+   share pushes the hot aisle over the cap; coolest-headroom skews the
+   stream toward the cool aisle and must violate strictly less.  Same
+   scenario as test/test_fleet.ml, full-size here. *)
+
+let aisle_tasks = if fast then 2000 else 4000
+
+let aisle_trace =
+  Workload.Trace.generate ~n_cores:10 ~seed:23L ~n_tasks:aisle_tasks
+    Workload.Mix.compute_intensive
+
+let aisle_chip i =
+  let m =
+    if i land 1 = 1 then
+      Sim.Machine.make ~thermal:machine.Sim.Machine.thermal
+        ~core_nodes:machine.Sim.Machine.core_nodes
+        ~fixed_power:
+          (Array.map (fun p -> p *. 6.0) machine.Sim.Machine.fixed_power)
+        ~fmax:1e9 ~core_pmax:4.0 ()
+    else machine
+  in
+  Fleet.Chip.create ~machine:m
+    ~controller:(Sim.Policy.workload_following ~fmax:1e9)
+    ~assignment:Sim.Policy.first_idle ()
+
+let aisle_config =
+  {
+    Fleet.Cluster.default_config with
+    Fleet.Cluster.n_chips = 4;
+    migrate = true;
+    thermal_penalty = 60.0;
+  }
+
+let aisle_run balancer =
+  Fleet.Cluster.run ~config:aisle_config ~balancer ~chip:aisle_chip
+    aisle_trace
+
+(* ------------------------------------------------------------------ *)
+
+let pct stats q = Sim.Stats.waiting_percentile stats q *. 1e3
+
+let () =
+  let hw = Parallel.Pool.default_domains () in
+  Printf.printf "Fleet benchmark%s (%d domain(s) available)\n%!"
+    (if fast then " (FAST mode)" else "")
+    hw;
+
+  (* Warm-up run (page faults, code paths), then the timed one. *)
+  ignore (serve_at 1);
+  let r = serve_at hw in
+  let r1 = serve_at 1 in
+  let steps = Sim.Stats.total_steps r.Fleet.Cluster.stats in
+  let steps_per_sec = float_of_int steps /. r.Fleet.Cluster.wall_clock in
+  let p50 = pct r.Fleet.Cluster.stats 0.50
+  and p95 = pct r.Fleet.Cluster.stats 0.95
+  and p99 = pct r.Fleet.Cluster.stats 0.99 in
+  Printf.printf
+    "  shared-store fleet: %d chips, %d tasks, %.2e steps in %.2f s \
+     (%.2e steps/s on %d domains)\n%!"
+    serve_chips serve_tasks (float_of_int steps) r.Fleet.Cluster.wall_clock
+    steps_per_sec hw;
+  Printf.printf
+    "    waiting: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms; \
+     routed %d, held %d, unfinished %d\n%!"
+    p50 p95 p99
+    (Sim.Stats.max_waiting r.Fleet.Cluster.stats *. 1e3)
+    r.Fleet.Cluster.routed r.Fleet.Cluster.held r.Fleet.Cluster.unfinished;
+  check "guarantee gate: shared-store fleet has zero tmax violations"
+    (Sim.Stats.violation_steps r.Fleet.Cluster.stats = 0);
+  check "shared-store fleet finishes the stream"
+    (r.Fleet.Cluster.unfinished = 0);
+  check "aggregate bit-identical at 1 domain and at the machine's count"
+    (Sim.Stats.equal r.Fleet.Cluster.stats r1.Fleet.Cluster.stats);
+  check "routing identical across domain counts"
+    (r.Fleet.Cluster.routed = r1.Fleet.Cluster.routed
+    && r.Fleet.Cluster.held = r1.Fleet.Cluster.held);
+
+  let rr = aisle_run (Fleet.Balancer.round_robin ()) in
+  let cool = aisle_run (Fleet.Balancer.coolest_headroom ~guard:5.0 ()) in
+  let rr_viol = Sim.Stats.violation_steps rr.Fleet.Cluster.stats in
+  let cool_viol = Sim.Stats.violation_steps cool.Fleet.Cluster.stats in
+  Printf.printf
+    "  hot-aisle gate: round-robin %d violating steps (peak %.1f C), \
+     coolest-headroom %d (peak %.1f C, %d migrated, %d held)\n%!"
+    rr_viol
+    (Sim.Stats.peak_temperature rr.Fleet.Cluster.stats)
+    cool_viol
+    (Sim.Stats.peak_temperature cool.Fleet.Cluster.stats)
+    cool.Fleet.Cluster.migrated cool.Fleet.Cluster.held;
+  check "balancer gate: coolest-headroom strictly reduces violations"
+    (cool_viol < rr_viol);
+  check "hot-aisle round-robin finishes" (rr.Fleet.Cluster.unfinished = 0);
+  check "hot-aisle coolest-headroom finishes"
+    (cool.Fleet.Cluster.unfinished = 0);
+
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"fast\": %b,\n  \"available_domains\": %d,\n" fast hw);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"shared_store_fleet\": {\"chips\": %d, \"tasks\": %d, \"steps\": \
+        %d, \"seconds\": %.3f, \"steps_per_sec\": %.0f, \"violating_steps\": \
+        %d, \"routed\": %d, \"held\": %d, \"unfinished\": %d, \
+        \"waiting_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, \
+        \"max\": %.3f}},\n"
+       serve_chips serve_tasks steps r.Fleet.Cluster.wall_clock steps_per_sec
+       (Sim.Stats.violation_steps r.Fleet.Cluster.stats)
+       r.Fleet.Cluster.routed r.Fleet.Cluster.held r.Fleet.Cluster.unfinished
+       p50 p95 p99
+       (Sim.Stats.max_waiting r.Fleet.Cluster.stats *. 1e3));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domain_invariant\": %b,\n"
+       (Sim.Stats.equal r.Fleet.Cluster.stats r1.Fleet.Cluster.stats));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"hot_aisle_gate\": {\"chips\": %d, \"tasks\": %d, \
+        \"round_robin\": {\"violating_steps\": %d, \"peak_c\": %.2f, \
+        \"p99_ms\": %.3f}, \"coolest_headroom\": {\"violating_steps\": %d, \
+        \"peak_c\": %.2f, \"p99_ms\": %.3f, \"migrated\": %d, \"held\": \
+        %d}},\n"
+       aisle_config.Fleet.Cluster.n_chips aisle_tasks rr_viol
+       (Sim.Stats.peak_temperature rr.Fleet.Cluster.stats)
+       (pct rr.Fleet.Cluster.stats 0.99)
+       cool_viol
+       (Sim.Stats.peak_temperature cool.Fleet.Cluster.stats)
+       (pct cool.Fleet.Cluster.stats 0.99)
+       cool.Fleet.Cluster.migrated cool.Fleet.Cluster.held);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"checks_failed\": %d\n}\n" !failures);
+  let oc = open_out "BENCH_fleet.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "written to BENCH_fleet.json\n%!";
+  if !failures > 0 then exit 1

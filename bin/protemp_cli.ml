@@ -6,6 +6,7 @@
    protemp validate  — audit a table against the thermal simulator
    protemp simulate  — run a trace under a controller
    protemp campaign  — controller x workload x fault grid
+   protemp fleet     — serve one stream across a rack of chips
    protemp lint      — static-analysis pass over the repo sources *)
 
 open Cmdliner
@@ -635,6 +636,149 @@ let campaign_cmd =
       $ seed $ domains $ noise_axis $ stale_axis $ fault_seed $ online
       $ solver)
 
+(* ----- fleet ----- *)
+
+let fleet_cmd =
+  let chips =
+    Arg.(value & opt int 4 & info [ "chips" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let tasks =
+    Arg.(value & opt int 20000 & info [ "tasks" ] ~docv:"N" ~doc:"Trace size.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "mix"
+      & info [ "mix" ] ~docv:"NAME" ~doc:"web, multimedia, compute or mix.")
+  in
+  let seed =
+    Arg.(value & opt int 2008 & info [ "seed" ] ~docv:"N" ~doc:"Trace seed.")
+  in
+  let trace_cores =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-cores" ] ~docv:"N"
+          ~doc:
+            "Scale the trace's offered load to N cores (default: the whole \
+             fleet's core count — near-saturating).")
+  in
+  let balancer =
+    Arg.(
+      value
+      & opt (enum [ ("round-robin", `Rr); ("coolest", `Cool) ]) `Cool
+      & info [ "balancer" ] ~docv:"NAME"
+          ~doc:"round-robin (thermally blind) or coolest (headroom-aware).")
+  in
+  let guard =
+    Arg.(
+      value & opt float 0.0
+      & info [ "guard" ] ~docv:"C"
+          ~doc:
+            "Guard band in degrees C: chips within this headroom of tmax are \
+             quarantined from routing (coolest balancer only).")
+  in
+  let penalty =
+    Arg.(
+      value & opt float 50.0
+      & info [ "penalty" ] ~docv:"C_PER_S"
+          ~doc:
+            "Shadow warming per second of routed work, so one window's tasks \
+             spread across the fleet instead of herding.")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.1
+      & info [ "window" ] ~docv:"SECONDS" ~doc:"Routing window length.")
+  in
+  let migrate =
+    Arg.(
+      value & flag
+      & info [ "migrate" ]
+          ~doc:"Pull queued tasks off guard-band chips and re-route them.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Advance chips on N domains (default: PROTEMP_DOMAINS or the \
+             machine's core count; results are identical for any value).")
+  in
+  let table_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "table" ] ~docv:"FILE"
+          ~doc:
+            "Table CSV: every chip runs the Pro-Temp controller off it \
+             (default: the workload-following baseline).")
+  in
+  let run platform chips tasks mix seed trace_cores balancer guard penalty
+      window migrate domains table_file =
+    let machine = machine_of platform in
+    let mix =
+      try Workload.Mix.by_name mix
+      with Not_found -> failwith ("unknown mix " ^ mix)
+    in
+    let n_cores =
+      match trace_cores with
+      | Some n -> n
+      | None -> chips * machine.Sim.Machine.n_cores
+    in
+    let trace =
+      Workload.Trace.generate ~n_cores ~seed:(Int64.of_int seed)
+        ~n_tasks:tasks mix
+    in
+    let controller =
+      match table_file with
+      | None -> fun () -> Sim.Policy.workload_following ~fmax:machine.Sim.Machine.fmax
+      | Some f ->
+          let table = load_table f in
+          fun () -> Protemp.Controller.create ~table
+    in
+    let chip _ =
+      Fleet.Chip.create ~machine ~controller:(controller ())
+        ~assignment:Sim.Policy.first_idle ()
+    in
+    let balancer =
+      match balancer with
+      | `Rr -> Fleet.Balancer.round_robin ()
+      | `Cool -> Fleet.Balancer.coolest_headroom ~guard ()
+    in
+    let config =
+      {
+        Fleet.Cluster.default_config with
+        Fleet.Cluster.n_chips = chips;
+        window;
+        migrate;
+        thermal_penalty = penalty;
+      }
+    in
+    let r = Fleet.Cluster.run ~config ?domains ~balancer ~chip trace in
+    Format.printf "%a@." Sim.Stats.pp r.Fleet.Cluster.stats;
+    let ms q = Sim.Stats.waiting_percentile r.Fleet.Cluster.stats q *. 1e3 in
+    Printf.printf "waiting p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n" (ms 0.5)
+      (ms 0.95) (ms 0.99);
+    Printf.printf
+      "routed %d, held %d, migrated %d, unfinished %d, wall %.2f s\n"
+      r.Fleet.Cluster.routed r.Fleet.Cluster.held r.Fleet.Cluster.migrated
+      r.Fleet.Cluster.unfinished r.Fleet.Cluster.wall_clock;
+    Printf.printf "per-chip violating steps: [%s]\n"
+      (String.concat "; "
+         (Array.to_list
+            (Array.map string_of_int r.Fleet.Cluster.chip_violations)));
+    if Sim.Stats.violation_steps r.Fleet.Cluster.stats = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Serve one arrival stream across a rack of chips behind a \
+          thermal-aware balancer.")
+    Term.(
+      const run $ platform $ chips $ tasks $ mix $ seed $ trace_cores
+      $ balancer $ guard $ penalty $ window $ migrate $ domains $ table_file)
+
 (* ----- lint ----- *)
 
 let lint_cmd =
@@ -687,4 +831,4 @@ let () =
   let info = Cmd.info "protemp" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ solve_cmd; frontier_cmd; table_cmd; validate_cmd;
-                       simulate_cmd; campaign_cmd; lint_cmd ]))
+                       simulate_cmd; campaign_cmd; fleet_cmd; lint_cmd ]))

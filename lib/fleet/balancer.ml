@@ -1,0 +1,38 @@
+(* Fleet-scope placement reuses the core-scope policy interface: a
+   balancer is a [Sim.Policy.assignment] whose "cores" are chips and
+   whose "temperatures" are the fleet's per-chip hottest-core shadow
+   readings, plus a guard band deciding which chips are eligible at
+   all.  Anything written against the core interface (coolest-first,
+   headroom thresholds, class preferences) works unchanged at chip
+   scope. *)
+
+type t = {
+  name : string;
+  policy : Sim.Policy.assignment;
+  guard : float;
+}
+
+let of_assignment ?(guard = neg_infinity) policy =
+  { name = policy.Sim.Policy.assignment_name; policy; guard }
+
+let round_robin () =
+  let next = ref 0 in
+  {
+    name = "round-robin";
+    guard = neg_infinity;
+    policy =
+      {
+        Sim.Policy.assignment_name = "round-robin";
+        choose =
+          (fun ~idle ~core_classes:_ ~core_temperatures:_ ->
+            match idle with
+            | [] -> None
+            | _ ->
+                let pick = List.nth idle (!next mod List.length idle) in
+                incr next;
+                Some pick);
+      };
+  }
+
+let coolest_headroom ?(guard = 0.0) () =
+  { name = "coolest-headroom"; policy = Sim.Policy.coolest_first; guard }

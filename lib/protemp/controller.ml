@@ -33,3 +33,28 @@ let create ~table =
           buf
         end);
   }
+
+let of_store ~store =
+  (* Same decision rule as [create], served from the read-only mapped
+     image: the store is shared (one mmap, page-cache-backed pages),
+     the lookup buffer is per-controller, so a fleet of chips can all
+     poll one image concurrently with no shared mutable state. *)
+  let buf = Vec.zeros (Table_store.n_cores store) in
+  {
+    Sim.Policy.controller_name = name;
+    decide =
+      (fun obs ->
+        let n = Vec.dim obs.Sim.Policy.core_temperatures in
+        if Vec.dim buf = 0 then Vec.zeros n
+        else if Vec.dim buf <> n then
+          invalid_arg "Protemp.Controller: table-store core count mismatch"
+        else if
+          Table_store.lookup_into store
+            ~temperature:obs.Sim.Policy.max_core_temperature
+            ~required:obs.Sim.Policy.required_frequency ~into:buf
+        then buf
+        else begin
+          Vec.fill buf 0.0;
+          buf
+        end);
+  }

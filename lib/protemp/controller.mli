@@ -10,5 +10,11 @@
 val create : table:Table.t -> Sim.Policy.controller
 (** The controller is stateless; one table can drive many runs. *)
 
+val of_store : store:Table_store.t -> Sim.Policy.controller
+(** Same decision rule as {!create}, but served allocation-free from a
+    read-only mapped {!Table_store} image.  The store is safe to share:
+    a fleet of chips opens one image and every controller instance
+    keeps only its private lookup buffer. *)
+
 val name : string
 (** "pro-temp". *)

@@ -26,6 +26,26 @@ type acc = {
   mutable energy : float;
 }
 
+(* Bounded waiting-time sketch: a fixed geometric histogram.  Bucket 0
+   holds waits below [hist_min]; buckets 1..254 are geometric with
+   ratio [hist_gamma] up to [hist_max]; bucket 255 is the overflow.
+   256 ints regardless of run length, ~8.5% relative resolution
+   (gamma = (hist_max/hist_min)^(1/254)), and merging two sketches is
+   an elementwise sum — what the fleet aggregation relies on. *)
+let hist_buckets = 256
+let hist_min = 1e-6
+let hist_max = 1e3
+
+let hist_gamma =
+  exp (log (hist_max /. hist_min) /. float_of_int (hist_buckets - 2))
+
+let hist_inv_log_gamma = 1.0 /. log hist_gamma
+
+(* Cross-chip clock arithmetic (fleet window boundaries vs per-chip
+   step clocks) legitimately produces waits like -1e-18; anything
+   below this is a real accounting bug and still raises. *)
+let waiting_clamp = -1e-9
+
 type t = {
   bands : band array;
   band_lo : float array;  (* bands.(b).lo, unboxed for the hot loop *)
@@ -33,6 +53,7 @@ type t = {
   n_cores : int;
   tmax : float;
   band_time : float array;  (* core-seconds accumulated per band *)
+  wait_hist : int array;  (* waiting-time sketch, hist_buckets wide *)
   acc : acc;
   mutable violation_steps : int;
   mutable total_steps : int;
@@ -49,6 +70,7 @@ let create ?(bands = paper_bands) ~n_cores ~tmax () =
     n_cores;
     tmax;
     band_time = Array.make (List.length bands) 0.0;
+    wait_hist = Array.make hist_buckets 0;
     acc =
       {
         above_time = 0.0;
@@ -183,10 +205,26 @@ let record_energy s j =
   s.acc.energy <- s.acc.energy +. j
 
 let record_waiting s w =
-  if w < 0.0 then invalid_arg "Stats.record_waiting: negative waiting time";
+  (* Sub-epsilon negatives are float dust from subtracting two nearby
+     clocks (a window boundary vs. a per-chip step clock), not a
+     scheduling bug; clamping them keeps a week-long fleet run from
+     dying on a [-1e-18].  Anything below [waiting_clamp] still
+     raises. *)
+  let w =
+    if w >= 0.0 then w
+    else if w >= waiting_clamp then 0.0
+    else invalid_arg "Stats.record_waiting: negative waiting time"
+  in
   let a = s.acc in
   a.waiting_sum <- a.waiting_sum +. w;
   if w > a.waiting_max then a.waiting_max <- w;
+  let b =
+    if w < hist_min then 0
+    else
+      let raw = 1 + int_of_float (log (w /. hist_min) *. hist_inv_log_gamma) in
+      if raw > hist_buckets - 1 then hist_buckets - 1 else raw
+  in
+  Array.unsafe_set s.wait_hist b (Array.unsafe_get s.wait_hist b + 1);
   s.dispatched <- s.dispatched + 1
 
 let record_completion s = s.completed <- s.completed + 1
@@ -218,6 +256,71 @@ let mean_waiting s =
   else s.acc.waiting_sum /. float_of_int s.dispatched
 
 let max_waiting s = s.acc.waiting_max
+
+let waiting_percentile s q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Stats.waiting_percentile: quantile outside [0, 1]";
+  if s.dispatched = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int s.dispatched)) in
+      if r < 1 then 1 else r
+    in
+    let b = ref 0 and cum = ref 0 in
+    while !cum < rank && !b < hist_buckets do
+      cum := !cum + s.wait_hist.(!b);
+      if !cum < rank then incr b
+    done;
+    (* Report the bucket's upper edge — a conservative (never
+       understated) quantile with the sketch's ~8.5% resolution —
+       tightened by the exact maximum, which also makes an all-zero
+       sketch report 0 rather than [hist_min]. *)
+    let edge =
+      if !b = 0 then hist_min
+      else hist_min *. (hist_gamma ** float_of_int !b)
+    in
+    Float.min edge s.acc.waiting_max
+  end
+
+let merge_into ~into s =
+  if into == s then invalid_arg "Stats.merge_into: cannot merge into itself";
+  if into.n_cores <> s.n_cores then
+    invalid_arg "Stats.merge_into: core-count mismatch";
+  (* Exact comparison is intended: merging is only defined between
+     stats created with identical configuration. *)
+  if not (Float.equal into.tmax s.tmax) then
+    invalid_arg "Stats.merge_into: tmax mismatch";
+  let n_bands = Array.length into.band_lo in
+  if n_bands <> Array.length s.band_lo then
+    invalid_arg "Stats.merge_into: band mismatch";
+  for b = 0 to n_bands - 1 do
+    (* Exact comparison is intended: band edges must match exactly. *)
+    if
+      not
+        (Float.equal into.band_lo.(b) s.band_lo.(b)
+        && Float.equal into.band_hi.(b) s.band_hi.(b))
+    then invalid_arg "Stats.merge_into: band mismatch"
+  done;
+  for b = 0 to n_bands - 1 do
+    into.band_time.(b) <- into.band_time.(b) +. s.band_time.(b)
+  done;
+  for b = 0 to hist_buckets - 1 do
+    into.wait_hist.(b) <- into.wait_hist.(b) + s.wait_hist.(b)
+  done;
+  let a = into.acc and o = s.acc in
+  a.above_time <- a.above_time +. o.above_time;
+  a.sim_time <- a.sim_time +. o.sim_time;
+  if o.peak > a.peak then a.peak <- o.peak;
+  if o.peak_gradient > a.peak_gradient then a.peak_gradient <- o.peak_gradient;
+  a.gradient_sum <- a.gradient_sum +. o.gradient_sum;
+  a.waiting_sum <- a.waiting_sum +. o.waiting_sum;
+  if o.waiting_max > a.waiting_max then a.waiting_max <- o.waiting_max;
+  a.energy <- a.energy +. o.energy;
+  into.violation_steps <- into.violation_steps + s.violation_steps;
+  into.total_steps <- into.total_steps + s.total_steps;
+  into.dispatched <- into.dispatched + s.dispatched;
+  into.completed <- into.completed + s.completed
+
 let completed s = s.completed
 let simulated_time s = s.acc.sim_time
 let energy s = s.acc.energy

@@ -42,7 +42,13 @@ val record_energy : t -> float -> unit
     per-step {!record_power} calls, without the per-step call. *)
 
 val record_waiting : t -> float -> unit
-(** One completed dispatch: time the task spent queued. *)
+(** One completed dispatch: time the task spent queued.  Sub-epsilon
+    negatives (>= -1e-9 s) — float dust from subtracting two nearby
+    clocks, which fleet window boundaries produce routinely — are
+    clamped to zero; genuinely negative waits below that still raise
+    [Invalid_argument].  Each wait also lands in a bounded geometric
+    histogram (256 buckets spanning 1 µs .. 1000 s at ~8.5% relative
+    resolution) backing {!waiting_percentile}. *)
 
 val record_completion : t -> unit
 
@@ -77,6 +83,25 @@ val mean_waiting : t -> float
     dispatched). *)
 
 val max_waiting : t -> float
+
+val waiting_percentile : t -> float -> float
+(** [waiting_percentile s q] for [q] in [[0, 1]] (e.g. [0.5], [0.95],
+    [0.99]): the waiting-time quantile from the bounded sketch, in
+    seconds.  Conservative — reports the matching bucket's upper edge
+    (never understates the true quantile) tightened by the exact
+    maximum; [0.0] if nothing was dispatched.  Raises
+    [Invalid_argument] outside [[0, 1]]. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into s] folds [s]'s accumulators into [into]:
+    counters, sums, band times and waiting sketches add; peaks and
+    maxima take the max.  A fleet that merges per-chip stats in a
+    fixed chip order gets bit-identical aggregates however the chips
+    were scheduled across domains (float addition is order-sensitive,
+    so the *merge* order is what must be pinned — the
+    domain-count-invariance tests rely on this).  Both sides must
+    share configuration ([n_cores], [tmax], bands) or
+    [Invalid_argument] is raised. *)
 
 val completed : t -> int
 

@@ -12,9 +12,18 @@ let generate ?(n_cores = 8) ~seed ~n_tasks mix =
     Array.mapi (fun id arrival -> Mix.sample_task mix ~rng ~id ~arrival) times
   in
   (* Arrival generators produce increasing times already; sort
-     defensively so downstream code may rely on the invariant. *)
+     defensively so downstream code may rely on the invariant.  The
+     horizon is read from the sorted tasks, not the raw [times]: if a
+     generator ever did emit out-of-order instants, the last element
+     of [times] would not be the latest arrival and every consumer of
+     [horizon] (engine deadlines, windowing, utilization) would be
+     silently wrong. *)
   Array.sort Task.compare_by_arrival tasks;
-  { tasks; mix_name = mix.Mix.name; horizon = times.(n_tasks - 1) }
+  {
+    tasks;
+    mix_name = mix.Mix.name;
+    horizon = tasks.(n_tasks - 1).Task.arrival;
+  }
 
 type statistics = {
   count : int;
@@ -34,19 +43,58 @@ let statistics trace ~n_cores =
   let max_work =
     Array.fold_left (fun acc t -> Float.max acc t.Task.work) 0.0 trace.tasks
   in
+  (* Degenerate traces are defined explicitly instead of leaking
+     whatever the general formulas produce: a 1-task trace has no
+     interarrival gap at all (the old [max 1 (n - 1)] silently
+     reported the whole horizon), and a zero-length horizon offers no
+     sustained load (the old division returned an enormous or
+     infinite utilization). *)
+  let mean_interarrival =
+    if n <= 1 then 0.0 else trace.horizon /. float_of_int (n - 1)
+  in
+  let offered_utilization =
+    if trace.horizon <= 0.0 then 0.0
+    else total_work /. (trace.horizon *. float_of_int n_cores)
+  in
   {
     count = n;
     mean_work = total_work /. float_of_int n;
     max_work;
     total_work;
-    mean_interarrival = trace.horizon /. float_of_int (Stdlib.max 1 (n - 1));
-    offered_utilization =
-      total_work /. (trace.horizon *. float_of_int n_cores);
+    mean_interarrival;
+    offered_utilization;
   }
 
-let tasks_in_window trace ~lo ~hi =
+let tasks_in_window ?(closed = false) trace ~lo ~hi =
   Array.to_list trace.tasks
-  |> List.filter (fun t -> t.Task.arrival >= lo && t.Task.arrival < hi)
+  |> List.filter (fun t ->
+         t.Task.arrival >= lo
+         && (t.Task.arrival < hi || (closed && t.Task.arrival <= hi)))
+
+let windows trace ~k =
+  if k <= 0 then invalid_arg "Trace.windows: non-positive window count";
+  let n = Array.length trace.tasks in
+  let boundary i = trace.horizon *. float_of_int i /. float_of_int k in
+  let out = Array.make k [||] in
+  let start = ref 0 in
+  for i = 0 to k - 1 do
+    let j = ref !start in
+    (* The final window is closed at the horizon and simply takes
+       every remaining task, so the k slices partition the trace
+       exactly however the boundary floats round — the half-open
+       [lo, hi) windows used to drop the last task, whose arrival
+       equals the horizon. *)
+    if i = k - 1 then j := n
+    else begin
+      let hi = boundary (i + 1) in
+      while !j < n && trace.tasks.(!j).Task.arrival < hi do
+        incr j
+      done
+    end;
+    out.(i) <- Array.sub trace.tasks !start (!j - !start);
+    start := !j
+  done;
+  out
 
 let pp_statistics ppf s =
   Format.fprintf ppf

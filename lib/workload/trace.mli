@@ -8,7 +8,11 @@
 type t = {
   tasks : Task.t array;  (** Sorted by arrival time. *)
   mix_name : string;
-  horizon : float;  (** Arrival time of the last task, seconds. *)
+  horizon : float;
+      (** Arrival time of the last (sorted) task, seconds.  A task
+          with [arrival = horizon] always exists, so windowed
+          consumers must treat the horizon boundary as inclusive —
+          see {!tasks_in_window} and {!windows}. *)
 }
 
 val generate : ?n_cores:int -> seed:int64 -> n_tasks:int -> Mix.t -> t
@@ -22,13 +26,30 @@ type statistics = {
   max_work : float;
   total_work : float;
   mean_interarrival : float;
+      (** [horizon / (count - 1)]; defined as [0.0] for a 1-task
+          trace, which has no interarrival gap. *)
   offered_utilization : float;
-      (** [total_work / (horizon * n_cores)]: the realized load. *)
+      (** [total_work / (horizon * n_cores)]: the realized load.
+          Defined as [0.0] when the horizon is zero (a trace whose
+          tasks all arrive at one instant offers no sustained
+          load). *)
 }
 
 val statistics : t -> n_cores:int -> statistics
 
-val tasks_in_window : t -> lo:float -> hi:float -> Task.t list
-(** Tasks with arrival in [[lo, hi)], in order. *)
+val tasks_in_window : ?closed:bool -> t -> lo:float -> hi:float -> Task.t list
+(** Tasks with arrival in [[lo, hi)], in order; with [~closed:true]
+    the window is [[lo, hi]].  Sharding a trace into contiguous
+    half-open windows must close the final one (or the task arriving
+    exactly at the horizon is dropped) — {!windows} does this for
+    you. *)
+
+val windows : t -> k:int -> Task.t array array
+(** [windows trace ~k] splits the horizon into [k] equal time windows
+    and returns the tasks of each, in order: window [i] covers
+    [[i*h/k, (i+1)*h/k)] and the final window is closed at the
+    horizon.  The slices are an exact partition of [trace.tasks] —
+    no drops, no duplicates — for any [k >= 1] (the property test in
+    [test_fleet.ml]).  Raises [Invalid_argument] on [k <= 0]. *)
 
 val pp_statistics : Format.formatter -> statistics -> unit
