@@ -31,10 +31,23 @@ test:
 	dune runtest
 
 # Static analysis: domain-safety, alloc-free manifest, float equality,
-# mli coverage (DESIGN.md section 6f).  Exits non-zero on any
-# unsuppressed finding.
+# mli coverage (DESIGN.md section 6f), plus the typed pass — units of
+# measure per units.manifest and cross-domain capture (section 6k).
+# Building the check alias first guarantees fresh .cmt artifacts, so
+# the typed checkers see real cross-module types; findings whose
+# stable id is in lint.baseline are reported but don't fail.  Exits
+# non-zero on any unsuppressed, unbaselined finding.
 lint:
-	dune exec bin/protemp_cli.exe -- lint --manifest lint.manifest
+	dune build @lib/check @bin/check
+	dune exec bin/protemp_cli.exe -- lint --manifest lint.manifest \
+	  --units units.manifest --baseline lint.baseline
+
+# Regenerate the baseline: acknowledge every current finding by id.
+# Review the diff — a grown baseline is a consciously accepted debt.
+lint-baseline:
+	dune build @lib/check @bin/check
+	dune exec bin/protemp_cli.exe -- lint --manifest lint.manifest \
+	  --units units.manifest --baseline lint.baseline --update-baseline
 
 # Full-size benchmarks; rewrite BENCH_sweep.json / BENCH_sim.json /
 # BENCH_fleet.json.

@@ -15,6 +15,12 @@ let machine_of = function
   | `Niagara -> Sim.Machine.niagara ()
   | `Biglittle -> Sim.Machine.biglittle ()
 
+(* CLI frequencies are MHz; the library speaks Hz (see
+   units.manifest).  Every scaling goes through this pair so the
+   units checker can follow the conversion. *)
+let mhz_to_hz f = f *. 1e6
+let hz_to_mhz f = f /. 1e6
+
 let spec_of ~uniform ~gradient ~stride =
   let base =
     {
@@ -73,7 +79,7 @@ let solver =
 
 let print_frequencies f =
   Array.iteri
-    (fun i hz -> Printf.printf "P%d %.1f MHz\n" (i + 1) (hz /. 1e6))
+    (fun i hz -> Printf.printf "P%d %.1f MHz\n" (i + 1) (hz_to_mhz hz))
     f
 
 (* ----- solve ----- *)
@@ -89,7 +95,7 @@ let solve_cmd =
     let spec = spec_of ~uniform ~gradient ~stride in
     let built =
       Protemp.Model.build ~machine:(machine_of platform) ~spec ~tstart
-        ~ftarget:(ftarget *. 1e6)
+        ~ftarget:(mhz_to_hz ftarget)
     in
     match Protemp.Model.solve built with
     | Protemp.Model.Infeasible ->
@@ -123,7 +129,7 @@ let frontier_cmd =
     | Protemp.Model.Feasible s ->
         print_frequencies s.Protemp.Model.frequencies;
         Printf.printf "max average frequency %.1f MHz\n"
-          (Linalg.Vec.mean s.Protemp.Model.frequencies /. 1e6);
+          (hz_to_mhz (Linalg.Vec.mean s.Protemp.Model.frequencies));
         0
   in
   Cmd.v
@@ -150,7 +156,7 @@ let table_cmd =
     Arg.(
       value
       & opt (list float)
-          (List.map (fun f -> f /. 1e6)
+          (List.map hz_to_mhz
              (Array.to_list Protemp.Offline.default_ftargets))
       & info [ "ftargets" ] ~docv:"MHZ1,MHZ2,..." ~doc:"Column targets (MHz).")
   in
@@ -187,10 +193,10 @@ let table_cmd =
       Protemp.Offline.sweep ~solver ~machine:(machine_of platform) ~spec
         ?domains
         ~tstarts:(Array.of_list tstarts)
-        ~ftargets:(Array.of_list (List.map (fun f -> f *. 1e6) ftargets))
+        ~ftargets:(Array.of_list (List.map mhz_to_hz ftargets))
         ~on_progress:(fun p ->
           Printf.eprintf "(%.0f C, %.0f MHz): %s\n%!" p.Protemp.Offline.tstart
-            (p.Protemp.Offline.ftarget /. 1e6)
+            (hz_to_mhz p.Protemp.Offline.ftarget)
             (match p.Protemp.Offline.outcome with
             | `Feasible -> "ok"
             | `Infeasible -> "infeasible"
@@ -237,7 +243,7 @@ let validate_cmd =
     Printf.printf "tightest margin below tmax: %.4f C%s\n"
       audit.Protemp.Guarantee.worst_margin
       (match audit.Protemp.Guarantee.worst_cell with
-      | Some (t, f) -> Printf.sprintf " at (%.0f C, %.0f MHz)" t (f /. 1e6)
+      | Some (t, f) -> Printf.sprintf " at (%.0f C, %.0f MHz)" t (hz_to_mhz f)
       | None -> "");
     if audit.Protemp.Guarantee.worst_margin >= -1e-9 then begin
       print_endline "table honours the guarantee";
@@ -796,35 +802,103 @@ let lint_cmd =
             "Alloc-free manifest (default: lint.manifest under the root when \
              present).")
   in
+  let units =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "units" ] ~docv:"FILE"
+          ~doc:
+            "Units-of-measure manifest (default: units.manifest under the \
+             root when present).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline of acknowledged finding ids; baselined findings are \
+             reported in the summary but do not fail the run.")
+  in
+  let update_baseline =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "Write the current findings to the baseline file (requires \
+             $(b,--baseline)) and exit 0.")
+  in
+  let no_typed =
+    Arg.(
+      value & flag
+      & info [ "no-typed" ]
+          ~doc:
+            "Skip the typed pass (units, capture); syntactic checkers only.")
+  in
   let root =
     Arg.(
       value & opt dir "."
       & info [ "root" ] ~docv:"DIR"
           ~doc:"Repository root; lib/, bin/ and bench/ under it are linted.")
   in
-  let run json manifest root =
-    let manifest_path =
-      match manifest with
+  let run json manifest units baseline update_baseline no_typed root =
+    let default_path name = function
       | Some _ as m -> m
       | None ->
-          if Sys.file_exists (Filename.concat root "lint.manifest") then
-            Some "lint.manifest"
+          if Sys.file_exists (Filename.concat root name) then Some name
           else None
     in
-    let findings, files = Lint.Driver.run_repo ~root ?manifest_path () in
-    if json then print_endline (Lint.Finding.list_to_json findings)
-    else
-      List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
-    Printf.eprintf "lint: %d finding(s) in %d file(s)\n%!"
-      (List.length findings) (List.length files);
-    if findings = [] then 0 else 1
+    let manifest_path = default_path "lint.manifest" manifest in
+    let units_path = default_path "units.manifest" units in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Lint.Driver.run_repo ~root ?manifest_path ?units_path
+        ~typed:(not no_typed) ()
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if update_baseline then (
+      match baseline with
+      | None ->
+          prerr_endline "lint: --update-baseline requires --baseline FILE";
+          2
+      | Some b ->
+          let b = if Filename.is_relative b then Filename.concat root b else b in
+          Lint.Baseline.save b r.Lint.Driver.findings;
+          Printf.eprintf "lint: wrote %d finding(s) to baseline %s\n%!"
+            (List.length r.Lint.Driver.findings) b;
+          0)
+    else begin
+      let findings, n_baselined =
+        match baseline with
+        | None -> (r.Lint.Driver.findings, 0)
+        | Some b ->
+            let b =
+              if Filename.is_relative b then Filename.concat root b else b
+            in
+            Lint.Baseline.filter (Lint.Baseline.load b) r.Lint.Driver.findings
+      in
+      if json then print_endline (Lint.Finding.list_to_json findings)
+      else
+        List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+      Printf.eprintf
+        "lint: %d finding(s)%s in %d file(s), %d typed, %.2f s\n%!"
+        (List.length findings)
+        (if n_baselined > 0 then Printf.sprintf " (+%d baselined)" n_baselined
+         else "")
+        (List.length r.Lint.Driver.files)
+        r.Lint.Driver.typed elapsed;
+      if findings = [] then 0 else 1
+    end
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Enforce the domain-safety, alloc-free, float-equality and \
-          mli-coverage invariants over the repository sources.")
-    Term.(const run $ json $ manifest $ root)
+         "Enforce the domain-safety, alloc-free, float-equality, \
+          mli-coverage, units-of-measure and cross-domain-capture \
+          invariants over the repository sources.")
+    Term.(
+      const run $ json $ manifest $ units $ baseline $ update_baseline
+      $ no_typed $ root)
 
 let () =
   let doc = "Pro-Temp: convex-optimization thermal control of multi-cores" in

@@ -1,0 +1,53 @@
+(* Finding baseline: a checked-in set of stable finding ids (see
+   Finding.id) that are acknowledged and do not fail the build.  The
+   file format is one finding per line,
+
+     <id> <file> [<checker>] <message...>
+
+   where only the first whitespace-separated token (the id) is
+   significant — the rest is context for the human reading the diff.
+   '#' lines and blank lines are skipped.  A missing file is an empty
+   baseline, so fresh checkouts and temp test trees just work. *)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    String.split_on_char '\n' text
+    |> List.filter_map (fun raw ->
+           let s = String.trim raw in
+           if s = "" || s.[0] = '#' then None
+           else
+             match String.index_opt s ' ' with
+             | Some i -> Some (String.sub s 0 i)
+             | None -> Some s)
+  end
+
+let save path findings =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        "# Lint baseline: acknowledged findings, by stable id.\n\
+         # Regenerate with `make lint-baseline`; only the first token per\n\
+         # line (the id) is read back, the rest is for the reviewer.\n";
+      List.iter
+        (fun f ->
+          Printf.fprintf oc "%s %s [%s] %s\n" (Finding.id f)
+            f.Finding.file f.Finding.checker f.Finding.message)
+        (List.sort_uniq Finding.compare findings))
+
+(* Partition [findings] into (kept, n_baselined). *)
+let filter ids findings =
+  let baselined = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace baselined id ()) ids;
+  let kept =
+    List.filter (fun f -> not (Hashtbl.mem baselined (Finding.id f))) findings
+  in
+  (kept, List.length findings - List.length kept)

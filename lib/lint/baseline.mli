@@ -1,0 +1,13 @@
+(** Finding baseline: a checked-in list of acknowledged finding ids
+    (stable across line shifts, see {!Finding.id}) that are filtered
+    out of the lint result instead of failing the build. *)
+
+(** Ids in the baseline file; a missing file is an empty baseline. *)
+val load : string -> string list
+
+(** Write [findings] as a baseline file (sorted, deduplicated, with a
+    header comment and human-readable context per line). *)
+val save : string -> Finding.t list -> unit
+
+(** [filter ids findings] is [(kept, n_baselined)]. *)
+val filter : string list -> Finding.t list -> Finding.t list * int

@@ -1,0 +1,234 @@
+(* Cross-domain capture checker (typed).
+
+   Closures handed to Parallel.Pool.map_rows / Parallel.Pool.map /
+   Domain.spawn execute on other domains.  This checker walks the free
+   variables of each shipped closure — transitively through same-file
+   helper functions it calls — and flags any capture whose type is
+   mutable shared state:
+
+   - ref cells, bytes, Buffer.t, Hashtbl.t, Queue.t, Stack.t;
+   - records with mutable fields, same-file (from the tree's own type
+     declarations) or cross-module (resolved through the node
+     environment when the build left us enough cmi context).
+
+   Atomic.t, Mutex.t, Condition.t and Semaphore.* are the blessed
+   sharing primitives and are exempt.  Arrays are deliberately NOT
+   flagged: disjoint-index sharding of result arrays is this repo's
+   core parallel idiom (see lib/parallel/pool.mli), and the syntactic
+   domain-safety checker already polices the patterns around it.
+
+   Boundary calls are recognised by their final two path segments, so
+   the module must be spelled at the call site — pool.ml's own
+   internal recursion into [map_rows] is not a boundary.  Free
+   variables of other-module functions are not chased (shallow past
+   the file edge); cross-file mutable state still gets caught when the
+   closure touches it directly. *)
+
+open Typedtree
+
+let boundaries = [ ("Pool", "map_rows"); ("Pool", "map"); ("Domain", "spawn") ]
+
+let is_arrow ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+(* What a captured variable is, judged by its type; [None] = benign. *)
+let mutability ~mutable_records env ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      if Path.same p Predef.path_bytes then Some "bytes"
+      else
+        match Typed_checker.last_two p with
+        | (Some "Stdlib" | None), "ref" -> Some "a ref cell"
+        | Some "Bytes", "t" -> Some "bytes"
+        | Some "Buffer", "t" -> Some "a Buffer.t"
+        | Some "Hashtbl", "t" -> Some "a Hashtbl.t"
+        | Some "Queue", "t" -> Some "a Queue.t"
+        | Some "Stack", "t" -> Some "a Stack.t"
+        | Some ("Atomic" | "Mutex" | "Condition" | "Semaphore"), _ -> None
+        | _ -> (
+            let mutable_record () =
+              Some
+                (Printf.sprintf "a mutable record (%s)"
+                   (String.concat "." (Typed_checker.path_segments p)))
+            in
+            match p with
+            | Path.Pident id
+              when Hashtbl.mem mutable_records (Ident.unique_name id) ->
+                mutable_record ()
+            | _ -> (
+                match Typed_load.find_type_decl env p with
+                | Some { Types.type_kind = Types.Type_record (lds, _); _ }
+                  when List.exists
+                         (fun ld -> ld.Types.ld_mutable = Asttypes.Mutable)
+                         lds ->
+                    mutable_record ()
+                | _ -> None)))
+  | _ -> None
+
+(* Free variables of [expr0]: idents used but not bound within it.
+   Same-file function bindings among them are opened up in turn
+   ([binding_tbl] maps ident unique-names to their defining
+   expression), with a visited set against recursion; [via] remembers
+   the first helper on the path for the message. *)
+let free_vars ~binding_tbl expr0 =
+  let used = Hashtbl.create 16 in
+  let bound = Hashtbl.create 16 in
+  let visited = Hashtbl.create 4 in
+  let analyze ~via e =
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun self ce ->
+            (match ce.exp_desc with
+            | Texp_ident (Path.Pident id, _, _) ->
+                let key = Ident.unique_name id in
+                if (not (Hashtbl.mem bound key)) && not (Hashtbl.mem used key)
+                then
+                  Hashtbl.replace used key (id, ce.exp_type, ce.exp_env, via)
+            | Texp_for (id, _, _, _, _, _) ->
+                Hashtbl.replace bound (Ident.unique_name id) ()
+            | Texp_function { param; _ } ->
+                Hashtbl.replace bound (Ident.unique_name param) ()
+            | _ -> ());
+            Tast_iterator.default_iterator.expr self ce);
+        pat =
+          (fun (type k) self (p : k Typedtree.general_pattern) ->
+            (match p.pat_desc with
+            | Tpat_var (id, _) ->
+                Hashtbl.replace bound (Ident.unique_name id) ()
+            | Tpat_alias (_, id, _) ->
+                Hashtbl.replace bound (Ident.unique_name id) ()
+            | _ -> ());
+            Tast_iterator.default_iterator.pat self p);
+      }
+    in
+    it.expr it e
+  in
+  analyze ~via:None expr0;
+  let rec close () =
+    let todo =
+      Hashtbl.fold
+        (fun key (id, ty, _env, via) acc ->
+          if
+            is_arrow ty
+            && (not (Hashtbl.mem visited key))
+            && Hashtbl.mem binding_tbl key
+          then (key, id, via) :: acc
+          else acc)
+        used []
+    in
+    if todo <> [] then begin
+      List.iter
+        (fun (key, id, via) ->
+          Hashtbl.replace visited key ();
+          let via =
+            Some (match via with None -> Ident.name id | Some v -> v)
+          in
+          analyze ~via (Hashtbl.find binding_tbl key))
+        todo;
+      close ()
+    end
+  in
+  close ();
+  Hashtbl.fold
+    (fun key (id, ty, env, via) acc ->
+      if is_arrow ty || Hashtbl.mem visited key then acc
+      else (id, ty, env, via) :: acc)
+    used []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) ->
+         String.compare (Ident.unique_name a) (Ident.unique_name b))
+
+let check ~(emit : Checker.emit) (src : Typed_checker.source) =
+  let str = src.Typed_checker.str in
+  let binding_tbl = Hashtbl.create 64 in
+  let mutable_records = Hashtbl.create 8 in
+  let collect =
+    {
+      Tast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          (match vb.vb_pat.pat_desc with
+          | Tpat_var (id, _) ->
+              Hashtbl.replace binding_tbl (Ident.unique_name id) vb.vb_expr
+          | _ -> ());
+          Tast_iterator.default_iterator.value_binding self vb);
+      type_declaration =
+        (fun self d ->
+          (match d.typ_kind with
+          | Ttype_record lds
+            when List.exists
+                   (fun ld -> ld.ld_mutable = Asttypes.Mutable)
+                   lds ->
+              Hashtbl.replace mutable_records
+                (Ident.unique_name d.typ_id) ()
+          | _ -> ());
+          Tast_iterator.default_iterator.type_declaration self d);
+    }
+  in
+  collect.structure collect str;
+  let reported = Hashtbl.create 8 in
+  let boundary_call e =
+    match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+        match Typed_checker.last_two p with
+        | Some m, name when List.mem (m, name) boundaries ->
+            let closure =
+              List.find_map
+                (function
+                  | Asttypes.Nolabel, Some a when is_arrow a.exp_type -> Some a
+                  | _ -> None)
+                args
+            in
+            Option.map
+              (fun c -> (String.concat "." (Typed_checker.path_segments p), c))
+              closure
+        | _ -> None)
+    | _ -> None
+  in
+  let scan =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match boundary_call e with
+          | Some (callee, closure) ->
+              let line = Checker.line_of e.exp_loc in
+              let col = Checker.col_of e.exp_loc in
+              List.iter
+                (fun (id, ty, env, via) ->
+                  match mutability ~mutable_records env ty with
+                  | Some kind ->
+                      let key = (line, Ident.unique_name id) in
+                      if not (Hashtbl.mem reported key) then begin
+                        Hashtbl.replace reported key ();
+                        let via_s =
+                          match via with
+                          | None -> ""
+                          | Some v -> Printf.sprintf " (reached through '%s')" v
+                        in
+                        emit ~line ~col
+                          (Printf.sprintf
+                             "closure crossing domains via %s captures %s \
+                              '%s'%s; share it through Atomic or message \
+                              passing, or keep it domain-local"
+                             callee kind (Ident.name id) via_s)
+                      end
+                  | None -> ())
+                (free_vars ~binding_tbl closure)
+          | None -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  scan.structure scan str
+
+let checker : Typed_checker.t =
+  {
+    Typed_checker.id = "capture";
+    keys = [ "capture"; "cross-domain" ];
+    describe =
+      "cross-domain capture: mutable state (refs, mutable records, \
+       Bytes/Buffer/Hashtbl/...) captured by closures shipped through \
+       Parallel.Pool.map_rows/map or Domain.spawn";
+    check = (fun ~emit src -> check ~emit src);
+  }

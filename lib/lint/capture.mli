@@ -1,0 +1,9 @@
+(** Cross-domain capture checker over typed trees: flags mutable state
+    (ref cells, mutable records, bytes, Buffer/Hashtbl/Queue/Stack)
+    captured — directly or through same-file helpers — by closures
+    shipped across domains via [Parallel.Pool.map_rows],
+    [Parallel.Pool.map] or [Domain.spawn].  [Atomic.t]/[Mutex.t] and
+    friends are exempt, as are arrays (disjoint-index sharding is the
+    repo's parallel idiom). *)
+
+val checker : Typed_checker.t

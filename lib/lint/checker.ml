@@ -25,6 +25,25 @@ type t = {
   check : emit:emit -> source -> unit;
 }
 
+(* Repo-relative path normalization: collapse '\' to '/', drop empty
+   and '.' segments, so "./lib/a.ml" and "lib//a.ml" classify like
+   "lib/a.ml".  ".." is kept — a path escaping the root should never
+   classify as library code. *)
+let normalize_path p =
+  String.map (fun c -> if c = '\\' then '/' else c) p
+  |> String.split_on_char '/'
+  |> List.filter (fun s -> s <> "" && s <> ".")
+  |> String.concat "/"
+
+(* First segment of the normalized path: "lib/sim/engine.ml" -> "lib". *)
+let top_dir p =
+  let p = normalize_path p in
+  match String.index_opt p '/' with
+  | Some i -> String.sub p 0 i
+  | None -> p
+
+let in_dir ~dir path = String.equal (top_dir path) dir
+
 let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
 
 let col_of (loc : Location.t) =

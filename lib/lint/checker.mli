@@ -23,6 +23,17 @@ type t = {
   check : emit:emit -> source -> unit;
 }
 
+(** Collapse ['\\'] to ['/'] and drop empty and ["."] segments, so
+    ["./lib/a.ml"] classifies like ["lib/a.ml"]. *)
+val normalize_path : string -> string
+
+(** First segment of the normalized path. *)
+val top_dir : string -> string
+
+(** [in_dir ~dir path] is true when the normalized [path] lives under
+    the top-level directory [dir]. *)
+val in_dir : dir:string -> string -> bool
+
 val line_of : Location.t -> int
 val col_of : Location.t -> int
 

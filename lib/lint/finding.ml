@@ -9,6 +9,18 @@ type t = {
 let v ~file ~line ?(col = 0) ~checker message =
   { file; line; col; checker; message }
 
+(* Stable identity: checker + file + message, deliberately NOT the
+   line, so a finding keeps its id when unrelated edits shift code
+   around.  Two findings with identical messages in one file collapse
+   to one id; baselining one baselines both — acceptable for a
+   baseline, noted in DESIGN.md. *)
+let id f =
+  let digest =
+    Digest.to_hex
+      (Digest.string (f.checker ^ "\x00" ^ f.file ^ "\x00" ^ f.message))
+  in
+  String.sub digest 0 12
+
 let compare a b =
   let c = String.compare a.file b.file in
   if c <> 0 then c
@@ -46,8 +58,8 @@ let json_escape s =
 
 let to_json f =
   Printf.sprintf
-    {|{"file":"%s","line":%d,"col":%d,"checker":"%s","message":"%s"}|}
-    (json_escape f.file) f.line f.col (json_escape f.checker)
+    {|{"id":"%s","file":"%s","line":%d,"col":%d,"checker":"%s","message":"%s"}|}
+    (id f) (json_escape f.file) f.line f.col (json_escape f.checker)
     (json_escape f.message)
 
 let list_to_json fs =

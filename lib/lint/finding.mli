@@ -11,6 +11,10 @@ type t = {
 
 val v : file:string -> line:int -> ?col:int -> checker:string -> string -> t
 
+(** Stable 12-hex-char identity over (checker, file, message) — line-
+    independent, so baselined findings survive unrelated edits. *)
+val id : t -> string
+
 (** Total order: file, then line, then column, then checker. *)
 val compare : t -> t -> int
 

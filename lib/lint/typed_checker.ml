@@ -1,0 +1,65 @@
+(* The typed-checker interface: a checker that sees a Typedtree (from
+   a .cmt artifact or an in-process typecheck) instead of a Parsetree.
+   Findings flow through the same driver [emit] as the syntactic
+   checkers, so suppressions, JSON rendering and exit codes are
+   identical. *)
+
+type source = {
+  path : string;  (* repo-relative, '/'-separated *)
+  str : Typedtree.structure;
+  in_lib : bool;  (* under lib/ — library code *)
+}
+
+type t = {
+  id : string;
+  keys : string list;  (* suppression keys this checker honours *)
+  describe : string;
+  check : emit:Checker.emit -> source -> unit;
+}
+
+(* Typed-tree paths render module aliases and wrapped-library prefixes
+   in several spellings — "Parallel.Pool.map_rows",
+   "Parallel__Pool.map_rows", "Stdlib!.Domain.spawn" — so comparisons
+   work on normalized segments: strip trailing '!', and keep only the
+   part of each segment after the last "__" (the dune wrapping
+   separator).  The Path.t structure is walked directly rather than
+   splitting [Path.name] on '.', because operator names ("+.", "/.")
+   themselves contain dots. *)
+let rec raw_segments p =
+  match p with
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (q, s) -> raw_segments q @ [ s ]
+  | Path.Papply (q, _) -> raw_segments q
+  | Path.Pextra_ty (q, _) -> raw_segments q
+
+let path_segments p =
+  let strip s =
+    (* Drop trailing '!' (module-alias marker). *)
+    let n =
+      let rec go i = if i > 0 && s.[i - 1] = '!' then go (i - 1) else i in
+      go (String.length s)
+    in
+    let s = String.sub s 0 n in
+    (* Keep only what follows the last "__". *)
+    let start =
+      let rec go i last =
+        if i + 1 >= String.length s then last
+        else if s.[i] = '_' && s.[i + 1] = '_' then go (i + 2) (i + 2)
+        else go (i + 1) last
+      in
+      go 0 0
+    in
+    String.sub s start (String.length s - start)
+  in
+  raw_segments p
+  |> List.filter_map (fun s ->
+         let s = strip s in
+         if s = "" then None else Some s)
+
+(* Last two segments of a normalized path: the module and the name.
+   [None] for the module on a bare identifier. *)
+let last_two p =
+  match List.rev (path_segments p) with
+  | [] -> (None, "")
+  | [ name ] -> (None, name)
+  | name :: m :: _ -> (Some m, name)

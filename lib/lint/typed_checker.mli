@@ -1,0 +1,28 @@
+(** The typed-checker interface: checkers over [Typedtree.structure]
+    (loaded from [.cmt] artifacts or typechecked in-process) sharing
+    the driver's [emit]/suppression machinery with the syntactic
+    checkers. *)
+
+type source = {
+  path : string;  (** repo-relative, ['/']-separated *)
+  str : Typedtree.structure;
+  in_lib : bool;  (** under [lib/] — library code *)
+}
+
+type t = {
+  id : string;
+  keys : string list;  (** suppression keys this checker honours *)
+  describe : string;
+  check : emit:Checker.emit -> source -> unit;
+}
+
+(** Normalized segments of a typed-tree path: trailing ['!'] stripped,
+    each segment reduced to what follows the last ["__"] (the dune
+    library-wrapping separator), empty segments dropped.  So
+    ["Parallel__Pool.map_rows"] and ["Parallel.Pool.map_rows"] both
+    end in [["Pool"; "map_rows"]]. *)
+val path_segments : Path.t -> string list
+
+(** [(module, name)] from the last two normalized segments; the module
+    is [None] for a bare identifier. *)
+val last_two : Path.t -> string option * string

@@ -1,0 +1,22 @@
+(** Typed-tree acquisition: [.cmt] artifacts from the build, or an
+    in-process typecheck for self-contained files the build does not
+    know.  Shares global compiler state — single-domain only. *)
+
+(** Index every compiled implementation under [root] (preferring
+    [root/_build/default] when present): normalized source path ->
+    typed tree.  Directories that contained cmts are added to the
+    compiler load path so environment reconstruction works. *)
+val index : root:string -> (string, Typedtree.structure) Hashtbl.t
+
+(** Typecheck a parsed structure against the initial (stdlib)
+    environment.  Only self-contained sources succeed. *)
+val type_structure :
+  Parsetree.structure -> (Typedtree.structure, exn) result
+
+(** [(line, col, message)] of a typechecking exception. *)
+val describe_error : exn -> int * int * string
+
+(** Best-effort type-declaration lookup through the node's
+    environment, reconstructing cmt summary envs when needed; [None]
+    when the declaration cannot be resolved. *)
+val find_type_decl : Env.t -> Path.t -> Types.type_declaration option

@@ -1,0 +1,615 @@
+(* Units-of-measure checker (typed).
+
+   The manifest assigns vocabulary units (hz, norm, celsius, watt,
+   second, joule) to function parameters/returns, toplevel values and
+   record fields.  This checker propagates those units through float
+   arithmetic inside each compilation unit and flags:
+
+   - mixed-unit addition/subtraction/min/max (hz +. celsius);
+   - mixed-unit comparisons (a 'norm' frequency against a raw hz cap
+     is the classic one in this code base);
+   - an argument whose inferred unit contradicts the declared
+     parameter unit — in particular an absolute value passed where a
+     normalized ('norm') parameter is declared;
+   - a store into a record field, or a function return, whose unit
+     contradicts the declaration;
+   - manifest entries the typed tree cannot account for (renamed
+     parameter, deleted binding) — reported against the manifest
+     itself, bypassing suppressions, exactly like lint.manifest.
+
+   The inference is deliberately intra-procedural and conservative:
+   anything it cannot prove has unit Unknown and is never flagged.
+   Float literals are a third state, neutral under scaling, so
+   [0.5 *. f] keeps f's unit and [f +. 0.001] stays comparable.
+   A handful of dimensional identities are encoded — u /. u = norm,
+   norm *. u = u, watt *. second = joule and its two quotients —
+   because the thermal pipeline leans on them.
+
+   Array values carry their element unit: [m.core_fmax] is hz per
+   element, and [Array.get]/[.(i)] preserves it.  Optional parameters
+   with defaults lose their unit at the desugaring boundary (the
+   inner rebinding is a fresh ident); declare such units on the
+   callee they feed instead. *)
+
+open Typedtree
+
+type u = Lit | Known of string | Unknown
+
+let modname_of_file path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+let index_where f l =
+  let rec go i = function
+    | [] -> None
+    | x :: tl -> if f x then Some i else go (i + 1) tl
+  in
+  go 0 l
+
+let rec arrow_params ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (l, a, b, _) -> (l, a) :: arrow_params b
+  | _ -> []
+
+let is_arrow ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let is_float ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+(* Operator classification on normalized (module, name) of the applied
+   identifier.  [None] for the module means a bare ident. *)
+type op = Same | Mul | Div | Cmp | Preserve | Aget | Aset
+
+let op_kind m name =
+  match (m, name) with
+  | (Some "Stdlib" | None), ("+." | "-.") -> Some Same
+  | (Some "Stdlib" | None | Some "Float"), ("min" | "max") -> Some Same
+  | Some "Float", ("add" | "sub") -> Some Same
+  | (Some "Stdlib" | None), "*." | Some "Float", "mul" -> Some Mul
+  | (Some "Stdlib" | None), "/." | Some "Float", "div" -> Some Div
+  | (Some "Stdlib" | None), ("=" | "<>" | "<" | "<=" | ">" | ">=" | "compare")
+  | Some "Float", ("compare" | "equal") ->
+      Some Cmp
+  | (Some "Stdlib" | None), ("abs_float" | "~-." | "~+.")
+  | Some "Float", ("abs" | "neg") ->
+      Some Preserve
+  | Some "Array", ("get" | "unsafe_get") -> Some Aget
+  | Some "Array", ("set" | "unsafe_set") -> Some Aset
+  | _ -> None
+
+let join us =
+  if List.exists (fun x -> x = Unknown) us then Unknown
+  else
+    match
+      List.sort_uniq compare
+        (List.filter_map (function Known u -> Some u | _ -> None) us)
+    with
+    | [] -> Lit
+    | [ u ] -> Known u
+    | _ -> Unknown
+
+(* Call-site lookup tables, built once from the manifest.  fn/val keys
+   are (module, name) where the module is the last dotted component of
+   the manifest name, or the file's own module for a plain name; field
+   keys add the record type name. *)
+type tables = {
+  manifest : Units_manifest.t;
+  fn_by_call : (string * string, Units_manifest.fn) Hashtbl.t;
+  val_by_call : (string * string, Units_manifest.vval) Hashtbl.t;
+  field_unit : (string * string * string, string) Hashtbl.t;
+}
+
+let call_key file dotted =
+  match List.rev (String.split_on_char '.' dotted) with
+  | name :: m :: _ -> (m, name)
+  | [ name ] -> (modname_of_file file, name)
+  | [] -> (modname_of_file file, dotted)
+
+let build_tables manifest =
+  let fn_by_call = Hashtbl.create 16 in
+  let val_by_call = Hashtbl.create 16 in
+  let field_unit = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Units_manifest.fn) ->
+      Hashtbl.replace fn_by_call (call_key f.f_file f.f_name) f)
+    manifest.Units_manifest.fns;
+  List.iter
+    (fun (v : Units_manifest.vval) ->
+      Hashtbl.replace val_by_call (call_key v.v_file v.v_name) v)
+    manifest.Units_manifest.vals;
+  List.iter
+    (fun (f : Units_manifest.field) ->
+      Hashtbl.replace field_unit
+        (modname_of_file f.fd_file, f.fd_type, f.fd_field)
+        f.fd_unit)
+    manifest.Units_manifest.fields;
+  { manifest; fn_by_call; val_by_call; field_unit }
+
+(* Map each declared (name, unit) parameter to an index in the callee's
+   arrow chain: labelled parameters by label, the rest in manifest
+   order against the unclaimed unlabelled float slots.  Typedtree
+   application arguments are already in arrow order, so the index maps
+   straight onto the argument list. *)
+let resolve_param_slots params arrows =
+  let n = List.length arrows in
+  let arr = Array.of_list arrows in
+  let used = Array.make (max n 1) false in
+  let by_label =
+    List.map
+      (fun (pname, punit) ->
+        let idx =
+          index_where
+            (fun (l, _) ->
+              match l with
+              | Asttypes.Labelled s | Asttypes.Optional s -> String.equal s pname
+              | Asttypes.Nolabel -> false)
+            arrows
+        in
+        (match idx with Some i -> used.(i) <- true | None -> ());
+        ((pname, punit), idx))
+      params
+  in
+  let cursor = ref 0 in
+  List.map
+    (fun (p, idx) ->
+      match idx with
+      | Some _ -> (p, idx)
+      | None ->
+          let rec grab i =
+            if i >= n then None
+            else
+              let l, ty = arr.(i) in
+              if (not used.(i)) && l = Asttypes.Nolabel && is_float ty then (
+                used.(i) <- true;
+                cursor := i + 1;
+                Some i)
+              else grab (i + 1)
+          in
+          (p, grab !cursor))
+    by_label
+
+(* Peel the leading single-case fun chain of a binding, collecting
+   (label, (ident, var-name) option) per parameter. *)
+let rec peel_fn acc e =
+  match e.exp_desc with
+  | Texp_function { arg_label; cases = [ { c_lhs; c_guard = None; c_rhs } ]; _ }
+    ->
+      let var =
+        match c_lhs.pat_desc with
+        | Tpat_var (id, nm) -> Some (id, nm.Location.txt)
+        | Tpat_alias (_, id, nm) -> Some (id, nm.Location.txt)
+        | _ -> None
+      in
+      peel_fn ((arg_label, var) :: acc) c_rhs
+  | _ -> (List.rev acc, e)
+
+let check tables ~(emit : Checker.emit) (src : Typed_checker.source) =
+  let manifest = tables.manifest in
+  let cur_mod = modname_of_file src.Typed_checker.path in
+  let env : (string, u) Hashtbl.t = Hashtbl.create 64 in
+  let bind id u = Hashtbl.replace env (Ident.unique_name id) u in
+  let at e = (Checker.line_of e.exp_loc, Checker.col_of e.exp_loc) in
+  let flag e msg =
+    let line, col = at e in
+    emit ~line ~col msg
+  in
+  let field_key (lbl : Types.label_description) =
+    match Types.get_desc lbl.Types.lbl_res with
+    | Types.Tconstr (p, _, _) ->
+        let m, ty = Typed_checker.last_two p in
+        Some (Option.value m ~default:cur_mod, ty, lbl.Types.lbl_name)
+    | _ -> None
+  in
+  let field_decl lbl =
+    Option.bind (field_key lbl) (Hashtbl.find_opt tables.field_unit)
+  in
+  let display p = String.concat "." (Typed_checker.path_segments p) in
+  let rec infer e =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> (
+        match p with
+        | Path.Pident id -> (
+            match Hashtbl.find_opt env (Ident.unique_name id) with
+            | Some u -> u
+            | None -> lookup_val p)
+        | _ -> lookup_val p)
+    | Texp_constant (Asttypes.Const_float _) -> Lit
+    | Texp_constant _ -> Unknown
+    | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as fexpr), args) ->
+        apply fexpr p args e
+    | Texp_apply (f, args) ->
+        ignore (infer f);
+        List.iter (fun (_, eo) -> Option.iter (fun a -> ignore (infer a)) eo) args;
+        Unknown
+    | Texp_field (e0, _, lbl) -> (
+        ignore (infer e0);
+        match field_decl lbl with Some u -> Known u | None -> Unknown)
+    | Texp_setfield (e0, _, lbl, v) ->
+        ignore (infer e0);
+        let vu = infer v in
+        (match (field_decl lbl, vu) with
+        | Some d, Known w when w <> d ->
+            flag e
+              (Printf.sprintf
+                 "field '%s' holds '%s' but the stored value has unit '%s'"
+                 lbl.Types.lbl_name d w)
+        | _ -> ());
+        Unknown
+    | Texp_record { fields; extended_expression; _ } ->
+        Option.iter (fun e0 -> ignore (infer e0)) extended_expression;
+        Array.iter
+          (fun (lbl, def) ->
+            match def with
+            | Overridden (_, v) -> (
+                let vu = infer v in
+                match (field_decl lbl, vu) with
+                | Some d, Known w when w <> d ->
+                    flag v
+                      (Printf.sprintf
+                         "field '%s' holds '%s' but the initializer has unit \
+                          '%s'"
+                         lbl.Types.lbl_name d w)
+                | _ -> ())
+            | _ -> ())
+          fields;
+        Unknown
+    | Texp_let (_, vbs, body) ->
+        List.iter
+          (fun vb ->
+            let u = infer vb.vb_expr in
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) | Tpat_alias (_, id, _) -> bind id u
+            | _ -> ())
+          vbs;
+        infer body
+    | Texp_sequence (a, b) ->
+        ignore (infer a);
+        infer b
+    | Texp_ifthenelse (c, t, eo) -> (
+        ignore (infer c);
+        let tu = infer t in
+        match eo with
+        | Some el -> join [ tu; infer el ]
+        | None -> Unknown)
+    | Texp_match (scrut, cases, _) ->
+        ignore (infer scrut);
+        join
+          (List.map
+             (fun c ->
+               Option.iter (fun g -> ignore (infer g)) c.c_guard;
+               infer c.c_rhs)
+             cases)
+    | Texp_try (body, cases) ->
+        join
+          (infer body
+          :: List.map
+               (fun c ->
+                 Option.iter (fun g -> ignore (infer g)) c.c_guard;
+                 infer c.c_rhs)
+               cases)
+    | Texp_array els -> join (List.map infer els)
+    | _ ->
+        descend e;
+        Unknown
+  and descend e =
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr = (fun _ ce -> ignore (infer ce));
+      }
+    in
+    Tast_iterator.default_iterator.expr it e
+  and lookup_val p =
+    let m, name = Typed_checker.last_two p in
+    match
+      Hashtbl.find_opt tables.val_by_call
+        (Option.value m ~default:cur_mod, name)
+    with
+    | Some v -> Known v.Units_manifest.v_unit
+    | None -> Unknown
+  and apply fexpr p args whole =
+    let m, name = Typed_checker.last_two p in
+    let two_nolabel () =
+      match
+        List.filter_map
+          (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+          args
+      with
+      | [ a; b ] -> Some (a, b)
+      | _ -> None
+    in
+    let infer_rest () =
+      List.iter (fun (_, eo) -> Option.iter (fun a -> ignore (infer a)) eo) args
+    in
+    match op_kind m name with
+    | Some Same -> (
+        match two_nolabel () with
+        | Some (a, b) -> (
+            let ua = infer a and ub = infer b in
+            match (ua, ub) with
+            | Known x, Known y when x <> y ->
+                flag whole
+                  (Printf.sprintf "mixed units: '%s' combines '%s' and '%s'"
+                     name x y);
+                Unknown
+            | Known x, _ | _, Known x -> Known x
+            | Lit, Lit -> Lit
+            | _ -> Unknown)
+        | None ->
+            infer_rest ();
+            Unknown)
+    | Some Mul -> (
+        match two_nolabel () with
+        | Some (a, b) -> (
+            let ua = infer a and ub = infer b in
+            match (ua, ub) with
+            | Lit, Lit -> Lit
+            | Lit, x | x, Lit -> x
+            | Known "norm", x | x, Known "norm" -> x
+            | Known "watt", Known "second" | Known "second", Known "watt" ->
+                Known "joule"
+            | _ -> Unknown)
+        | None ->
+            infer_rest ();
+            Unknown)
+    | Some Div -> (
+        match two_nolabel () with
+        | Some (a, b) -> (
+            let ua = infer a and ub = infer b in
+            match (ua, ub) with
+            | Known x, Known y when x = y -> Known "norm"
+            | Known "joule", Known "second" -> Known "watt"
+            | Known "joule", Known "watt" -> Known "second"
+            | x, Known "norm" -> x
+            | x, Lit -> x
+            | _ -> Unknown)
+        | None ->
+            infer_rest ();
+            Unknown)
+    | Some Cmp ->
+        (match two_nolabel () with
+        | Some (a, b) -> (
+            match (infer a, infer b) with
+            | Known x, Known y when x <> y ->
+                flag whole
+                  (Printf.sprintf
+                     "mixed units: comparison ('%s') between '%s' and '%s'"
+                     name x y)
+            | _ -> ())
+        | None -> infer_rest ());
+        Unknown
+    | Some Preserve -> (
+        match
+          List.filter_map
+            (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+            args
+        with
+        | [ a ] -> infer a
+        | _ ->
+            infer_rest ();
+            Unknown)
+    | Some Aget -> (
+        match args with
+        | (_, Some arr) :: rest ->
+            let u = infer arr in
+            List.iter
+              (fun (_, eo) -> Option.iter (fun a -> ignore (infer a)) eo)
+              rest;
+            u
+        | _ -> Unknown)
+    | Some Aset ->
+        (match
+           List.filter_map
+             (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+             args
+         with
+        | [ arr; _idx; v ] -> (
+            let tu = infer arr and vu = infer v in
+            match (tu, vu) with
+            | Known d, Known w when d <> w ->
+                flag whole
+                  (Printf.sprintf
+                     "array holds '%s' but the stored value has unit '%s'" d w)
+            | _ -> ())
+        | other -> List.iter (fun a -> ignore (infer a)) other);
+        Unknown
+    | None -> (
+        match
+          Hashtbl.find_opt tables.fn_by_call
+            (Option.value m ~default:cur_mod, name)
+        with
+        | Some fentry ->
+            let arrows = arrow_params fexpr.exp_type in
+            let arg_units =
+              List.map (fun (_, eo) -> Option.map (fun a -> (a, infer a)) eo) args
+            in
+            let slots =
+              resolve_param_slots fentry.Units_manifest.f_params arrows
+            in
+            List.iter
+              (fun ((pname, punit), idx) ->
+                match Option.bind idx (List.nth_opt arg_units) with
+                | Some (Some (a, Known w)) when w <> punit ->
+                    if punit = "norm" then
+                      flag a
+                        (Printf.sprintf
+                           "absolute '%s' value passed where parameter '%s' \
+                            of %s is declared normalized ('norm')"
+                           w pname (display p))
+                    else
+                      flag a
+                        (Printf.sprintf
+                           "argument '%s' of %s has unit '%s' but '%s' is \
+                            declared"
+                           pname (display p) w punit)
+                | _ -> ())
+              slots;
+            if is_arrow whole.exp_type then Unknown
+            else (
+              match fentry.Units_manifest.f_ret with
+              | Some r -> Known r
+              | None -> Unknown)
+        | None ->
+            infer_rest ();
+            Unknown)
+  in
+  (* Definition walk: match manifest entries for this file against the
+     bindings (and record declarations) the typed tree actually has;
+     seed the environment from declared parameter/value units; verify
+     declared returns against the inferred body unit. *)
+  let my_fns =
+    List.filter
+      (fun (f : Units_manifest.fn) -> f.f_file = src.Typed_checker.path)
+      manifest.Units_manifest.fns
+  and my_vals =
+    List.filter
+      (fun (v : Units_manifest.vval) -> v.v_file = src.Typed_checker.path)
+      manifest.Units_manifest.vals
+  and my_fields =
+    List.filter
+      (fun (f : Units_manifest.field) -> f.fd_file = src.Typed_checker.path)
+      manifest.Units_manifest.fields
+  in
+  let matched : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let mark line = Hashtbl.replace matched line () in
+  let check_fn_def (fentry : Units_manifest.fn) vb_expr =
+    let params, body = peel_fn [] vb_expr in
+    List.iter
+      (fun (pname, punit) ->
+        let found =
+          List.find_opt
+            (fun (l, var) ->
+              match l with
+              | Asttypes.Labelled s | Asttypes.Optional s -> String.equal s pname
+              | Asttypes.Nolabel -> (
+                  match var with
+                  | Some (_, nm) -> String.equal nm pname
+                  | None -> false))
+            params
+        in
+        match found with
+        | Some (_, Some (id, _)) -> bind id (Known punit)
+        | Some (_, None) -> ()
+        | None ->
+            emit ~file:manifest.Units_manifest.path ~line:fentry.f_line
+              (Printf.sprintf
+                 "units manifest: fn '%s' in %s has no parameter '%s' — \
+                  update the entry"
+                 fentry.f_name fentry.f_file pname))
+      fentry.f_params;
+    let bu = infer body in
+    match (fentry.f_ret, bu) with
+    | Some r, Known w when w <> r ->
+        flag body
+          (Printf.sprintf
+             "body of '%s' has unit '%s' but return unit '%s' is declared"
+             fentry.f_name w r)
+    | _ -> ()
+  in
+  let rec walk_items prefix items =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, nm) | Tpat_alias (_, id, nm) -> (
+                    let dotted =
+                      String.concat "." (prefix @ [ nm.Location.txt ])
+                    in
+                    match
+                      List.find_opt
+                        (fun (f : Units_manifest.fn) -> f.f_name = dotted)
+                        my_fns
+                    with
+                    | Some fentry ->
+                        mark fentry.f_line;
+                        check_fn_def fentry vb.vb_expr
+                    | None -> (
+                        match
+                          List.find_opt
+                            (fun (v : Units_manifest.vval) -> v.v_name = dotted)
+                            my_vals
+                        with
+                        | Some ventry ->
+                            mark ventry.v_line;
+                            (match infer vb.vb_expr with
+                            | Known w when w <> ventry.v_unit ->
+                                flag vb.vb_expr
+                                  (Printf.sprintf
+                                     "value '%s' declared '%s' but its \
+                                      definition has unit '%s'"
+                                     ventry.v_name ventry.v_unit w)
+                            | _ -> ());
+                            bind id (Known ventry.v_unit)
+                        | None -> bind id (infer vb.vb_expr)))
+                | _ -> ignore (infer vb.vb_expr))
+              vbs
+        | Tstr_eval (e, _) -> ignore (infer e)
+        | Tstr_type (_, decls) ->
+            List.iter
+              (fun d ->
+                match d.typ_kind with
+                | Ttype_record lds ->
+                    List.iter
+                      (fun (fd : Units_manifest.field) ->
+                        if
+                          fd.fd_type = d.typ_name.Location.txt
+                          && List.exists
+                               (fun ld ->
+                                 ld.ld_name.Location.txt = fd.fd_field)
+                               lds
+                        then mark fd.fd_line)
+                      my_fields
+                | _ -> ())
+              decls
+        | Tstr_module mb -> (
+            let sub =
+              match mb.mb_expr.mod_desc with
+              | Tmod_structure s -> Some s
+              | Tmod_constraint ({ mod_desc = Tmod_structure s; _ }, _, _, _)
+                ->
+                  Some s
+              | _ -> None
+            in
+            match (mb.mb_id, sub) with
+            | Some id, Some s ->
+                walk_items (prefix @ [ Ident.name id ]) s.str_items
+            | _ -> ())
+        | _ -> ())
+      items
+  in
+  walk_items [] src.Typed_checker.str.str_items;
+  let complain line what name =
+    if not (Hashtbl.mem matched line) then
+      emit ~file:manifest.Units_manifest.path ~line
+        (Printf.sprintf
+           "units manifest: %s '%s' not found in %s — update the entry" what
+           name src.Typed_checker.path)
+  in
+  List.iter
+    (fun (f : Units_manifest.fn) -> complain f.f_line "fn" f.f_name)
+    my_fns;
+  List.iter
+    (fun (v : Units_manifest.vval) -> complain v.v_line "val" v.v_name)
+    my_vals;
+  List.iter
+    (fun (f : Units_manifest.field) ->
+      complain f.fd_line "record field"
+        (f.fd_type ^ "." ^ f.fd_field))
+    my_fields
+
+let checker manifest : Typed_checker.t =
+  let tables = build_tables manifest in
+  {
+    Typed_checker.id = "units";
+    keys = [ "units" ];
+    describe =
+      "units-of-measure: mixed-unit arithmetic/comparisons and \
+       absolute-vs-normalized argument confusions, per units.manifest";
+    check = (fun ~emit src -> check tables ~emit src);
+  }

@@ -1,0 +1,8 @@
+(** Units-of-measure checker over typed trees: propagates the units
+    declared in [units.manifest] through float arithmetic and flags
+    mixed-unit addition/comparison, absolute-for-normalized argument
+    confusions, and declaration/definition mismatches.  Manifest
+    entries the typed tree cannot account for are reported against the
+    manifest file itself (suppression-exempt, like [lint.manifest]). *)
+
+val checker : Units_manifest.t -> Typed_checker.t

@@ -1,0 +1,178 @@
+(* The units-of-measure manifest: assigns vocabulary units to function
+   parameters/returns, toplevel values and record fields.  Strict both
+   ways, like the alloc-free manifest: a malformed line or unknown
+   unit is an error here, and an entry naming a function, value, type
+   or field the typed tree does not contain becomes a finding against
+   the manifest (see Units).
+
+     # comment
+     fn lib/sim/machine.ml core_power frequency:hz -> watt
+     val lib/thermal/niagara.ml fmax hz
+     field lib/sim/machine.ml t.core_fmax hz
+
+   Vocabulary: hz (absolute frequency), norm (dimensionless, [0,1]
+   normalized), celsius, watt, second, joule.  An array-typed
+   value declared with a unit carries that unit per element
+   (indexing preserves it). *)
+
+let vocabulary = [ "hz"; "norm"; "celsius"; "watt"; "second"; "joule" ]
+
+type fn = {
+  f_file : string;
+  f_name : string;  (* dotted binding path, as for the alloc manifest *)
+  f_params : (string * string) list;  (* parameter name -> unit *)
+  f_ret : string option;
+  f_line : int;
+}
+
+type vval = { v_file : string; v_name : string; v_unit : string; v_line : int }
+
+type field = {
+  fd_file : string;
+  fd_type : string;
+  fd_field : string;
+  fd_unit : string;
+  fd_line : int;
+}
+
+type t = {
+  path : string;
+  fns : fn list;
+  vals : vval list;
+  fields : field list;
+}
+
+let empty path = { path; fns = []; vals = []; fields = [] }
+
+let unit_ok u = List.mem u vocabulary
+
+let parse ~path text =
+  let fns = ref [] and vals = ref [] and fields = ref [] in
+  let errors = ref [] in
+  let error line msg = errors := (line, msg) :: !errors in
+  let bad_unit line u =
+    error line
+      (Printf.sprintf "unknown unit '%s' (vocabulary: %s)" u
+         (String.concat ", " vocabulary))
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim raw in
+      if s = "" || s.[0] = '#' then ()
+      else
+        match
+          String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+        with
+        | "fn" :: file :: name :: rest ->
+            let rec params acc = function
+              | [] -> Some (List.rev acc, None)
+              | [ "->"; ret ] ->
+                  if unit_ok ret then Some (List.rev acc, Some ret)
+                  else (
+                    bad_unit line ret;
+                    None)
+              | tok :: rest -> (
+                  match String.index_opt tok ':' with
+                  | Some i when i > 0 && i < String.length tok - 1 ->
+                      let p = String.sub tok 0 i in
+                      let u =
+                        String.sub tok (i + 1) (String.length tok - i - 1)
+                      in
+                      if unit_ok u then params ((p, u) :: acc) rest
+                      else (
+                        bad_unit line u;
+                        None)
+                  | _ ->
+                      error line
+                        (Printf.sprintf
+                           "malformed parameter '%s' (want: NAME:UNIT)" tok);
+                      None)
+            in
+            (match params [] rest with
+            | Some (([] : (string * string) list), None) ->
+                error line
+                  "fn entry declares no parameter units and no return unit"
+            | Some (ps, ret) ->
+                fns :=
+                  {
+                    f_file = file;
+                    f_name = name;
+                    f_params = ps;
+                    f_ret = ret;
+                    f_line = line;
+                  }
+                  :: !fns
+            | None -> ())
+        | [ "val"; file; name; u ] ->
+            if unit_ok u then
+              vals :=
+                { v_file = file; v_name = name; v_unit = u; v_line = line }
+                :: !vals
+            else bad_unit line u
+        | [ "field"; file; tyfield; u ] -> (
+            if not (unit_ok u) then bad_unit line u
+            else
+              match String.split_on_char '.' tyfield with
+              | [ ty; fd ] when ty <> "" && fd <> "" ->
+                  fields :=
+                    {
+                      fd_file = file;
+                      fd_type = ty;
+                      fd_field = fd;
+                      fd_unit = u;
+                      fd_line = line;
+                    }
+                    :: !fields
+              | _ ->
+                  error line
+                    (Printf.sprintf "malformed field '%s' (want: TYPE.FIELD)"
+                       tyfield))
+        | _ ->
+            error line
+              (Printf.sprintf
+                 "malformed units line '%s' (want: fn FILE NAME P:UNIT ... \
+                  [-> UNIT] | val FILE NAME UNIT | field FILE TYPE.FIELD \
+                  UNIT)"
+                 s))
+    (String.split_on_char '\n' text);
+  ( {
+      path;
+      fns = List.rev !fns;
+      vals = List.rev !vals;
+      fields = List.rev !fields;
+    },
+    List.rev !errors )
+
+let load path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse ~path text
+
+let files t =
+  List.sort_uniq String.compare
+    (List.map (fun f -> f.f_file) t.fns
+    @ List.map (fun v -> v.v_file) t.vals
+    @ List.map (fun f -> f.fd_file) t.fields)
+
+(* Entries naming files outside [seen], as (line, message) pairs
+   against the manifest itself. *)
+let unknown_files t ~seen =
+  let check file line what =
+    if List.mem file seen then []
+    else
+      [
+        ( line,
+          Printf.sprintf
+            "units manifest names unknown file '%s' (%s entry) — update the \
+             entry when a file moves"
+            file what );
+      ]
+  in
+  List.concat_map (fun f -> check f.f_file f.f_line "fn") t.fns
+  @ List.concat_map (fun v -> check v.v_file v.v_line "val") t.vals
+  @ List.concat_map (fun f -> check f.fd_file f.fd_line "field") t.fields

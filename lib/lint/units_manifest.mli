@@ -1,0 +1,48 @@
+(** The units-of-measure manifest (see [units.manifest]): units from a
+    closed vocabulary assigned to function parameters/returns,
+    toplevel values and record fields.  Strict both ways — unknown
+    units or malformed lines are load errors, and entries the typed
+    tree cannot account for become findings (see {!Units}). *)
+
+(** [hz], [norm] (dimensionless, normalized), [celsius], [watt],
+    [second], [joule]. *)
+val vocabulary : string list
+
+type fn = {
+  f_file : string;
+  f_name : string;  (** dotted binding path *)
+  f_params : (string * string) list;  (** parameter name -> unit *)
+  f_ret : string option;
+  f_line : int;
+}
+
+type vval = { v_file : string; v_name : string; v_unit : string; v_line : int }
+
+type field = {
+  fd_file : string;
+  fd_type : string;
+  fd_field : string;
+  fd_unit : string;
+  fd_line : int;
+}
+
+type t = {
+  path : string;
+  fns : fn list;
+  vals : vval list;
+  fields : field list;
+}
+
+val empty : string -> t
+
+(** [(manifest, errors)] where errors are [(line, message)]. *)
+val parse : path:string -> string -> t * (int * string) list
+
+val load : string -> t * (int * string) list
+
+(** Every file the manifest names, sorted, deduplicated. *)
+val files : t -> string list
+
+(** Entries naming files outside [seen], as [(line, message)] pairs
+    against the manifest itself. *)
+val unknown_files : t -> seen:string list -> (int * string) list

@@ -50,6 +50,7 @@ let create ?domains () =
     }
   in
   (* The submitting domain works too, so [size - 1] extra domains. *)
+  (* lint: capture the pool record is the shared queue itself; every field the workers touch is accessed under t.mutex *)
   t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 

@@ -271,6 +271,7 @@ let fill ?domains (t : t) =
      rows happen to finish first. *)
   let bounds = Array.init rows (fun i -> prune_bound t i) in
   let results =
+    (* lint: capture rows share t read-only during the fan-out; each worker returns its row's state and only the submitting domain writes it back below *)
     Parallel.Pool.map ~domains (fun i -> run_row t ~bound0:bounds.(i) i) rows
   in
   let acc = ref { cells = 0; solves = 0; warm_hits = 0; pruned = 0; feasible = 0 } in

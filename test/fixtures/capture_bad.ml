@@ -1,0 +1,17 @@
+(* Seeded cross-domain capture violation for test_lint.  This file is
+   never built — the typed lint tests feed it through the in-process
+   typechecker and expect a capture finding on the closure below.  The
+   Pool stub gives the boundary its real name and shape without
+   depending on lib/parallel. *)
+
+module Parallel = struct
+  module Pool = struct
+    let map_rows f n = Array.init n f
+  end
+end
+
+let total = ref 0
+
+(* BAD: the closure shipped across domains captures the mutable
+   [total]. *)
+let sum_rows n = Parallel.Pool.map_rows (fun i -> total := !total + i) n

@@ -1,0 +1,16 @@
+(* Seeded units-of-measure violations for test_lint.  This file is
+   never built — the typed lint tests feed it through the in-process
+   typechecker with a matching units manifest and expect findings on
+   the two lines marked BAD below. *)
+
+let fmax = 2.5e9
+let tmax = 85.0
+
+(* BAD: hz +. celsius — mixed-unit addition. *)
+let mixed = fmax +. tmax
+
+let clamp ~util = if util > 1.0 then 1.0 else util
+
+(* BAD: an absolute frequency passed where a normalized ratio is
+   declared. *)
+let absolute_for_normalized = clamp ~util:fmax

@@ -11,9 +11,11 @@ let count checker findings =
   List.length (List.filter (fun f -> f.Lint.Finding.checker = checker) findings)
 
 (* Default fixture home: library code with a declared interface, so
-   only the checker under test can fire. *)
-let lint ?manifest ?(mli_exists = true) ?(path = "lib/fix/fixture.ml") text =
-  Lint.Driver.lint_source ?manifest ~mli_exists ~path text
+   only the checker under test can fire.  [typed] defaults to [`Off];
+   the typed-pass tests opt in with [`Infer]. *)
+let lint ?manifest ?units ?typed ?(mli_exists = true)
+    ?(path = "lib/fix/fixture.ml") text =
+  Lint.Driver.lint_source ?manifest ?units ?typed ~mli_exists ~path text
 
 let check_counts ~msg expected findings =
   List.iter
@@ -231,12 +233,51 @@ let test_json_shape () =
       "say \"no\""
   in
   Alcotest.(check string) "object shape"
-    {|{"file":"lib/a.ml","line":3,"col":7,"checker":"float-equality","message":"say \"no\""}|}
+    (Printf.sprintf
+       {|{"id":"%s","file":"lib/a.ml","line":3,"col":7,"checker":"float-equality","message":"say \"no\""}|}
+       (Lint.Finding.id f))
     (Lint.Finding.to_json f);
   Alcotest.(check string) "empty array" "[]" (Lint.Finding.list_to_json []);
   let arr = Lint.Finding.list_to_json [ f; f ] in
   Alcotest.(check bool) "array brackets" true
     (String.length arr > 2 && arr.[0] = '[' && arr.[String.length arr - 1] = ']')
+
+(* ------------------------------------------------------------------ *)
+(* stable ids and the baseline *)
+
+let test_finding_id_stability () =
+  let f line =
+    Lint.Finding.v ~file:"lib/a.ml" ~line ~checker:"units" "mixed units"
+  in
+  Alcotest.(check string) "id ignores the line"
+    (Lint.Finding.id (f 3))
+    (Lint.Finding.id (f 40));
+  Alcotest.(check int) "12 hex chars" 12 (String.length (Lint.Finding.id (f 3)));
+  let g = Lint.Finding.v ~file:"lib/b.ml" ~line:3 ~checker:"units" "mixed units" in
+  Alcotest.(check bool) "different file, different id" true
+    (Lint.Finding.id (f 3) <> Lint.Finding.id g)
+
+let test_baseline_round_trip () =
+  let dir = Filename.temp_file "protemp_baseline" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "lint.baseline" in
+  Alcotest.(check (list string)) "missing file is an empty baseline" []
+    (Lint.Baseline.load path);
+  let f1 = Lint.Finding.v ~file:"lib/a.ml" ~line:3 ~checker:"units" "one" in
+  let f2 = Lint.Finding.v ~file:"lib/b.ml" ~line:9 ~checker:"capture" "two" in
+  Lint.Baseline.save path [ f1; f2 ];
+  let ids = Lint.Baseline.load path in
+  Alcotest.(check int) "both ids read back" 2 (List.length ids);
+  let kept, n_baselined = Lint.Baseline.filter ids [ f1; f2 ] in
+  Alcotest.(check int) "both filtered out" 0 (List.length kept);
+  Alcotest.(check int) "both counted" 2 n_baselined;
+  let f3 = Lint.Finding.v ~file:"lib/c.ml" ~line:1 ~checker:"units" "new" in
+  let kept, n_baselined = Lint.Baseline.filter ids [ f1; f3 ] in
+  Alcotest.(check (list string)) "a new finding survives the baseline"
+    [ "lib/c.ml" ]
+    (List.map (fun f -> f.Lint.Finding.file) kept);
+  Alcotest.(check int) "only the old one baselined" 1 n_baselined
 
 (* ------------------------------------------------------------------ *)
 (* whole-repo driver on a seeded fixture tree *)
@@ -254,15 +295,173 @@ let test_run_repo_seeded_violation () =
   write_file (Filename.concat root "lib/bad.ml") "let cache = ref None\n";
   write_file (Filename.concat root "lib/good.ml") "let x = 1\n";
   write_file (Filename.concat root "lib/good.mli") "val x : int\n";
-  let findings, files = Lint.Driver.run_repo ~root () in
+  let r = Lint.Driver.run_repo ~root () in
   Alcotest.(check (list string)) "discovers both sources"
-    [ "lib/bad.ml"; "lib/good.ml" ] files;
+    [ "lib/bad.ml"; "lib/good.ml" ]
+    r.Lint.Driver.files;
   Alcotest.(check int) "seeded domain-safety violation found" 1
-    (count "domain-safety" findings);
+    (count "domain-safety" r.Lint.Driver.findings);
   Alcotest.(check int) "bad.ml also lacks an interface" 1
-    (count "mli-coverage" findings);
+    (count "mli-coverage" r.Lint.Driver.findings);
   Alcotest.(check bool) "non-empty findings drive the non-zero exit" true
-    (findings <> [])
+    (r.Lint.Driver.findings <> []);
+  Alcotest.(check int)
+    "both self-contained files get an in-process typed pass" 2
+    r.Lint.Driver.typed
+
+(* ------------------------------------------------------------------ *)
+(* typed pass: units of measure and cross-domain capture, on the
+   committed fixture files (test/fixtures/, declared as dune deps) *)
+
+let read_fixture name =
+  let ic = open_in_bin (Filename.concat "fixtures" name) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let units_manifest_of text =
+  let m, errors = Lint.Units_manifest.parse ~path:"units.manifest" text in
+  Alcotest.(check (list (pair int string))) "units manifest parses" [] errors;
+  m
+
+let units_bad_manifest path =
+  Printf.sprintf
+    "val %s fmax hz\nval %s tmax celsius\nfn %s clamp util:norm\n" path path
+    path
+
+let test_units_seeded_fixture () =
+  let path = "lib/units_bad.ml" in
+  let units = units_manifest_of (units_bad_manifest path) in
+  let findings =
+    lint ~path ~units ~typed:`Infer (read_fixture "units_bad.ml")
+  in
+  check_counts ~msg:"both seeded violations, nothing else"
+    [ ("units", 2) ] findings;
+  let lines = List.map (fun f -> f.Lint.Finding.line) findings in
+  Alcotest.(check (list int)) "on the marked lines" [ 10; 16 ] lines
+
+let test_units_vocabulary_is_closed () =
+  let _, errors =
+    Lint.Units_manifest.parse ~path:"units.manifest"
+      "val lib/a.ml fmax hz\nval lib/a.ml speed furlong\n"
+  in
+  Alcotest.(check int) "unknown unit fails the load" 1 (List.length errors);
+  Alcotest.(check int) "at its line" 2 (fst (List.hd errors))
+
+let test_units_strict_manifest () =
+  let path = "lib/units_bad.ml" in
+  let units =
+    units_manifest_of (units_bad_manifest path ^ "fn " ^ path ^ " missing x:hz\n")
+  in
+  let findings =
+    lint ~path ~units ~typed:`Infer (read_fixture "units_bad.ml")
+  in
+  Alcotest.(check int) "the phantom entry is a finding" 3
+    (count "units" findings);
+  Alcotest.(check bool) "reported against the manifest file" true
+    (List.exists
+       (fun f -> f.Lint.Finding.file = "units.manifest")
+       findings)
+
+let test_units_suppression () =
+  let path = "lib/units_bad.ml" in
+  let units = units_manifest_of (units_bad_manifest path) in
+  let suppressed =
+    lint ~path ~units ~typed:`Infer
+      "let fmax = 2.5e9\n\
+       let tmax = 85.0\n\
+       (* lint: units fixture: deliberate mixed add *)\n\
+       let mixed = fmax +. tmax\n\
+       let clamp ~util = if util > 1.0 then 1.0 else util\n\
+       let _n = clamp ~util:0.5\n"
+  in
+  check_counts ~msg:"suppression silences the typed finding" [] suppressed
+
+let test_capture_seeded_fixture () =
+  let findings =
+    lint ~path:"lib/capture_bad.ml" ~typed:`Infer
+      (read_fixture "capture_bad.ml")
+  in
+  (* The toplevel ref also trips the syntactic domain-safety checker —
+     the two checkers see the same hazard from different angles. *)
+  check_counts ~msg:"seeded capture violation"
+    [ ("capture", 1); ("domain-safety", 1) ]
+    findings;
+  let f =
+    List.find (fun f -> f.Lint.Finding.checker = "capture") findings
+  in
+  Alcotest.(check int) "on the marked line" 17 f.Lint.Finding.line
+
+let test_capture_clean_closure () =
+  check_counts ~msg:"a closure over immutable state is fine" []
+    (lint ~path:"lib/cap_ok.ml" ~typed:`Infer
+       "module Parallel = struct\n\
+       \  module Pool = struct let map_rows f n = Array.init n f end\n\
+        end\n\
+        let scale = 2.0\n\
+        let rows n = Parallel.Pool.map_rows (fun i -> float_of_int i *. scale) n\n")
+
+let test_capture_atomic_is_sanctioned () =
+  check_counts ~msg:"Atomic counters may cross domains" []
+    (lint ~path:"lib/cap_atomic.ml" ~typed:`Infer
+       "module Parallel = struct\n\
+       \  module Pool = struct let map_rows f n = Array.init n f end\n\
+        end\n\
+        let hits = Atomic.make 0\n\
+        (* lint: domain-safety shared counter, atomic by construction *)\n\
+        let rows n = Parallel.Pool.map_rows (fun i -> Atomic.incr hits; i) n\n")
+
+(* End-to-end: a fixture tree with both seeded files drives the
+   non-zero exit through [run_repo], the path the CLI takes. *)
+let test_run_repo_typed_fixture_tree () =
+  let root = Filename.temp_file "protemp_typed" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  write_file
+    (Filename.concat root "lib/units_bad.ml")
+    (read_fixture "units_bad.ml");
+  write_file (Filename.concat root "lib/units_bad.mli") "";
+  write_file
+    (Filename.concat root "lib/capture_bad.ml")
+    (read_fixture "capture_bad.ml");
+  write_file (Filename.concat root "lib/capture_bad.mli") "";
+  write_file
+    (Filename.concat root "units.manifest")
+    (units_bad_manifest "lib/units_bad.ml");
+  let r =
+    Lint.Driver.run_repo ~root ~units_path:"units.manifest" ()
+  in
+  Alcotest.(check int) "both files typed in-process" 2 r.Lint.Driver.typed;
+  Alcotest.(check int) "seeded units violations" 2
+    (count "units" r.Lint.Driver.findings);
+  Alcotest.(check int) "seeded capture violation" 1
+    (count "capture" r.Lint.Driver.findings);
+  Alcotest.(check bool) "the tree fails lint" true
+    (r.Lint.Driver.findings <> [])
+
+(* ------------------------------------------------------------------ *)
+(* suppression reach: a property, not examples.  A suppression on line
+   L silences a finding on line F iff F is L or L + 1. *)
+
+let test_suppression_reach_property () =
+  let gen = QCheck.Gen.(pair (int_range 1 30) (int_range 1 32)) in
+  let prop (l, f) =
+    let b = Buffer.create 256 in
+    for line = 1 to 32 do
+      if line = l then
+        Buffer.add_string b "(* lint: float-equality fixture reason *)\n"
+      else Buffer.add_string b "\n"
+    done;
+    let sup = Lint.Suppress.scan ~keys:Lint.Driver.all_keys (Buffer.contents b) in
+    Lint.Suppress.active sup ~keys:[ "float-equality" ] ~line:f
+    = (f = l || f = l + 1)
+  in
+  let cell =
+    QCheck.Test.make ~count:500 ~name:"suppression reaches L and L+1 only"
+      (QCheck.make gen) prop
+  in
+  QCheck.Test.check_exn cell
 
 let () =
   Alcotest.run "lint"
@@ -303,10 +502,35 @@ let () =
             test_suppression_problems;
           Alcotest.test_case "parse errors" `Quick test_parse_error_is_a_finding;
           Alcotest.test_case "json shape" `Quick test_json_shape;
+          Alcotest.test_case "suppression reach property" `Quick
+            test_suppression_reach_property;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "stable ids" `Quick test_finding_id_stability;
+          Alcotest.test_case "round trip" `Quick test_baseline_round_trip;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "seeded fixture" `Quick test_units_seeded_fixture;
+          Alcotest.test_case "closed vocabulary" `Quick
+            test_units_vocabulary_is_closed;
+          Alcotest.test_case "strict manifest" `Quick test_units_strict_manifest;
+          Alcotest.test_case "suppression" `Quick test_units_suppression;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "seeded fixture" `Quick test_capture_seeded_fixture;
+          Alcotest.test_case "immutable capture is clean" `Quick
+            test_capture_clean_closure;
+          Alcotest.test_case "atomic is sanctioned" `Quick
+            test_capture_atomic_is_sanctioned;
         ] );
       ( "driver",
         [
           Alcotest.test_case "seeded repo violation" `Quick
             test_run_repo_seeded_violation;
+          Alcotest.test_case "seeded typed fixture tree" `Quick
+            test_run_repo_typed_fixture_tree;
         ] );
     ]
